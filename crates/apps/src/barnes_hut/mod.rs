@@ -1,0 +1,301 @@
+//! Application 3: Barnes–Hut N-body simulation (paper §4.4, Figure 3).
+//!
+//! Every time step builds a tree over the particles and then computes
+//! forces by walking it — "totally data-driven random access to the tree
+//! and the particles" (§4.4). The octree is represented level by level:
+//! depth `d` is a dense array of `8^d` cells indexed by Morton key, each
+//! holding the mass moments ([`Com`]) of the bodies inside. Building is a
+//! pure scatter-accumulate; the force walk is a breadth-first descent with
+//! the θ multipole-acceptance criterion, reading only the cells it opens.
+//!
+//! Three implementations:
+//! * [`seq`] — sequential reference (plus a direct `O(N²)` summation used
+//!   to validate physics);
+//! * [`ppm`] — bodies and cell levels are global shared arrays; build is
+//!   `accumulate` scatter, the walk reads cells through bundled gets;
+//! * [`mpi`] — the replicated method the paper describes as the practical
+//!   MPI option [its ref. 9]: every rank allgathers *all* bodies each step
+//!   and rebuilds the whole tree locally — O(N·P) communication volume.
+//!
+//! All three visit cells in the same order and accumulate in the same
+//! per-source order, so positions agree bit-for-bit in the validated
+//! configurations (in general, cross-node moment accumulation folds node
+//! partials rather than single bodies, which can differ in the last ulp —
+//! the test suite pins the configurations where agreement is exact).
+
+pub mod morton;
+pub mod mpi;
+pub mod ppm;
+pub mod seq;
+pub mod tree;
+
+use ppm_simnet::WireSize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BhParams {
+    /// Number of bodies.
+    pub n_bodies: usize,
+    /// Tree depth `D` (finest level has `8^D` cells).
+    pub max_depth: usize,
+    /// Multipole acceptance parameter θ.
+    pub theta: f64,
+    /// Softening length.
+    pub eps: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Number of leapfrog steps to simulate.
+    pub steps: usize,
+    /// PPM only: bodies per virtual processor.
+    pub bodies_per_vp: usize,
+    /// RNG seed for the Plummer sampler.
+    pub seed: u64,
+}
+
+impl BhParams {
+    /// Reasonable defaults for `n` bodies.
+    pub fn new(n: usize) -> Self {
+        // Depth so the finest level averages a handful of bodies per
+        // occupied cell.
+        let mut depth = 2;
+        while (1usize << (3 * depth)) < n && depth < morton::MAX_DEPTH - 1 {
+            depth += 1;
+        }
+        BhParams {
+            n_bodies: n,
+            max_depth: depth.min(6),
+            theta: 0.5,
+            eps: 1e-3,
+            dt: 1e-3,
+            steps: 2,
+            bodies_per_vp: 16,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One body: position, velocity, mass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Body {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+    pub vx: f64,
+    pub vy: f64,
+    pub vz: f64,
+    pub mass: f64,
+}
+
+impl WireSize for Body {
+    fn wire_size(&self) -> usize {
+        56
+    }
+}
+
+/// Mass moments of a cell: total mass and mass-weighted position. The
+/// additive combining element of the tree build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Com {
+    pub m: f64,
+    pub mx: f64,
+    pub my: f64,
+    pub mz: f64,
+}
+
+impl std::ops::Add for Com {
+    type Output = Com;
+    fn add(self, o: Com) -> Com {
+        Com {
+            m: self.m + o.m,
+            mx: self.mx + o.mx,
+            my: self.my + o.my,
+            mz: self.mz + o.mz,
+        }
+    }
+}
+
+impl WireSize for Com {
+    fn wire_size(&self) -> usize {
+        32
+    }
+}
+
+impl Com {
+    /// The moments contributed by one body.
+    pub fn of(b: &Body) -> Com {
+        Com {
+            m: b.mass,
+            mx: b.mass * b.x,
+            my: b.mass * b.y,
+            mz: b.mass * b.z,
+        }
+    }
+}
+
+// `Com` satisfies `AccumElem` (Elem + PartialOrd + Add); register it for
+// `accumulate` support.
+impl ppm_core::AccumElem for Com {}
+
+/// Axis-aligned bounding box as the 6-tuple the versions agree on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    pub min: [f64; 3],
+    pub max: [f64; 3],
+}
+
+impl BBox {
+    /// Bounding box of a body set (exact min/max, order-independent).
+    pub fn of(bodies: &[Body]) -> BBox {
+        let mut bb = BBox {
+            min: [f64::INFINITY; 3],
+            max: [f64::NEG_INFINITY; 3],
+        };
+        for b in bodies {
+            for (d, v) in [b.x, b.y, b.z].into_iter().enumerate() {
+                bb.min[d] = bb.min[d].min(v);
+                bb.max[d] = bb.max[d].max(v);
+            }
+        }
+        bb
+    }
+
+    /// Edge of the cube the tree is built in: the largest extent (with a
+    /// tiny margin so the maximum coordinate stays inside the last cell).
+    pub fn edge(&self) -> f64 {
+        let e = (0..3)
+            .map(|d| self.max[d] - self.min[d])
+            .fold(0.0, f64::max);
+        if e > 0.0 {
+            e * (1.0 + 1e-12)
+        } else {
+            1.0
+        }
+    }
+
+    /// Morton key of a position at `depth`.
+    pub fn key_of(&self, x: f64, y: f64, z: f64, depth: usize) -> u64 {
+        let e = self.edge();
+        let gx = morton::grid_coord((x - self.min[0]) / e, depth);
+        let gy = morton::grid_coord((y - self.min[1]) / e, depth);
+        let gz = morton::grid_coord((z - self.min[2]) / e, depth);
+        morton::encode(gx, gy, gz, depth)
+    }
+}
+
+/// Sample a Plummer sphere: the standard N-body benchmark distribution
+/// (deterministic for a given seed).
+pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = 1.0; // Plummer radius
+    let m = 1.0 / n as f64;
+    (0..n)
+        .map(|_| {
+            // Radius from the Plummer inverse CDF, capped to keep the box
+            // compact.
+            let u: f64 = rng.gen_range(1e-6..1.0);
+            let r = (a / (u.powf(-2.0 / 3.0) - 1.0).sqrt()).min(8.0 * a);
+            // Uniform direction.
+            let cos_t: f64 = rng.gen_range(-1.0..1.0);
+            let sin_t = (1.0 - cos_t * cos_t).sqrt();
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            // A mild tangential velocity so the system evolves.
+            let vscale = 0.1 / (1.0 + r);
+            Body {
+                x: r * sin_t * phi.cos(),
+                y: r * sin_t * phi.sin(),
+                z: r * cos_t,
+                vx: -vscale * phi.sin(),
+                vy: vscale * phi.cos(),
+                vz: 0.0,
+                mass: m,
+            }
+        })
+        .collect()
+}
+
+/// One entry of the leaf index: a body projected to (Morton key, identity,
+/// position, mass) — what `Direct` leaf interactions read.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SortedBody {
+    pub key: u64,
+    pub idx: u64,
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+    pub mass: f64,
+}
+
+impl WireSize for SortedBody {
+    fn wire_size(&self) -> usize {
+        48
+    }
+}
+
+/// Flops charged per cell examined during a walk (distance, MAC test,
+/// kernel evaluation).
+pub const VISIT_FLOPS: u64 = 22;
+/// Flops charged per body-level interaction at a `Direct` leaf.
+pub const DIRECT_FLOPS: u64 = 16;
+/// Flops charged per body per level during the build (key + moment
+/// scatter).
+pub const BUILD_FLOPS: u64 = 10;
+/// Flops charged per body for the bounding box and the leapfrog update.
+pub const STEP_FLOPS: u64 = 18;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plummer_is_deterministic_and_bounded() {
+        let a = plummer(100, 7);
+        let b = plummer(100, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, plummer(100, 8));
+        let total_mass: f64 = a.iter().map(|b| b.mass).sum();
+        assert!((total_mass - 1.0).abs() < 1e-12);
+        assert!(a.iter().all(|b| b.x.abs() <= 8.0 && b.z.abs() <= 8.0));
+    }
+
+    #[test]
+    fn bbox_covers_and_keys_stay_in_range() {
+        let bodies = plummer(200, 1);
+        let bb = BBox::of(&bodies);
+        for b in &bodies {
+            assert!(b.x >= bb.min[0] && b.x <= bb.max[0]);
+            let k = bb.key_of(b.x, b.y, b.z, 5);
+            assert!(k < 1 << 15);
+        }
+        assert!(bb.edge() > 0.0);
+    }
+
+    #[test]
+    fn com_adds_componentwise() {
+        let a = Com {
+            m: 1.0,
+            mx: 2.0,
+            my: 3.0,
+            mz: 4.0,
+        };
+        let b = Com {
+            m: 0.5,
+            mx: 0.25,
+            my: 0.0,
+            mz: -1.0,
+        };
+        let s = a + b;
+        assert_eq!(s.m, 1.5);
+        assert_eq!(s.mz, 3.0);
+    }
+
+    #[test]
+    fn degenerate_bbox_has_unit_edge() {
+        let one = vec![Body {
+            mass: 1.0,
+            ..Body::default()
+        }];
+        assert_eq!(BBox::of(&one).edge(), 1.0);
+    }
+}

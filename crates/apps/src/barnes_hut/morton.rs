@@ -1,0 +1,101 @@
+//! Morton (Z-order) keys for the octree.
+//!
+//! A depth-`D` key interleaves the top `D` bits of the three grid
+//! coordinates, most significant octant first, so that the key of a cell's
+//! child is `8·key + octant` — the property the level-by-level tree
+//! representation relies on.
+
+/// Maximum supported depth (3·10 = 30 key bits).
+pub const MAX_DEPTH: usize = 10;
+
+/// Interleave grid coordinates `(ix, iy, iz)` (each `< 2^depth`) into a
+/// depth-`depth` Morton key.
+pub fn encode(ix: u32, iy: u32, iz: u32, depth: usize) -> u64 {
+    debug_assert!(depth <= MAX_DEPTH);
+    debug_assert!(ix < (1 << depth) && iy < (1 << depth) && iz < (1 << depth));
+    let mut key = 0u64;
+    for level in (0..depth).rev() {
+        let oct = (((ix >> level) & 1) << 2) | (((iy >> level) & 1) << 1) | ((iz >> level) & 1);
+        key = (key << 3) | oct as u64;
+    }
+    key
+}
+
+/// Recover `(ix, iy, iz)` from a depth-`depth` key.
+pub fn decode(key: u64, depth: usize) -> (u32, u32, u32) {
+    let (mut ix, mut iy, mut iz) = (0u32, 0u32, 0u32);
+    for level in 0..depth {
+        let oct = ((key >> (3 * level)) & 7) as u32;
+        ix |= ((oct >> 2) & 1) << level;
+        iy |= ((oct >> 1) & 1) << level;
+        iz |= (oct & 1) << level;
+    }
+    (ix, iy, iz)
+}
+
+/// The key's prefix at a shallower depth (its ancestor cell).
+#[inline]
+pub fn ancestor(key: u64, depth: usize, at: usize) -> u64 {
+    debug_assert!(at <= depth);
+    key >> (3 * (depth - at))
+}
+
+/// Grid coordinate of a normalized position `u ∈ [0, 1]` at `depth`.
+#[inline]
+pub fn grid_coord(u: f64, depth: usize) -> u32 {
+    let side = 1u32 << depth;
+    ((u * side as f64) as i64).clamp(0, side as i64 - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_depths() {
+        for depth in [1usize, 3, 5, 10] {
+            let side = 1u32 << depth;
+            for &(x, y, z) in &[(0, 0, 0), (side - 1, 0, 1 % side), (side / 2, side - 1, side / 3)]
+            {
+                let k = encode(x, y, z, depth);
+                assert!(k < 1 << (3 * depth));
+                assert_eq!(decode(k, depth), (x, y, z));
+            }
+        }
+    }
+
+    #[test]
+    fn child_is_parent_times_8_plus_octant() {
+        let depth = 4;
+        let k = encode(5, 9, 3, depth);
+        let parent = ancestor(k, depth, depth - 1);
+        assert_eq!(k / 8, parent);
+        assert!(k % 8 < 8);
+        assert_eq!(ancestor(k, depth, 0), 0, "root is the empty prefix");
+    }
+
+    #[test]
+    fn keys_are_unique_per_cell() {
+        let depth = 3;
+        let side = 1u32 << depth;
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    assert!(seen.insert(encode(x, y, z, depth)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 1 << (3 * depth));
+    }
+
+    #[test]
+    fn grid_coord_clamps_to_box() {
+        assert_eq!(grid_coord(0.0, 4), 0);
+        assert_eq!(grid_coord(0.999, 4), 15);
+        assert_eq!(grid_coord(1.0, 4), 15, "upper edge stays in the last cell");
+        assert_eq!(grid_coord(-0.1, 4), 0, "clamped below");
+        assert_eq!(grid_coord(1.5, 4), 15, "clamped above");
+        assert_eq!(grid_coord(0.5, 1), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! PPM version of Barnes–Hut.
+//!
+//! The bodies, every tree level, and a Morton-sorted leaf index are global
+//! shared arrays. Each step:
+//!
+//! 1. a `PPM_do` phase folds the bodies' extents into a shared bounding
+//!    box with combining `Min`/`Max` writes;
+//! 2. node-level code refreshes the leaf index: bodies are projected to
+//!    (Morton key, identity, position, mass) records, sorted with the
+//!    runtime's distributed sample sort, and each leaf run's start
+//!    position is scattered into a dense per-cell array;
+//! 3. a second `PPM_do` scatters mass moments into all tree levels with
+//!    combining `Add` writes (phase *build*) and then walks the tree
+//!    (phase *walk*): breadth-first descent fetching each depth's frontier
+//!    cells in one bulk read, body-level interactions for too-close leaf
+//!    cells fetched through the leaf index — the data-driven random access
+//!    to "the tree and the particles" the paper highlights — and finally
+//!    the kick-drift update and clearing of the occupied cells.
+
+use std::rc::Rc;
+
+use ppm_core::util::{scatter_global, sort_global_by_key};
+use ppm_core::{AccumOp, GlobalShared, NodeCtx};
+use ppm_simnet::SimTime;
+
+use super::tree::{direct_kernel, visit_cell, Visit};
+use super::{
+    plummer, BBox, BhParams, Body, Com, SortedBody, BUILD_FLOPS, DIRECT_FLOPS, STEP_FLOPS,
+    VISIT_FLOPS,
+};
+
+/// Simulate on the PPM runtime; returns the final bodies (gathered) and
+/// the simulated instant the last step finished.
+pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
+    let params = *p;
+    let n = p.n_bodies;
+    let depth = p.max_depth;
+    let cells = 1usize << (3 * depth);
+
+    let bodies = node.alloc_global::<Body>(n);
+    let bbox = node.alloc_global::<f64>(6); // min xyz, max xyz
+    let sorted = node.alloc_global::<SortedBody>(n);
+    let leaf_start = node.alloc_global::<u64>(cells);
+    let leaf_count = node.alloc_global::<u64>(cells);
+    let levels: Rc<Vec<GlobalShared<Com>>> = Rc::new(
+        (0..=depth)
+            .map(|d| node.alloc_global::<Com>(1usize << (3 * d)))
+            .collect(),
+    );
+
+    // Everyone samples the same deterministic distribution and keeps its
+    // own block.
+    let range = node.local_range(&bodies);
+    let (lo_node, n_local) = (range.start, range.len());
+    {
+        let all = plummer(n, p.seed);
+        node.with_local_mut(&bodies, |s| s.copy_from_slice(&all[range]));
+    }
+
+    let bpv = params.bodies_per_vp.max(1);
+    let k = n_local.div_ceil(bpv).max(1);
+
+    for _step in 0..params.steps {
+        // --- 1. Shared bounding box. -----------------------------------
+        node.ppm_do(k, move |vp| async move {
+            let lo = (lo_node + vp.node_rank() * bpv).min(lo_node + n_local);
+            let hi = (lo + bpv).min(lo_node + n_local);
+            let v = vp.clone();
+            vp.global_phase(|ph| async move {
+                let mine = ph.get_many(&bodies, lo..hi).await;
+                for b in &mine {
+                    for (d, val) in [b.x, b.y, b.z].into_iter().enumerate() {
+                        ph.accumulate(&bbox, d, AccumOp::Min, val);
+                        ph.accumulate(&bbox, 3 + d, AccumOp::Max, val);
+                    }
+                    v.charge_flops(6);
+                }
+            })
+            .await;
+        });
+        let bbv = node.gather_global(&bbox);
+        let bb = BBox {
+            min: [bbv[0], bbv[1], bbv[2]],
+            max: [bbv[3], bbv[4], bbv[5]],
+        };
+
+        // --- 2. Refresh the Morton-sorted leaf index. -------------------
+        let records: Vec<SortedBody> = node.with_local(&bodies, |s| {
+            s.iter()
+                .enumerate()
+                .map(|(off, b)| SortedBody {
+                    key: bb.key_of(b.x, b.y, b.z, depth),
+                    idx: (lo_node + off) as u64,
+                    x: b.x,
+                    y: b.y,
+                    z: b.z,
+                    mass: b.mass,
+                })
+                .collect()
+        });
+        node.charge_mem_ops(records.len() as u64 * 2);
+        node.with_local_mut(&sorted, |s| s.copy_from_slice(&records));
+        sort_global_by_key(node, &sorted, |sb| sb.key);
+
+        // Leaf runs: a run starts wherever the key differs from the
+        // previous element (consulting the previous non-empty node's
+        // boundary key); scatter each start into the dense per-cell array.
+        let my_sorted: Vec<(u64, u64)> =
+            node.with_local(&sorted, |s| s.iter().map(|sb| (sb.key, sb.idx)).collect());
+        let sort_lo = node.local_range(&sorted).start;
+        let boundary = node.allgather_nodes(match my_sorted.last() {
+            Some(&(key, _)) => (my_sorted.len() as u64, key),
+            None => (0u64, 0u64),
+        });
+        let prev_key: Option<u64> = boundary[..node.node_id()]
+            .iter()
+            .rev()
+            .find(|(len, _)| *len > 0)
+            .map(|&(_, key)| key);
+        let mut starts: Vec<(usize, u64)> = Vec::new();
+        for (i, &(key, _)) in my_sorted.iter().enumerate() {
+            let prev = if i == 0 {
+                prev_key
+            } else {
+                Some(my_sorted[i - 1].0)
+            };
+            if prev != Some(key) {
+                starts.push((key as usize, (sort_lo + i) as u64));
+            }
+        }
+        scatter_global(node, &leaf_start, starts);
+
+        // --- 3. Build + walk. -------------------------------------------
+        let levels = levels.clone();
+        node.ppm_do(k, move |vp| {
+            let levels = levels.clone();
+            async move {
+                let lo = (lo_node + vp.node_rank() * bpv).min(lo_node + n_local);
+                let hi = (lo + bpv).min(lo_node + n_local);
+
+                // Phase build: scatter mass moments into every level and
+                // count leaf occupancy.
+                let (v, lv) = (vp.clone(), levels.clone());
+                vp.global_phase(|ph| async move {
+                    let bb = read_bbox(&ph, &bbox).await;
+                    let mine = ph.get_many(&bodies, lo..hi).await;
+                    for b in &mine {
+                        let leaf = bb.key_of(b.x, b.y, b.z, depth);
+                        let moments = Com::of(b);
+                        for (d, level) in lv.iter().enumerate() {
+                            let cell = (leaf >> (3 * (depth - d))) as usize;
+                            ph.accumulate(level, cell, AccumOp::Add, moments);
+                            v.charge_flops(BUILD_FLOPS);
+                        }
+                        ph.accumulate(&leaf_count, leaf as usize, AccumOp::Add, 1u64);
+                    }
+                })
+                .await;
+
+                // Phase walk: breadth-first descent (one bulk read per
+                // depth), body-level leaf interactions, kick-drift, and
+                // clearing of the occupied cells.
+                let (v, lv) = (vp.clone(), levels.clone());
+                vp.global_phase(|ph| async move {
+                    let bb = read_bbox(&ph, &bbox).await;
+                    let edge = bb.edge();
+                    let mine = ph.get_many(&bodies, lo..hi).await;
+                    let leaves: Vec<u64> = mine
+                        .iter()
+                        .map(|b| bb.key_of(b.x, b.y, b.z, depth))
+                        .collect();
+
+                    let mut accs = vec![[0.0f64; 3]; mine.len()];
+                    let mut direct_cells: Vec<Vec<u64>> = vec![Vec::new(); mine.len()];
+                    let mut frontiers: Vec<Vec<u64>> = vec![vec![0]; mine.len()];
+                    for (d, level) in lv.iter().enumerate() {
+                        let wants: Vec<usize> = frontiers
+                            .iter()
+                            .flatten()
+                            .map(|&key| key as usize)
+                            .collect();
+                        let coms = ph.get_many(level, wants).await;
+                        let mut at = 0;
+                        for (i, frontier) in frontiers.iter_mut().enumerate() {
+                            let mut next = Vec::new();
+                            for &key in frontier.iter() {
+                                let com = coms[at];
+                                at += 1;
+                                v.charge_flops(VISIT_FLOPS);
+                                match visit_cell(
+                                    &mine[i], com, d, key, leaves[i], &params, edge,
+                                    &mut accs[i],
+                                ) {
+                                    Visit::Open => {
+                                        for oct in 0..8 {
+                                            next.push(key * 8 + oct);
+                                        }
+                                    }
+                                    Visit::Direct => direct_cells[i].push(key),
+                                    Visit::Accept | Visit::Skip => {}
+                                }
+                            }
+                            *frontier = next;
+                        }
+                    }
+
+                    // Body-level interactions: fetch each direct leaf's run
+                    // metadata, then the run's bodies, in three bulk reads.
+                    let flat: Vec<usize> = direct_cells
+                        .iter()
+                        .flatten()
+                        .map(|&c| c as usize)
+                        .collect();
+                    let run_starts = ph.get_many(&leaf_start, flat.iter().copied()).await;
+                    let run_counts = ph.get_many(&leaf_count, flat.iter().copied()).await;
+                    let wants: Vec<usize> = run_starts
+                        .iter()
+                        .zip(&run_counts)
+                        .flat_map(|(&s, &c)| (s as usize)..(s + c) as usize)
+                        .collect();
+                    let neighbours = ph.get_many(&sorted, wants).await;
+                    let mut run_at = 0;
+                    let mut body_at = 0;
+                    for (i, cells) in direct_cells.iter().enumerate() {
+                        let my_idx = (lo + i) as u64;
+                        for _ in cells {
+                            let count = run_counts[run_at] as usize;
+                            run_at += 1;
+                            for _ in 0..count {
+                                direct_kernel(
+                                    &mine[i],
+                                    my_idx,
+                                    &neighbours[body_at],
+                                    params.eps,
+                                    &mut accs[i],
+                                );
+                                body_at += 1;
+                                v.charge_flops(DIRECT_FLOPS);
+                            }
+                        }
+                    }
+
+                    // Kick-drift and clear this step's cells.
+                    for (i, b) in mine.iter().enumerate() {
+                        let mut nb = *b;
+                        nb.vx += accs[i][0] * params.dt;
+                        nb.vy += accs[i][1] * params.dt;
+                        nb.vz += accs[i][2] * params.dt;
+                        nb.x += nb.vx * params.dt;
+                        nb.y += nb.vy * params.dt;
+                        nb.z += nb.vz * params.dt;
+                        ph.put(&bodies, lo + i, nb);
+                        v.charge_flops(STEP_FLOPS);
+                        for (d, level) in lv.iter().enumerate() {
+                            let cell = (leaves[i] >> (3 * (depth - d))) as usize;
+                            ph.put(level, cell, Com::default());
+                        }
+                    }
+                })
+                .await;
+            }
+        });
+    }
+
+    let t_sim = node.now();
+    (node.gather_global(&bodies), t_sim)
+}
+
+/// Fetch the six bounding-box scalars.
+async fn read_bbox(ph: &ppm_core::Phase, bbox: &GlobalShared<f64>) -> BBox {
+    let v = ph.get_many(bbox, 0..6).await;
+    BBox {
+        min: [v[0], v[1], v[2]],
+        max: [v[3], v[4], v[5]],
+    }
+}

@@ -1,0 +1,60 @@
+//! Sequential Barnes–Hut reference.
+
+use super::tree::{build_levels, force_on, LeafIndex};
+use super::{plummer, BBox, BhParams, Body};
+
+/// Simulate `p.steps` leapfrog steps; returns the final bodies.
+pub fn simulate(p: &BhParams) -> Vec<Body> {
+    let mut bodies = plummer(p.n_bodies, p.seed);
+    for _ in 0..p.steps {
+        step(&mut bodies, p);
+    }
+    bodies
+}
+
+/// One time step: build, walk, kick-drift.
+pub fn step(bodies: &mut [Body], p: &BhParams) {
+    let bb = BBox::of(bodies);
+    let levels = build_levels(bodies, &bb, p.max_depth);
+    let leaves = LeafIndex::of(bodies, &bb, p.max_depth);
+    let walks: Vec<_> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, b)| force_on(b, i as u64, &levels, &leaves, &bb, p))
+        .collect();
+    for (b, w) in bodies.iter_mut().zip(&walks) {
+        b.vx += w.acc[0] * p.dt;
+        b.vy += w.acc[1] * p.dt;
+        b.vz += w.acc[2] * p.dt;
+        b.x += b.vx * p.dt;
+        b.y += b.vy * p.dt;
+        b.z += b.vz * p.dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_moves() {
+        let p = BhParams::new(200);
+        let a = simulate(&p);
+        let b = simulate(&p);
+        assert_eq!(a, b);
+        let initial = plummer(p.n_bodies, p.seed);
+        assert!(a.iter().zip(&initial).any(|(x, y)| x.x != y.x));
+    }
+
+    #[test]
+    fn momentum_stays_small() {
+        // Forces are nearly pairwise-antisymmetric (approximation breaks
+        // exact symmetry), so total momentum should stay near zero.
+        let mut p = BhParams::new(300);
+        p.steps = 3;
+        let out = simulate(&p);
+        let px: f64 = out.iter().map(|b| b.mass * b.vx).sum();
+        let py: f64 = out.iter().map(|b| b.mass * b.vy).sum();
+        assert!(px.abs() < 1e-2 && py.abs() < 1e-2, "p = ({px}, {py})");
+    }
+}

@@ -1,0 +1,354 @@
+//! The level-by-level octree: shared build and walk logic.
+//!
+//! The sequential reference and the MPI version build the tree in hash
+//! maps (one per level); the PPM version scatters the same moments into
+//! global shared arrays. All versions *visit cells in the same order* —
+//! breadth-first, children in octant order — and accumulate in ascending
+//! body order, so forces agree bit-for-bit across implementations.
+
+use std::collections::HashMap;
+
+use super::{BBox, BhParams, Body, Com, VISIT_FLOPS};
+
+/// Per-level cell moments, keyed by Morton index.
+pub type Levels = Vec<HashMap<u64, Com>>;
+
+/// Build the `0..=max_depth` levels over `bodies` (ascending body order).
+pub fn build_levels(bodies: &[Body], bb: &BBox, max_depth: usize) -> Levels {
+    let mut levels: Levels = (0..=max_depth).map(|_| HashMap::new()).collect();
+    for b in bodies {
+        let leaf = bb.key_of(b.x, b.y, b.z, max_depth);
+        let moments = Com::of(b);
+        for (d, level) in levels.iter_mut().enumerate() {
+            let key = leaf >> (3 * (max_depth - d));
+            let cell = level.entry(key).or_default();
+            *cell = *cell + moments;
+        }
+    }
+    levels
+}
+
+/// What the walk decided about one examined cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// Empty cell: nothing to do.
+    Skip,
+    /// Accepted: its monopole contribution was added.
+    Accept,
+    /// Rejected by the MAC: its eight children go on the next frontier.
+    Open,
+    /// A finest-level cell too close for its monopole: interact with its
+    /// individual bodies (fetched through the leaf index).
+    Direct,
+}
+
+/// Examine one cell of the walk: apply the θ-criterion and, if accepted,
+/// add its monopole contribution to `acc`. `my_leaf` is the walking body's
+/// Morton key at `max_depth`; cells containing the body are always opened
+/// (never summarized), and finest-level cells that fail the criterion are
+/// referred to body-level interaction (`Visit::Direct`). This single
+/// function defines the arithmetic every implementation shares.
+#[allow(clippy::too_many_arguments)]
+pub fn visit_cell(
+    b: &Body,
+    com: Com,
+    depth: usize,
+    key: u64,
+    my_leaf: u64,
+    p: &BhParams,
+    edge: f64,
+    acc: &mut [f64; 3],
+) -> Visit {
+    if com.m <= 0.0 {
+        return Visit::Skip;
+    }
+    // A cell that contains the walking body is never summarized by its
+    // monopole (the body sits among that mass): descend, and at the finest
+    // level interact with its bodies individually.
+    let contains = (my_leaf >> (3 * (p.max_depth - depth))) == key;
+    if contains {
+        return if depth < p.max_depth {
+            Visit::Open
+        } else {
+            Visit::Direct
+        };
+    }
+    let (cx, cy, cz) = (com.mx / com.m, com.my / com.m, com.mz / com.m);
+    let (dx, dy, dz) = (cx - b.x, cy - b.y, cz - b.z);
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let size = edge / (1u64 << depth) as f64;
+    if size * size < p.theta * p.theta * r2 {
+        let denom = (r2 + p.eps * p.eps).sqrt();
+        let inv3 = 1.0 / (denom * denom * denom);
+        acc[0] += com.m * dx * inv3;
+        acc[1] += com.m * dy * inv3;
+        acc[2] += com.m * dz * inv3;
+        Visit::Accept
+    } else if depth == p.max_depth {
+        Visit::Direct
+    } else {
+        Visit::Open
+    }
+}
+
+/// Body-to-body kernel used for `Visit::Direct` leaves. Self-interaction
+/// is excluded by body identity.
+#[inline]
+pub fn direct_kernel(b: &Body, my_idx: u64, o: &super::SortedBody, eps: f64, acc: &mut [f64; 3]) {
+    if o.idx == my_idx {
+        return;
+    }
+    let (dx, dy, dz) = (o.x - b.x, o.y - b.y, o.z - b.z);
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let denom = (r2 + eps * eps).sqrt();
+    let inv3 = 1.0 / (denom * denom * denom);
+    acc[0] += o.mass * dx * inv3;
+    acc[1] += o.mass * dy * inv3;
+    acc[2] += o.mass * dz * inv3;
+}
+
+/// The leaf index: the bodies sorted by Morton key with per-leaf runs —
+/// what `Visit::Direct` interactions read. The sort is stable over
+/// ascending body index, which fixes the interaction order all
+/// implementations share.
+pub struct LeafIndex {
+    /// Bodies in (Morton key, original index) order.
+    pub sorted: Vec<super::SortedBody>,
+    runs: HashMap<u64, (usize, usize)>,
+}
+
+impl LeafIndex {
+    /// Build from the bodies (ascending index order).
+    pub fn of(bodies: &[Body], bb: &BBox, max_depth: usize) -> LeafIndex {
+        let mut sorted: Vec<super::SortedBody> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| super::SortedBody {
+                key: bb.key_of(b.x, b.y, b.z, max_depth),
+                idx: i as u64,
+                x: b.x,
+                y: b.y,
+                z: b.z,
+                mass: b.mass,
+            })
+            .collect();
+        sorted.sort_by_key(|sb| sb.key); // stable: ties stay in index order
+        let mut runs = HashMap::new();
+        let mut start = 0;
+        for i in 1..=sorted.len() {
+            if i == sorted.len() || sorted[i].key != sorted[start].key {
+                runs.insert(sorted[start].key, (start, i - start));
+                start = i;
+            }
+        }
+        LeafIndex { sorted, runs }
+    }
+
+    /// The bodies of one leaf cell.
+    pub fn leaf(&self, key: u64) -> &[super::SortedBody] {
+        match self.runs.get(&key) {
+            Some(&(start, len)) => &self.sorted[start..start + len],
+            None => &[],
+        }
+    }
+}
+
+/// Result of a tree walk for one body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Walk {
+    /// Acceleration on the body.
+    pub acc: [f64; 3],
+    /// Cells examined (for flop charging and statistics).
+    pub visited: u64,
+    /// Body-level interactions performed at `Direct` leaves.
+    pub directs: u64,
+}
+
+/// Walk the tree breadth-first for one body (the canonical order):
+/// monopole contributions accumulate during the descent; `Direct` leaves
+/// are collected in frontier order and their body-level interactions are
+/// applied after the descent.
+pub fn force_on(
+    b: &Body,
+    my_idx: u64,
+    levels: &Levels,
+    leaves: &LeafIndex,
+    bb: &BBox,
+    p: &BhParams,
+) -> Walk {
+    let edge = bb.edge();
+    let my_leaf = bb.key_of(b.x, b.y, b.z, p.max_depth);
+    let mut acc = [0.0f64; 3];
+    let mut visited = 0u64;
+    let mut direct_cells = Vec::new();
+    let mut frontier = vec![0u64];
+    for (d, level) in levels.iter().enumerate() {
+        let mut next = Vec::new();
+        for &key in &frontier {
+            visited += 1;
+            let com = level.get(&key).copied().unwrap_or_default();
+            match visit_cell(b, com, d, key, my_leaf, p, edge, &mut acc) {
+                Visit::Open => {
+                    for oct in 0..8 {
+                        next.push(key * 8 + oct);
+                    }
+                }
+                Visit::Direct => direct_cells.push(key),
+                Visit::Accept | Visit::Skip => {}
+            }
+        }
+        frontier = next;
+    }
+    let mut directs = 0u64;
+    for key in direct_cells {
+        for o in leaves.leaf(key) {
+            direct_kernel(b, my_idx, o, p.eps, &mut acc);
+            directs += 1;
+        }
+    }
+    Walk {
+        acc,
+        visited,
+        directs,
+    }
+}
+
+/// Direct `O(N²)` summation (physics validation only).
+pub fn direct_accels(bodies: &[Body], eps: f64) -> Vec<[f64; 3]> {
+    bodies
+        .iter()
+        .map(|b| {
+            let mut acc = [0.0f64; 3];
+            for o in bodies {
+                let (dx, dy, dz) = (o.x - b.x, o.y - b.y, o.z - b.z);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 == 0.0 {
+                    continue;
+                }
+                let denom = (r2 + eps * eps).sqrt();
+                let inv3 = 1.0 / (denom * denom * denom);
+                acc[0] += o.mass * dx * inv3;
+                acc[1] += o.mass * dy * inv3;
+                acc[2] += o.mass * dz * inv3;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Flops to charge for a walk that examined `visited` cells.
+#[inline]
+pub fn walk_flops(visited: u64) -> u64 {
+    visited * VISIT_FLOPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barnes_hut::plummer;
+
+    fn setup(n: usize) -> (Vec<Body>, BBox, BhParams) {
+        let bodies = plummer(n, 3);
+        let bb = BBox::of(&bodies);
+        let p = BhParams::new(n);
+        (bodies, bb, p)
+    }
+
+    #[test]
+    fn build_conserves_mass_at_every_level() {
+        let (bodies, bb, p) = setup(300);
+        let levels = build_levels(&bodies, &bb, p.max_depth);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        for (d, level) in levels.iter().enumerate() {
+            let m: f64 = level.values().map(|c| c.m).sum();
+            assert!((m - total).abs() < 1e-12, "level {d}: {m} vs {total}");
+        }
+        assert_eq!(levels[0].len(), 1, "root holds everything");
+    }
+
+    #[test]
+    fn parents_aggregate_children() {
+        let (bodies, bb, p) = setup(200);
+        let levels = build_levels(&bodies, &bb, p.max_depth);
+        for d in 0..p.max_depth {
+            for (&key, &com) in &levels[d] {
+                let child_sum = (0..8)
+                    .map(|oct| {
+                        levels[d + 1]
+                            .get(&(key * 8 + oct))
+                            .copied()
+                            .unwrap_or_default()
+                    })
+                    .fold(Com::default(), |a, b| a + b);
+                assert!((com.m - child_sum.m).abs() < 1e-12, "depth {d} key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn bh_accelerations_approximate_direct_sum() {
+        let (bodies, bb, mut p) = setup(400);
+        p.theta = 0.4;
+        let levels = build_levels(&bodies, &bb, p.max_depth);
+        let leaves = LeafIndex::of(&bodies, &bb, p.max_depth);
+        let direct = direct_accels(&bodies, p.eps);
+        let mut err2 = 0.0f64;
+        let mut mag2 = 0.0f64;
+        for (i, (b, d)) in bodies.iter().zip(&direct).enumerate() {
+            let w = force_on(b, i as u64, &levels, &leaves, &bb, &p);
+            err2 += (0..3).map(|k| (w.acc[k] - d[k]).powi(2)).sum::<f64>();
+            mag2 += d.iter().map(|v| v * v).sum::<f64>();
+        }
+        let rms_rel = (err2 / mag2).sqrt();
+        assert!(rms_rel < 0.05, "relative acceleration error {rms_rel}");
+    }
+
+    #[test]
+    fn tighter_theta_is_more_accurate_and_visits_more() {
+        let (bodies, bb, p) = setup(300);
+        let levels = build_levels(&bodies, &bb, p.max_depth);
+        let leaves = LeafIndex::of(&bodies, &bb, p.max_depth);
+        let direct = direct_accels(&bodies, p.eps);
+        let run = |theta: f64| {
+            let mut pp = p;
+            pp.theta = theta;
+            let mut err = 0.0f64;
+            let mut visits = 0u64;
+            for (i, (b, d)) in bodies.iter().zip(&direct).enumerate() {
+                let w = force_on(b, i as u64, &levels, &leaves, &bb, &pp);
+                visits += w.visited + w.directs;
+                err += (0..3).map(|k| (w.acc[k] - d[k]).powi(2)).sum::<f64>();
+            }
+            (err.sqrt(), visits)
+        };
+        let (err_tight, visits_tight) = run(0.2);
+        let (err_loose, visits_loose) = run(0.9);
+        assert!(err_tight < err_loose);
+        assert!(visits_tight > visits_loose);
+    }
+
+    #[test]
+    fn self_interaction_is_removed() {
+        // Two distant bodies: each must feel only the other.
+        let bodies = vec![
+            Body {
+                x: 0.0,
+                mass: 1.0,
+                ..Body::default()
+            },
+            Body {
+                x: 10.0,
+                mass: 2.0,
+                ..Body::default()
+            },
+        ];
+        let bb = BBox::of(&bodies);
+        let mut p = BhParams::new(2);
+        p.eps = 0.0;
+        let levels = build_levels(&bodies, &bb, p.max_depth);
+        let leaves = LeafIndex::of(&bodies, &bb, p.max_depth);
+        let w = force_on(&bodies[0], 0, &levels, &leaves, &bb, &p);
+        assert!((w.acc[0] - 2.0 / 100.0).abs() < 1e-9, "{:?}", w.acc);
+        assert!(w.acc[1].abs() < 1e-12);
+    }
+}

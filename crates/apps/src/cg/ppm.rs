@@ -1,0 +1,188 @@
+//! PPM version of the CG solver.
+//!
+//! The whole solver is one `PPM_do`: each virtual processor owns a slice of
+//! matrix rows and the iteration loop lives inside the PPM function, three
+//! global phases per iteration. The sparse mat-vec simply reads `p[j]`
+//! through shared-variable gets — exactly the "array syntax as in the
+//! mathematical algorithm" style the paper advertises; the runtime bundles
+//! whatever turns out to be remote. No communication or synchronization
+//! code appears anywhere below.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use ppm_core::{AccumOp, GlobalShared, NodeCtx, Phase, Vp};
+use ppm_simnet::SimTime;
+
+use super::{CgOutcome, CgParams};
+use crate::sparse::Csr;
+
+/// Slots of the shared scalar accumulator.
+const RR: usize = 0;
+const PAP: usize = 1;
+const RR_NEW: usize = 2;
+/// Iterations completed (maintained by VP 0, read back by the caller).
+const ITERS: usize = 3;
+
+/// Phase A body: `ap = A·p` (one bulk read for every p value this VP's
+/// rows touch) and the `p·Ap` partial.
+#[allow(clippy::too_many_arguments)]
+async fn spmv_phase(
+    ph: &Phase,
+    am: &Csr,
+    rs: Range<usize>,
+    lo: usize,
+    p: &GlobalShared<f64>,
+    ap: &GlobalShared<f64>,
+    scal: &GlobalShared<f64>,
+    v: &Vp,
+) {
+    let span = am.row_ptr[rs.start]..am.row_ptr[rs.end];
+    let pv = ph.get_many(p, am.col_idx[span].iter().copied()).await;
+    let mut pap_part = 0.0;
+    let mut at = 0;
+    for li in rs {
+        let (cols, vals) = am.row(li);
+        let mut acc = 0.0;
+        for &val in vals {
+            acc += val * pv[at];
+            at += 1;
+        }
+        ph.put(ap, lo + li, acc);
+        pap_part += ph.get(p, lo + li).await * acc;
+        v.charge_flops(2 * cols.len() as u64 + 2);
+    }
+    ph.accumulate(scal, PAP, AccumOp::Add, pap_part);
+}
+
+/// Run CG on the PPM runtime. Call from inside a [`ppm_core::run`] SPMD
+/// closure. Returns the outcome plus the simulated instant the solve
+/// finished (before any result gathering).
+pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) {
+    let prob = params.problem;
+    let n = prob.n();
+    let iters = params.iters;
+    let tol = params.tol;
+
+    let x = node.alloc_global::<f64>(n);
+    let r = node.alloc_global::<f64>(n);
+    let p = node.alloc_global::<f64>(n);
+    let ap = node.alloc_global::<f64>(n);
+    let scal = node.alloc_global::<f64>(4);
+
+    let range = node.local_range(&x);
+    let lo = range.start;
+    let nrows = range.len();
+    let a = Rc::new(prob.csr_block(range));
+    let rpv = params.rows_per_vp.max(1);
+    let k = nrows.div_ceil(rpv).max(1);
+
+    node.ppm_do(k, move |vp| {
+        let a = a.clone();
+        async move {
+            let vr = vp.node_rank();
+            let rows = vr * rpv..((vr + 1) * rpv).min(nrows);
+
+            // Initialization: r = p = b, rr = b·b.
+            let (v, rs) = (vp.clone(), rows.clone());
+            vp.global_phase(|ph| async move {
+                let mut rr_part = 0.0;
+                for li in rs {
+                    let bi = prob.rhs_for_ones(lo + li);
+                    ph.put(&r, lo + li, bi);
+                    ph.put(&p, lo + li, bi);
+                    rr_part += bi * bi;
+                    v.charge_flops(29);
+                }
+                ph.accumulate(&scal, RR, AccumOp::Add, rr_part);
+            })
+            .await;
+
+            let mut limit: Option<f64> = None;
+            for it in 0..iters {
+                // Phase A. With a tolerance set, the shared residual is
+                // consulted first — every VP reads the same value, so the
+                // early exit is taken uniformly across the whole cluster.
+                let (v, rs, am) = (vp.clone(), rows.clone(), a.clone());
+                let (proceed, lim) = vp
+                    .global_phase(|ph| async move {
+                        if let Some(t) = tol {
+                            let rr_cur = ph.get(&scal, RR).await;
+                            let lim = limit.unwrap_or(t * t * rr_cur);
+                            if rr_cur <= lim {
+                                return (false, lim);
+                            }
+                            spmv_phase(&ph, &am, rs, lo, &p, &ap, &scal, &v).await;
+                            (true, lim)
+                        } else {
+                            spmv_phase(&ph, &am, rs, lo, &p, &ap, &scal, &v).await;
+                            (true, 0.0)
+                        }
+                    })
+                    .await;
+                limit = Some(lim);
+                if !proceed {
+                    break;
+                }
+
+                // Phase B: x += α·p, r -= α·ap, rr_new = r·r.
+                let (v, rs) = (vp.clone(), rows.clone());
+                vp.global_phase(|ph| async move {
+                    let s = ph.get_many(&scal, [RR, PAP]).await;
+                    let alpha = s[0] / s[1];
+                    let mut rr_part = 0.0;
+                    for li in rs {
+                        let gi = lo + li;
+                        let xi = ph.get(&x, gi).await;
+                        let pi = ph.get(&p, gi).await;
+                        let ri = ph.get(&r, gi).await;
+                        let api = ph.get(&ap, gi).await;
+                        ph.put(&x, gi, xi + alpha * pi);
+                        let rn = ri - alpha * api;
+                        ph.put(&r, gi, rn);
+                        rr_part += rn * rn;
+                        v.charge_flops(6);
+                    }
+                    ph.accumulate(&scal, RR_NEW, AccumOp::Add, rr_part);
+                })
+                .await;
+
+                // Phase C: p = r + β·p; roll rr (and the iteration count)
+                // forward.
+                let (v, rs) = (vp.clone(), rows.clone());
+                vp.global_phase(|ph| async move {
+                    let s = ph.get_many(&scal, [RR_NEW, RR]).await;
+                    let (rr_new, beta) = (s[0], s[0] / s[1]);
+                    for li in rs {
+                        let gi = lo + li;
+                        let pi = ph.get(&p, gi).await;
+                        let ri = ph.get(&r, gi).await;
+                        ph.put(&p, gi, ri + beta * pi);
+                        v.charge_flops(2);
+                    }
+                    if v.global_rank() == 0 {
+                        ph.put(&scal, RR, rr_new);
+                        ph.put(&scal, ITERS, (it + 1) as f64);
+                    }
+                })
+                .await;
+            }
+        }
+    });
+
+    let t_solve = node.now();
+    let scal_v = node.gather_global(&scal);
+    let xv = if params.collect_x {
+        node.gather_global(&x)
+    } else {
+        Vec::new()
+    };
+    (
+        CgOutcome {
+            rr: scal_v[RR],
+            iters_done: scal_v[ITERS] as usize,
+            x: xv,
+        },
+        t_solve,
+    )
+}

@@ -1,0 +1,207 @@
+//! Application 2: sparse matrix generation for the multiscale collocation
+//! method (paper §4.3, Figure 2).
+//!
+//! The paper generates the system matrix of a multiscale collocation method
+//! for integral equations [Chen, Wu & Xu 2007]: basis functions live on `L`
+//! levels of size `n₀·2^ℓ`; the algorithm iterates through the levels,
+//! storing the (very expensive) numerical-integration results of each level
+//! as global data and then reading them back at *hash-scattered* positions
+//! determined by the matrix's nonzero pattern and the entries' linear
+//! combinations. We reproduce exactly that structure with a synthetic
+//! quadrature — a deterministic hash value plus a tunable flop charge — so
+//! all three implementations compute bit-identical matrices while the
+//! access pattern (high-volume random fine-grained reads of freshly
+//! produced global data) matches the paper's description.
+//!
+//! Every row `i` (at level `ℓᵢ`) has `C` entries in each column level
+//! `ℓ' ≤ ℓᵢ`, and each entry is a combination of `M` values of level `ℓ'`'s
+//! integration table.
+
+pub mod mpi;
+pub mod ppm;
+pub mod seq;
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MatGenParams {
+    /// Number of levels `L`.
+    pub levels: usize,
+    /// Base level size `n₀`.
+    pub n0: usize,
+    /// Entries per row per column level (`C`).
+    pub per_level_entries: usize,
+    /// Table reads per entry (`M`, the linear-combination width).
+    pub terms: usize,
+    /// Flops charged per integration-table value (the expensive quadrature;
+    /// the paper calls the computation "rather complex", §4.5).
+    pub quad_flops: u64,
+    /// PPM only: rows per virtual processor.
+    pub rows_per_vp: usize,
+}
+
+impl MatGenParams {
+    /// A small but structurally faithful default.
+    pub fn new(levels: usize, n0: usize) -> Self {
+        MatGenParams {
+            levels,
+            n0,
+            per_level_entries: 4,
+            terms: 4,
+            quad_flops: 400,
+            rows_per_vp: 32,
+        }
+    }
+
+    /// Size of level `l`.
+    #[inline]
+    pub fn width(&self, l: usize) -> usize {
+        self.n0 << l
+    }
+
+    /// Offset of level `l`'s section in the concatenated table / row space.
+    #[inline]
+    pub fn offset(&self, l: usize) -> usize {
+        self.n0 * ((1 << l) - 1)
+    }
+
+    /// Total rows (= total table length): `n₀·(2^L − 1)`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offset(self.levels)
+    }
+
+    /// Level of row (or table slot) `i`.
+    pub fn level_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.n());
+        let mut l = 0;
+        while self.offset(l + 1) <= i {
+            l += 1;
+        }
+        l
+    }
+
+    /// Total nonzero entries of the generated matrix.
+    pub fn nnz(&self) -> usize {
+        (0..self.n())
+            .map(|i| (self.level_of(i) + 1) * self.per_level_entries)
+            .sum()
+    }
+
+    /// Flops charged per matrix entry (the `M`-term combination).
+    #[inline]
+    pub fn entry_flops(&self) -> u64 {
+        2 * self.terms as u64
+    }
+}
+
+/// The split-mix hash: the single source of all synthetic randomness, so
+/// every implementation sees identical data.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn mix(parts: &[u64]) -> u64 {
+    let mut h = 0x243F6A8885A308D3;
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    h
+}
+
+/// Uniform in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Synthetic quadrature value of table slot `j` at level `l`.
+#[inline]
+pub fn quad_value(l: usize, j: usize) -> f64 {
+    unit(mix(&[1, l as u64, j as u64]))
+}
+
+/// Combination coefficient of term `m` of entry `(row, level, c)`,
+/// in `[−0.5, 0.5)`.
+#[inline]
+pub fn coef(row: usize, l: usize, c: usize, m: usize) -> f64 {
+    unit(mix(&[2, row as u64, l as u64, c as u64, m as u64])) - 0.5
+}
+
+/// Level-local table index read by term `m` of entry `(row, level, c)`.
+#[inline]
+pub fn read_idx(row: usize, l: usize, c: usize, m: usize, width: usize) -> usize {
+    (mix(&[3, row as u64, l as u64, c as u64, m as u64]) % width as u64) as usize
+}
+
+/// One matrix entry, given the level-`l` table section.
+/// `table_at(j)` must return `T_l[j]` for level-local `j`.
+pub fn entry_value(
+    p: &MatGenParams,
+    row: usize,
+    l: usize,
+    c: usize,
+    mut table_at: impl FnMut(usize) -> f64,
+) -> f64 {
+    let w = p.width(l);
+    let mut acc = 0.0;
+    for m in 0..p.terms {
+        acc += coef(row, l, c, m) * table_at(read_idx(row, l, c, m, w));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let p = MatGenParams::new(3, 8);
+        assert_eq!(p.width(0), 8);
+        assert_eq!(p.width(2), 32);
+        assert_eq!(p.offset(0), 0);
+        assert_eq!(p.offset(1), 8);
+        assert_eq!(p.offset(3), 56);
+        assert_eq!(p.n(), 56);
+        assert_eq!(p.level_of(0), 0);
+        assert_eq!(p.level_of(7), 0);
+        assert_eq!(p.level_of(8), 1);
+        assert_eq!(p.level_of(55), 2);
+    }
+
+    #[test]
+    fn nnz_counts_per_level_entries() {
+        let p = MatGenParams::new(2, 4);
+        // 4 rows at level 0 (1 level each), 8 rows at level 1 (2 levels).
+        assert_eq!(p.nnz(), (4 + 8 * 2) * p.per_level_entries);
+    }
+
+    #[test]
+    fn hashes_are_deterministic_and_spread() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        let v = quad_value(1, 5);
+        assert!((0.0..1.0).contains(&v));
+        let c = coef(3, 1, 0, 2);
+        assert!((-0.5..0.5).contains(&c));
+        // read indices stay in range
+        for m in 0..8 {
+            assert!(read_idx(9, 2, 1, m, 32) < 32);
+        }
+    }
+
+    #[test]
+    fn entry_value_is_the_m_term_combination() {
+        let p = MatGenParams::new(2, 4);
+        let table: Vec<f64> = (0..p.width(1)).map(|j| quad_value(1, j)).collect();
+        let direct = entry_value(&p, 5, 1, 0, |j| table[j]);
+        let mut manual = 0.0;
+        for m in 0..p.terms {
+            manual += coef(5, 1, 0, m) * table[read_idx(5, 1, 0, m, p.width(1))];
+        }
+        assert_eq!(direct, manual);
+    }
+}

@@ -1,0 +1,107 @@
+//! MPI version of the matrix generation.
+//!
+//! One rank per core; the integration tables and the rows are block-
+//! distributed over ranks. Each level requires the explicit machinery the
+//! paper charges against MPI (§4.6): gathering the hash-scattered table
+//! indices every rank needs, deduplicating and grouping them by owner,
+//! exchanging request index lists and value responses with `alltoallv`,
+//! and indexing into the received buffers during entry computation.
+
+use ppm_mps::Comm;
+use ppm_simnet::SimTime;
+
+use super::{coef, quad_value, read_idx, MatGenParams};
+
+fn block(n: usize, rank: usize, size: usize) -> std::ops::Range<usize> {
+    let bs = n.div_ceil(size).max(1);
+    (rank * bs).min(n)..((rank + 1) * bs).min(n)
+}
+
+fn owner_of(g: usize, n: usize, size: usize) -> usize {
+    let bs = n.div_ceil(size).max(1);
+    (g / bs).min(size - 1)
+}
+
+/// Generate the matrix on the MPI-like substrate. Returns the per-row
+/// entry sums (gathered) plus the simulated instant generation finished.
+pub fn generate(comm: &mut Comm<'_>, p: &MatGenParams) -> (Vec<f64>, SimTime) {
+    let n = p.n();
+    let size = comm.size();
+    let rank = comm.rank();
+    let rows = block(n, rank, size);
+    let tbl = block(n, rank, size);
+    let mut my_table = vec![0.0f64; tbl.len()];
+    let mut rowsum = vec![0.0f64; rows.len()];
+
+    for l in 0..p.levels {
+        let off = p.offset(l);
+        let w = p.width(l);
+
+        // 1. Numerical integration of this rank's slots of level l.
+        let slot_lo = tbl.start.max(off);
+        let slot_hi = tbl.end.min(off + w).max(slot_lo);
+        for g in slot_lo..slot_hi {
+            my_table[g - tbl.start] = quad_value(l, g - off);
+            comm.charge_flops(p.quad_flops);
+        }
+
+        // 2. Collect the table positions this rank's entries will read,
+        //    deduplicated and sorted (owner groups become contiguous).
+        let row_lo = rows.start.max(off);
+        let mut needed: Vec<u64> = (row_lo..rows.end)
+            .flat_map(|i| {
+                (0..p.per_level_entries).flat_map(move |c| {
+                    (0..p.terms).map(move |m| (off + read_idx(i, l, c, m, w)) as u64)
+                })
+            })
+            .collect();
+        comm.charge_mem_ops(needed.len() as u64);
+        needed.sort_unstable();
+        needed.dedup();
+
+        // 3. Group requests by owner and exchange index lists.
+        let mut requests: Vec<Vec<u64>> = (0..size).map(|_| Vec::new()).collect();
+        for &g in &needed {
+            requests[owner_of(g as usize, n, size)].push(g);
+        }
+        let asked = comm.alltoallv(requests);
+
+        // 4. Serve every rank's request from the local table slice.
+        let responses: Vec<Vec<f64>> = asked
+            .iter()
+            .map(|idxs| {
+                comm.charge_mem_ops(idxs.len() as u64);
+                idxs.iter()
+                    .map(|&g| my_table[g as usize - tbl.start])
+                    .collect()
+            })
+            .collect();
+        let received = comm.alltoallv(responses);
+
+        // 5. Flatten the responses back into request order (owners are
+        //    ascending, and each owner's list preserved our sorted order).
+        let values: Vec<f64> = received.into_iter().flatten().collect();
+        debug_assert_eq!(values.len(), needed.len());
+        let lookup = |g: usize| -> f64 {
+            let pos = needed.binary_search(&(g as u64)).expect("requested above");
+            values[pos]
+        };
+
+        // 6. Compute this level's entries.
+        for i in row_lo..rows.end {
+            let li = i - rows.start;
+            for c in 0..p.per_level_entries {
+                let mut acc = 0.0;
+                for m in 0..p.terms {
+                    acc += coef(i, l, c, m) * lookup(off + read_idx(i, l, c, m, w));
+                }
+                rowsum[li] += acc;
+                comm.charge_flops(p.entry_flops());
+            }
+        }
+    }
+
+    let t_gen = comm.now();
+    let full: Vec<f64> = comm.allgather(rowsum).into_iter().flatten().collect();
+    (full, t_gen)
+}

@@ -1,0 +1,64 @@
+//! PPM version of PageRank: the irregular scatter is a combining write.
+//!
+//! Two global phases per iteration: (1) every vertex accumulates its
+//! rank share into its out-neighbours' contribution slots — the runtime
+//! merges the per-node contributions and ships one bundle entry per
+//! touched vertex per node; (2) every vertex folds the teleport term into
+//! its own (locally owned) slot. No communication code anywhere.
+
+use ppm_core::{AccumOp, NodeCtx};
+use ppm_simnet::SimTime;
+
+use super::{neighbour, out_degree, PrParams};
+
+/// Run PageRank on the PPM runtime; returns the gathered rank vector and
+/// the simulated finish instant.
+pub fn rank(node: &mut NodeCtx<'_>, p: &PrParams) -> (Vec<f64>, SimTime) {
+    let params = *p;
+    let n = p.n;
+    let cur = node.alloc_global::<f64>(n);
+    let contrib = node.alloc_global::<f64>(n);
+
+    let range = node.local_range(&cur);
+    let (lo, len) = (range.start, range.len());
+    node.with_local_mut(&cur, |s| s.fill(1.0 / n as f64));
+
+    let vpv = params.vertices_per_vp.max(1);
+    let k = len.div_ceil(vpv).max(1);
+
+    for _ in 0..params.iters {
+        node.ppm_do(k, move |vp| async move {
+            let a = (lo + vp.node_rank() * vpv).min(lo + len);
+            let b = (a + vpv).min(lo + len);
+
+            // Phase 1: push shares along the out-edges.
+            let v2 = vp.clone();
+            vp.global_phase(|ph| async move {
+                for v in a..b {
+                    let d = out_degree(&params, v);
+                    let share = ph.get(&cur, v).await / d as f64;
+                    for e in 0..d {
+                        ph.accumulate(&contrib, neighbour(&params, v, e), AccumOp::Add, share);
+                    }
+                    v2.charge_flops(2 * d as u64 + 1);
+                }
+            })
+            .await;
+
+            // Phase 2: teleport mix (all local).
+            let v2 = vp.clone();
+            vp.global_phase(|ph| async move {
+                let teleport = (1.0 - params.damping) / n as f64;
+                for v in a..b {
+                    let c = ph.get(&contrib, v).await;
+                    ph.put(&cur, v, teleport + params.damping * c);
+                    v2.charge_flops(2);
+                }
+            })
+            .await;
+        });
+    }
+
+    let t = node.now();
+    (node.gather_global(&cur), t)
+}

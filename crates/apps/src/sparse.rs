@@ -1,0 +1,121 @@
+#![allow(clippy::needless_range_loop)] // index math mirrors the formulas
+//! Compressed sparse row matrices (the minimal substrate the CG solver and
+//! matrix-generation applications need).
+
+/// A CSR matrix over `f64`. Row indices are local (0-based within the
+/// stored row range); column indices are global.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of stored rows.
+    pub rows: usize,
+    /// Global number of columns.
+    pub cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    pub col_idx: Vec<usize>,
+    /// Values, length `nnz`.
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from per-row `(column, value)` lists.
+    pub fn from_rows(cols: usize, rows: &[Vec<(usize, f64)>]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for r in rows {
+            for &(c, v) in r {
+                debug_assert!(c < cols, "column {c} out of bounds");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            rows: rows.len(),
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The `(columns, values)` of one stored row.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// `y = A·x` where `x` is indexed by *global* column. Only valid when
+    /// the matrix stores all rows (sequential use).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        Csr::from_rows(
+            3,
+            &[
+                vec![(0, 2.0), (1, -1.0)],
+                vec![(0, -1.0), (1, 2.0), (2, -1.0)],
+                vec![(1, -1.0), (2, 2.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = small();
+        assert_eq!(a.rows, 3);
+        assert_eq!(a.nnz(), 7);
+        let (cols, vals) = a.row(1);
+        assert_eq!(cols, &[0, 1, 2]);
+        assert_eq!(vals, &[-1.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = Csr::from_rows(4, &[vec![], vec![(3, 5.0)], vec![]]);
+        assert_eq!(a.rows, 3);
+        assert_eq!(a.nnz(), 1);
+        let mut y = vec![9.0; 3];
+        a.spmv(&[1.0, 1.0, 1.0, 2.0], &mut y);
+        assert_eq!(y, vec![0.0, 10.0, 0.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! The CG application's linear system: a 27-point implicit finite
+//! difference discretization of a 3-D diffusion problem (paper §4.2).
+//!
+//! The paper solves a 16.7M-row system of this form on a "3D chimney
+//! domain"; we generate the same stencil on a `gx × gy × gz` box (the
+//! chimney is a tall box: `gz` can exceed `gx`/`gy`). The matrix is the
+//! standard HPCG-style SPD operator: diagonal 26, −1 for each of the up to
+//! 26 neighbours.
+
+use crate::sparse::Csr;
+
+/// Problem description: grid shape plus derived sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stencil27 {
+    /// Grid extent in x.
+    pub gx: usize,
+    /// Grid extent in y.
+    pub gy: usize,
+    /// Grid extent in z.
+    pub gz: usize,
+}
+
+impl Stencil27 {
+    /// A cubic grid.
+    pub fn cube(g: usize) -> Self {
+        Stencil27 { gx: g, gy: g, gz: g }
+    }
+
+    /// A "chimney": footprint `g × g`, height `4g` (tall box like the
+    /// paper's domain).
+    pub fn chimney(g: usize) -> Self {
+        Stencil27 {
+            gx: g,
+            gy: g,
+            gz: 4 * g,
+        }
+    }
+
+    /// Number of unknowns.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.gx * self.gy * self.gz
+    }
+
+    /// Flattened index of grid point `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        x + self.gx * (y + self.gy * z)
+    }
+
+    /// Grid coordinates of flattened index `i`.
+    #[inline]
+    pub fn coords(&self, i: usize) -> (usize, usize, usize) {
+        let x = i % self.gx;
+        let y = (i / self.gx) % self.gy;
+        let z = i / (self.gx * self.gy);
+        (x, y, z)
+    }
+
+    /// The `(column, value)` entries of row `i`, in ascending column order.
+    pub fn row_entries(&self, i: usize) -> Vec<(usize, f64)> {
+        let (x, y, z) = self.coords(i);
+        let mut out = Vec::with_capacity(27);
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if nx < 0
+                        || ny < 0
+                        || nz < 0
+                        || nx >= self.gx as i64
+                        || ny >= self.gy as i64
+                        || nz >= self.gz as i64
+                    {
+                        continue;
+                    }
+                    let j = self.idx(nx as usize, ny as usize, nz as usize);
+                    let v = if j == i { 26.0 } else { -1.0 };
+                    out.push((j, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Assemble the CSR block for rows `range` (global column indexing).
+    pub fn csr_block(&self, range: std::ops::Range<usize>) -> Csr {
+        let rows: Vec<Vec<(usize, f64)>> = range.map(|i| self.row_entries(i)).collect();
+        Csr::from_rows(self.n(), &rows)
+    }
+
+    /// Right-hand side making `x = 1⃗` the exact solution (`b = A·1⃗`),
+    /// the standard HPCG validation trick.
+    pub fn rhs_for_ones(&self, i: usize) -> f64 {
+        self.row_entries(i).iter().map(|(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_rows_have_27_entries() {
+        let s = Stencil27::cube(5);
+        let mid = s.idx(2, 2, 2);
+        assert_eq!(s.row_entries(mid).len(), 27);
+        // corner has 8 entries (itself + 7 neighbours)
+        assert_eq!(s.row_entries(s.idx(0, 0, 0)).len(), 8);
+    }
+
+    #[test]
+    fn idx_coords_roundtrip() {
+        let s = Stencil27 { gx: 3, gy: 4, gz: 5 };
+        for i in 0..s.n() {
+            let (x, y, z) = s.coords(i);
+            assert_eq!(s.idx(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let s = Stencil27::cube(4);
+        let a = s.csr_block(0..s.n());
+        // check A[i][j] == A[j][i] by scanning
+        for i in 0..s.n() {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let (jc, jv) = a.row(j);
+                let pos = jc.binary_search(&i).expect("symmetric pattern");
+                assert_eq!(jv[pos], v);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant_spd_style() {
+        // Weakly diagonally dominant everywhere (interior rows have 26
+        // off-diagonal −1s against the 26 diagonal), strictly dominant at
+        // the boundary — which is what makes the operator SPD.
+        let s = Stencil27::chimney(3);
+        let a = s.csr_block(0..s.n());
+        let mut strict = 0usize;
+        for i in 0..s.n() {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag >= off, "row {i}: {diag} vs {off}");
+            if diag > off {
+                strict += 1;
+            }
+        }
+        assert!(strict > 0, "boundary rows must be strictly dominant");
+    }
+
+    #[test]
+    fn rhs_for_ones_is_row_sum() {
+        let s = Stencil27::cube(3);
+        let a = s.csr_block(0..s.n());
+        let ones = vec![1.0; s.n()];
+        let mut b = vec![0.0; s.n()];
+        a.spmv(&ones, &mut b);
+        for (i, &bi) in b.iter().enumerate() {
+            assert_eq!(bi, s.rhs_for_ones(i));
+        }
+    }
+
+    #[test]
+    fn block_rows_match_full_matrix() {
+        let s = Stencil27::cube(4);
+        let full = s.csr_block(0..s.n());
+        let block = s.csr_block(10..20);
+        for (local, global) in (10..20).enumerate() {
+            assert_eq!(block.row(local), full.row(global));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-version validation of Barnes–Hut: the PPM and replicated-MPI
+//! versions must reproduce the sequential trajectories bit-for-bit, and
+//! the simulated times must show the Figure 3 character (PPM scales,
+//! replicated MPI drowns in communication volume).
+
+use ppm_apps::barnes_hut::{self as bh, BhParams};
+use ppm_core::PpmConfig;
+use ppm_simnet::{MachineConfig, SimTime};
+
+fn params() -> BhParams {
+    let mut p = BhParams::new(256);
+    p.steps = 2;
+    p
+}
+
+fn pos_bits(bodies: &[bh::Body]) -> Vec<(u64, u64, u64)> {
+    bodies
+        .iter()
+        .map(|b| (b.x.to_bits(), b.y.to_bits(), b.z.to_bits()))
+        .collect()
+}
+
+#[test]
+fn ppm_matches_sequential_bitwise() {
+    let reference = bh::seq::simulate(&params());
+    for nodes in [1u32, 2, 3, 4] {
+        let p = params();
+        let report = ppm_core::run(PpmConfig::new(MachineConfig::new(nodes, 2)), move |node| {
+            bh::ppm::simulate(node, &p).0
+        });
+        for got in &report.results {
+            assert_eq!(
+                pos_bits(got),
+                pos_bits(&reference),
+                "nodes={nodes}: trajectories diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn mpi_matches_sequential_bitwise() {
+    let reference = bh::seq::simulate(&params());
+    for (nodes, cores) in [(1u32, 1u32), (1, 4), (2, 2), (3, 2)] {
+        let p = params();
+        let report = ppm_mps::run(MachineConfig::new(nodes, cores), move |comm| {
+            bh::mpi::simulate(comm, &p).0
+        });
+        for got in &report.results {
+            assert_eq!(pos_bits(got), pos_bits(&reference), "{nodes}x{cores}");
+        }
+    }
+}
+
+#[test]
+fn figure3_character_ppm_scales_replicated_mpi_does_not() {
+    // Figure 3 discussion: the replicated method's allgather volume grows
+    // with rank count; the PPM version's bundled fine-grained reads do
+    // not. Compare how total time changes from 2 to 8 nodes.
+    let mut p = BhParams::new(2048);
+    p.steps = 1;
+    let t_of = |nodes: u32| {
+        let pp = p;
+        let ppm_t = ppm_core::run(PpmConfig::franklin(nodes), move |node| {
+            bh::ppm::simulate(node, &pp).1
+        })
+        .results
+        .into_iter()
+        .fold(SimTime::ZERO, SimTime::max);
+        let mpi_t = ppm_mps::run(MachineConfig::franklin(nodes), move |comm| {
+            bh::mpi::simulate(comm, &pp).1
+        })
+        .results
+        .into_iter()
+        .fold(SimTime::ZERO, SimTime::max);
+        (ppm_t, mpi_t)
+    };
+    let (ppm2, mpi2) = t_of(2);
+    let (ppm8, mpi8) = t_of(8);
+    let ppm_speedup = ppm2.as_ns_f64() / ppm8.as_ns_f64();
+    let mpi_speedup = mpi2.as_ns_f64() / mpi8.as_ns_f64();
+    assert!(
+        ppm_speedup > 1.5,
+        "PPM should keep scaling 2->8 nodes (speedup {ppm_speedup:.2})"
+    );
+    assert!(
+        ppm_speedup > mpi_speedup,
+        "PPM must out-scale replicated MPI: {ppm_speedup:.2} vs {mpi_speedup:.2}"
+    );
+}
+
+#[test]
+fn ppm_bh_is_deterministic() {
+    let p = params();
+    let go = || {
+        ppm_core::run(PpmConfig::new(MachineConfig::new(3, 2)), move |node| {
+            let (bodies, t) = bh::ppm::simulate(node, &p);
+            let hash = bodies
+                .iter()
+                .fold(0u64, |a, b| a.wrapping_add(b.x.to_bits()).rotate_left(7));
+            (hash, t)
+        })
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.makespan(), b.makespan());
+}

@@ -1,0 +1,92 @@
+//! Cross-version validation of the PageRank demonstration app.
+//!
+//! Unlike the matrix generation (whose entries are computed row-locally),
+//! PageRank's contributions to one vertex are *combined across nodes*: the
+//! runtime pre-combines per node and then folds the node partials, while
+//! the sequential reference left-folds over sources one at a time. Those
+//! associations can differ in the last ulp, so cross-version checks use a
+//! tight relative tolerance; run-to-run determinism is still bit-exact.
+
+use ppm_apps::pagerank::{self, PrParams};
+use ppm_core::PpmConfig;
+use ppm_simnet::MachineConfig;
+
+fn assert_close(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-12 * w.abs().max(1e-300),
+            "{what}: rank[{i}] {g} vs {w}"
+        );
+    }
+}
+
+#[test]
+fn ppm_matches_sequential_to_ulp() {
+    let p = PrParams::new(400);
+    let reference = pagerank::seq::rank(&p);
+    for nodes in [1u32, 2, 3] {
+        let report = ppm_core::run(PpmConfig::new(MachineConfig::new(nodes, 2)), move |node| {
+            pagerank::ppm::rank(node, &p).0
+        });
+        for got in &report.results {
+            assert_close(got, &reference, &format!("ppm nodes={nodes}"));
+        }
+        // On one node there is a single partial per vertex, so the fold
+        // order coincides and agreement is exact.
+        if nodes == 1 {
+            assert_eq!(report.results[0], reference);
+        }
+    }
+}
+
+#[test]
+fn mpi_matches_sequential_to_ulp() {
+    let p = PrParams::new(400);
+    let reference = pagerank::seq::rank(&p);
+    for (nodes, cores) in [(1u32, 1u32), (2, 2), (3, 2)] {
+        let report = ppm_mps::run(MachineConfig::new(nodes, cores), move |comm| {
+            pagerank::mpi::rank(comm, &p).0
+        });
+        for got in &report.results {
+            assert_close(got, &reference, &format!("mpi {nodes}x{cores}"));
+        }
+    }
+}
+
+#[test]
+fn ppm_pagerank_is_bitwise_deterministic() {
+    let p = PrParams::new(300);
+    let go = || {
+        ppm_core::run(PpmConfig::franklin(3), move |node| {
+            let (r, t) = pagerank::ppm::rank(node, &p);
+            (r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), t)
+        })
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn push_scatter_bundles_well() {
+    // The irregular scatter must compress into few messages — the point of
+    // running a graph kernel on PPM.
+    let p = PrParams::new(2000);
+    let report = ppm_core::run(PpmConfig::franklin(4), move |node| {
+        pagerank::ppm::rank(node, &p);
+        node.ep_counters()
+    });
+    let c = report
+        .counters
+        .iter()
+        .fold(ppm_simnet::Counters::default(), |a, b| a.merge(b));
+    assert!(c.remote_puts > 50_000, "scatter size: {}", c.remote_puts);
+    // Per iteration: ≤ nodes·(nodes−1) write bundles per phase pair.
+    assert!(
+        c.bundles_sent <= 4 * 3 * (p.iters as u64 * 2 + 2),
+        "bundles {}",
+        c.bundles_sent
+    );
+}

@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks of the runtime machinery (host performance:
+//! how fast the simulator + PPM runtime themselves execute — the figure
+//! binaries report *simulated* time instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ppm_apps::barnes_hut::morton;
+use ppm_core::{AccumOp, PpmConfig};
+use ppm_simnet::MachineConfig;
+
+fn phase_machinery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phase_machinery");
+    g.sample_size(10);
+
+    g.bench_function("empty_global_phases_x32_2nodes", |b| {
+        b.iter(|| {
+            ppm_core::run(PpmConfig::new(MachineConfig::new(2, 2)), |node| {
+                node.ppm_do(4, |vp| async move {
+                    for _ in 0..32 {
+                        vp.global_phase(|_ph| async move {}).await;
+                    }
+                });
+            })
+        })
+    });
+
+    g.bench_function("node_phases_x128_1node", |b| {
+        b.iter(|| {
+            ppm_core::run(PpmConfig::new(MachineConfig::new(1, 4)), |node| {
+                node.ppm_do(16, |vp| async move {
+                    for _ in 0..128 {
+                        vp.node_phase(|_ph| async move {}).await;
+                    }
+                });
+            })
+        })
+    });
+    g.finish();
+}
+
+fn shared_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_access");
+    g.sample_size(10);
+
+    g.bench_function("local_gets_64k", |b| {
+        b.iter(|| {
+            ppm_core::run(PpmConfig::new(MachineConfig::new(1, 4)), |node| {
+                let a = node.alloc_global::<f64>(1 << 16);
+                node.ppm_do(16, move |vp| async move {
+                    let i0 = vp.node_rank() * 4096;
+                    vp.global_phase(|ph| async move {
+                        let mut acc = 0.0;
+                        for i in 0..4096 {
+                            acc += ph.get(&a, i0 + i).await;
+                        }
+                        std::hint::black_box(acc);
+                    })
+                    .await;
+                });
+            })
+        })
+    });
+
+    g.bench_function("remote_bulk_get_16k_2nodes", |b| {
+        b.iter(|| {
+            ppm_core::run(PpmConfig::new(MachineConfig::new(2, 2)), |node| {
+                let a = node.alloc_global::<f64>(1 << 15);
+                node.ppm_do(8, move |vp| async move {
+                    // Read the *other* node's half in bulk.
+                    let other = (1 - vp.node_id()) * (1 << 14);
+                    let i0 = other + vp.node_rank() * 2048;
+                    vp.global_phase(|ph| async move {
+                        let v = ph.get_many(&a, i0..i0 + 2048).await;
+                        std::hint::black_box(v.len());
+                    })
+                    .await;
+                });
+            })
+        })
+    });
+
+    g.bench_function("accumulate_scatter_16k", |b| {
+        b.iter(|| {
+            ppm_core::run(PpmConfig::new(MachineConfig::new(2, 2)), |node| {
+                let a = node.alloc_global::<f64>(1024);
+                node.ppm_do(8, move |vp| async move {
+                    let r = vp.global_rank();
+                    vp.global_phase(|ph| async move {
+                        for i in 0..2048 {
+                            ph.accumulate(&a, (i * 37 + r) % 1024, AccumOp::Add, 1.0);
+                        }
+                    })
+                    .await;
+                });
+            })
+        })
+    });
+    g.finish();
+}
+
+fn collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mps_collectives");
+    g.sample_size(10);
+    for ranks in [4u32, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("allreduce_x100", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    ppm_mps::run(MachineConfig::new(ranks / 2, 2), |comm| {
+                        let mut acc = 0.0f64;
+                        for i in 0..100 {
+                            acc = comm.allreduce(acc + i as f64, |x, y| x + y);
+                        }
+                        std::hint::black_box(acc);
+                    })
+                })
+            },
+        );
+    }
+    g.bench_function("alltoallv_8ranks_1k_each", |b| {
+        b.iter(|| {
+            ppm_mps::run(MachineConfig::new(4, 2), |comm| {
+                let sends: Vec<Vec<f64>> = (0..comm.size()).map(|d| vec![d as f64; 1024]).collect();
+                let r = comm.alltoallv(sends);
+                std::hint::black_box(r.len());
+            })
+        })
+    });
+    g.finish();
+}
+
+fn utilities(c: &mut Criterion) {
+    let mut g = c.benchmark_group("utilities");
+    g.sample_size(10);
+    g.bench_function("sample_sort_32k_4nodes", |b| {
+        b.iter(|| {
+            ppm_core::run(PpmConfig::new(MachineConfig::new(4, 2)), |node| {
+                let n = 1 << 15;
+                let gsorted = node.alloc_global::<u64>(n);
+                let r = node.local_range(&gsorted);
+                node.with_local_mut(&gsorted, |s| {
+                    for (off, v) in s.iter_mut().enumerate() {
+                        *v = ((r.start + off) as u64).wrapping_mul(2654435761) % 100_000;
+                    }
+                });
+                ppm_core::util::sort_global_u64(node, &gsorted);
+            })
+        })
+    });
+
+    g.bench_function("morton_encode_decode_1m", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u32 {
+                let k = morton::encode(i % 64, (i / 64) % 64, (i / 4096) % 64, 6);
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, phase_machinery, shared_access, collectives, utilities);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablations of the PPM runtime's §3.3 design claims.
+//!
+//! * **bundling** — "the PPM runtime library is capable of bundling up
+//!   fine-grained remote shared data accesses into coarse-grained packages
+//!   in order to reduce overall communication overhead": switching it off
+//!   charges every remote element as its own message.
+//! * **overlap** — "scheduling communication needs and computation tasks
+//!   to enable (automatic) overlap of computation and communication":
+//!   switching it off serializes gap time after compute.
+//! * **VP granularity** — the `PPM_do(K)` degree-of-parallelism knob:
+//!   fewer, fatter VPs give the scheduler less slack.
+//!
+//! ```text
+//! cargo run --release -p ppm-bench --bin ablations [-- --nodes 8 --g 16]
+//! ```
+
+use ppm_apps::barnes_hut::{self as bh, BhParams};
+use ppm_apps::cg::{self, CgParams};
+use ppm_apps::stencil27::Stencil27;
+use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_core::PpmConfig;
+use ppm_simnet::SimTime;
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.usize("--nodes", 8) as u32;
+    let g = args.usize("--g", 16);
+
+    let cg_params = CgParams {
+        problem: Stencil27::chimney(g),
+        iters: 20,
+        rows_per_vp: 64,
+        collect_x: false,
+        tol: None,
+    };
+    let mut bh_params = BhParams::new(args.usize("--n", 4096));
+    bh_params.steps = 1;
+
+    let cg_time = |cfg: PpmConfig, p: CgParams| -> SimTime {
+        max_time(&ppm_core::run(cfg, move |node| cg::ppm::solve(node, &p).1))
+    };
+    let bh_time = |cfg: PpmConfig, p: BhParams| -> SimTime {
+        max_time(&ppm_core::run(cfg, move |node| {
+            bh::ppm::simulate(node, &p).1
+        }))
+    };
+
+    println!("# Runtime ablations on {nodes} nodes (4 cores each)\n");
+    header(&["configuration", "CG ms", "Barnes–Hut ms"]);
+
+    let base = PpmConfig::franklin(nodes);
+    let t_cg = cg_time(base, cg_params);
+    let t_bh = bh_time(base, bh_params);
+    row(&[
+        "full runtime (bundling + overlap)".into(),
+        ms(t_cg),
+        ms(t_bh),
+    ]);
+
+    let no_bundle = base.without_bundling();
+    row(&[
+        "no bundling (per-element messages)".into(),
+        ms(cg_time(no_bundle, cg_params)),
+        ms(bh_time(no_bundle, bh_params)),
+    ]);
+
+    let no_overlap = base.without_overlap();
+    row(&[
+        "no comm/compute overlap".into(),
+        ms(cg_time(no_overlap, cg_params)),
+        ms(bh_time(no_overlap, bh_params)),
+    ]);
+
+    let hier = cg_params;
+    row(&[
+        "hierarchical CG (x, r, A·p node-shared, §3.3 layering)".into(),
+        ms(max_time(&ppm_core::run(base, move |node| {
+            cg::ppm_hier::solve(node, &hier).1
+        }))),
+        "—".into(),
+    ]);
+
+    let mut fat = cg_params;
+    fat.rows_per_vp = 4096;
+    let mut fat_bh = bh_params;
+    fat_bh.bodies_per_vp = 4096;
+    row(&[
+        "coarse VPs (degree of parallelism ÷64)".into(),
+        ms(cg_time(base, fat)),
+        ms(bh_time(base, fat_bh)),
+    ]);
+
+    println!("\n(the first row should be the fastest on every column)");
+}

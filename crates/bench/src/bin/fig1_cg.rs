@@ -1,0 +1,81 @@
+//! Figure 1: application performance of the CG solver.
+//!
+//! Sweeps the node count (4 cores per node, the paper's Franklin shape)
+//! and prints the simulated runtime of the PPM program and the tuned MPI
+//! baseline for the same fixed number of CG iterations on a 27-point 3-D
+//! diffusion "chimney" system.
+//!
+//! Paper-reported shape (§4.5): PPM starts "much slower than the MPI
+//! version when there is only one node … but catches up quickly as the
+//! number of nodes increases" — the PPM/MPI ratio column should start
+//! well above 1 and fall toward (or below) 1.
+//!
+//! ```text
+//! cargo run --release -p ppm-bench --bin fig1_cg [-- --nodes 1,2,4,8 --g 16 --iters 20]
+//! ```
+
+use ppm_apps::cg::{self, CgParams};
+use ppm_apps::stencil27::Stencil27;
+use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_core::PpmConfig;
+use ppm_simnet::MachineConfig;
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.nodes(&[1, 2, 4, 8, 16, 32, 64]);
+    let g = args.usize("--g", 20);
+    let iters = args.usize("--iters", 25);
+    let problem = Stencil27::chimney(g);
+    let params = CgParams {
+        problem,
+        iters,
+        rows_per_vp: 64,
+        collect_x: false,
+        tol: None,
+    };
+
+    println!(
+        "# Figure 1 — CG solver, {}x{}x{} grid ({} rows, ~{}k nnz), {} iterations\n",
+        problem.gx,
+        problem.gy,
+        problem.gz,
+        problem.n(),
+        problem.n() * 27 / 1000,
+        iters
+    );
+    header(&[
+        "nodes", "cores", "PPM ms", "PPM-hier ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs",
+        "PPM MB", "MPI MB",
+    ]);
+    for &n in &nodes {
+        let p = params;
+        let ppm_report = ppm_core::run(PpmConfig::franklin(n), move |node| {
+            cg::ppm::solve(node, &p).1
+        });
+        let hier_report = ppm_core::run(PpmConfig::franklin(n), move |node| {
+            cg::ppm_hier::solve(node, &p).1
+        });
+        let mpi_report = ppm_mps::run(MachineConfig::franklin(n), move |comm| {
+            cg::mpi::solve(comm, &p).1
+        });
+        let (tp, th, tm) = (
+            max_time(&ppm_report),
+            max_time(&hier_report),
+            max_time(&mpi_report),
+        );
+        let (cp, cm) = (ppm_report.total_counters(), mpi_report.total_counters());
+        row(&[
+            n.to_string(),
+            (4 * n).to_string(),
+            ms(tp),
+            ms(th),
+            ms(tm),
+            format!("{:.2}", tp.as_ns_f64() / tm.as_ns_f64()),
+            cp.msgs_sent.to_string(),
+            cm.msgs_sent.to_string(),
+            format!("{:.2}", cp.bytes_sent as f64 / 1e6),
+            format!("{:.2}", cm.bytes_sent as f64 / 1e6),
+        ]);
+    }
+    println!("\n(simulated time; deterministic — see DESIGN.md §5 for the cost model)");
+}

@@ -1,0 +1,60 @@
+//! Figure 2: application performance of the sparse matrix generation
+//! (multiscale collocation method).
+//!
+//! Paper-reported shape (§4.5): "The PPM program consistently performs
+//! better than the MPI implementation … and scales better as the number of
+//! nodes increases" — the ratio column should stay below 1 across the
+//! sweep.
+//!
+//! ```text
+//! cargo run --release -p ppm-bench --bin fig2_matgen [-- --nodes 1,2,4 --levels 6 --n0 64]
+//! ```
+
+use ppm_apps::matgen::{self, MatGenParams};
+use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_core::PpmConfig;
+use ppm_simnet::MachineConfig;
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.nodes(&[1, 2, 4, 8, 16, 32, 64]);
+    let levels = args.usize("--levels", 7);
+    let n0 = args.usize("--n0", 64);
+    let mut params = MatGenParams::new(levels, n0);
+    params.quad_flops = args.usize("--quad-flops", 2000) as u64;
+
+    println!(
+        "# Figure 2 — matrix generation, {} levels, n0={} ({} rows, {} nnz)\n",
+        levels,
+        n0,
+        params.n(),
+        params.nnz()
+    );
+    header(&[
+        "nodes", "cores", "PPM ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs", "PPM MB",
+        "MPI MB",
+    ]);
+    for &n in &nodes {
+        let p = params;
+        let ppm_report = ppm_core::run(PpmConfig::franklin(n), move |node| {
+            matgen::ppm::generate(node, &p).1
+        });
+        let mpi_report = ppm_mps::run(MachineConfig::franklin(n), move |comm| {
+            matgen::mpi::generate(comm, &p).1
+        });
+        let (tp, tm) = (max_time(&ppm_report), max_time(&mpi_report));
+        let (cp, cm) = (ppm_report.total_counters(), mpi_report.total_counters());
+        row(&[
+            n.to_string(),
+            (4 * n).to_string(),
+            ms(tp),
+            ms(tm),
+            format!("{:.2}", tp.as_ns_f64() / tm.as_ns_f64()),
+            cp.msgs_sent.to_string(),
+            cm.msgs_sent.to_string(),
+            format!("{:.2}", cp.bytes_sent as f64 / 1e6),
+            format!("{:.2}", cm.bytes_sent as f64 / 1e6),
+        ]);
+    }
+    println!("\n(simulated time; deterministic — see DESIGN.md §5 for the cost model)");
+}

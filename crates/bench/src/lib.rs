@@ -1,0 +1,132 @@
+//! # ppm-bench — the evaluation harness
+//!
+//! One binary per artifact of the paper's evaluation section:
+//!
+//! | Binary | Artifact | Regenerates |
+//! |---|---|---|
+//! | `fig1_cg` | Figure 1 | CG solver runtime vs node count, PPM vs MPI |
+//! | `fig2_matgen` | Figure 2 | matrix generation runtime vs node count |
+//! | `fig3_barneshut` | Figure 3 | Barnes–Hut runtime vs node count |
+//! | `table1_codesize` | Table 1 | application code size, PPM vs MPI |
+//! | `ablations` | §3.3 design claims | bundling / overlap knobs |
+//!
+//! All binaries print markdown tables to stdout and accept
+//! `--nodes 1,2,4,…` plus a size flag. Times are *simulated* (the
+//! substrate is the deterministic cluster model, see DESIGN.md), so runs
+//! are exactly reproducible.
+
+use ppm_simnet::{JobReport, SimTime};
+
+/// Latest simulated completion instant across a job's endpoints, from a
+/// per-endpoint time result.
+pub fn max_time(report: &JobReport<SimTime>) -> SimTime {
+    report
+        .results
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max)
+}
+
+/// Parse `--key v` or `--key=v` style arguments.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments.
+    pub fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// Value of `--name v` / `--name=v`, if present.
+    pub fn value(&self, name: &str) -> Option<String> {
+        for (i, a) in self.raw.iter().enumerate() {
+            if let Some(rest) = a.strip_prefix(name) {
+                if let Some(v) = rest.strip_prefix('=') {
+                    return Some(v.to_string());
+                }
+                if rest.is_empty() {
+                    return self.raw.get(i + 1).cloned();
+                }
+            }
+        }
+        None
+    }
+
+    /// Comma-separated list of node counts (default the paper-style sweep).
+    pub fn nodes(&self, default: &[u32]) -> Vec<u32> {
+        match self.value("--nodes") {
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse().expect("--nodes wants integers"))
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// An integer option.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.value(name)
+            .map(|v| v.parse().expect("integer option"))
+            .unwrap_or(default)
+    }
+}
+
+/// Format a simulated time in milliseconds with fixed precision.
+pub fn ms(t: SimTime) -> String {
+    format!("{:.3}", t.as_ms_f64())
+}
+
+/// Print a markdown table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a markdown table header (with separator line).
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Count the lines of a source file the way the paper's Table 1 does:
+/// every physical line (the paper reports raw line counts); also return
+/// the count excluding blank and comment-only lines for a fairer view.
+pub fn line_counts(src: &str) -> (usize, usize) {
+    let total = src.lines().count();
+    let code = src
+        .lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*')
+        })
+        .count();
+    (total, code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_counting() {
+        let src = "// doc\n\nfn f() {\n    body(); // trailing comment counts as code\n}\n";
+        let (total, code) = line_counts(src);
+        assert_eq!(total, 5);
+        assert_eq!(code, 3);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(SimTime::from_us(1500)), "1.500");
+    }
+}

@@ -1,0 +1,107 @@
+//! PPM runtime configuration.
+
+use ppm_simnet::{MachineConfig, SimTime};
+
+/// Runtime knobs layered on top of the machine description.
+///
+/// The overheads here are the paper's "runtime library overhead" (§4.5):
+/// every shared-variable access goes through the PPM runtime and pays a
+/// translation/handler cost, which dominates at small node counts and fades
+/// as communication grows — the mechanism behind Figure 1's crossover.
+/// `overlap` and `bundling` correspond to the §3.3 optimizations
+/// ("automatic overlap of computation and communication", "bundling up
+/// fine-grained remote shared data accesses"); the ablation benches switch
+/// them off.
+#[derive(Debug, Clone, Copy)]
+pub struct PpmConfig {
+    /// Machine shape and base cost model.
+    pub machine: MachineConfig,
+    /// Requester-side cost per global-shared element access.
+    pub sv_overhead: SimTime,
+    /// Cost per node-shared element access (physical shared memory path).
+    pub node_sv_overhead: SimTime,
+    /// Owner-side cost per remote element served (read) or applied (write).
+    pub service_overhead: SimTime,
+    /// Cost of a node-level phase barrier (cores synchronizing in shared
+    /// memory).
+    pub node_barrier: SimTime,
+    /// Modeled wire bytes per read-request entry (array id + index + slot,
+    /// delta-compressed).
+    pub req_entry_bytes: usize,
+    /// Modeled wire bytes of bundle framing.
+    pub bundle_header_bytes: usize,
+    /// Overlap communication gap time with computation (§3.3). On by
+    /// default.
+    pub overlap: bool,
+    /// Bundle fine-grained remote accesses into one message per
+    /// (destination, wave) (§3.3). On by default; switching it off charges
+    /// every element as its own message, the "naive runtime" ablation.
+    pub bundling: bool,
+}
+
+impl PpmConfig {
+    /// Default runtime constants on a given machine (see DESIGN.md §6).
+    pub fn new(machine: MachineConfig) -> Self {
+        PpmConfig {
+            machine,
+            sv_overhead: SimTime::from_ns(7),
+            node_sv_overhead: SimTime::from_ns_f64(2.5),
+            service_overhead: SimTime::from_ns(5),
+            node_barrier: SimTime::from_ns(400),
+            req_entry_bytes: 12,
+            bundle_header_bytes: 16,
+            overlap: true,
+            bundling: true,
+        }
+    }
+
+    /// The paper's platform shape: `nodes` quad-core nodes.
+    pub fn franklin(nodes: u32) -> Self {
+        PpmConfig::new(MachineConfig::franklin(nodes))
+    }
+
+    /// Disable communication/computation overlap (ablation).
+    pub fn without_overlap(mut self) -> Self {
+        self.overlap = false;
+        self
+    }
+
+    /// Disable request bundling (ablation).
+    pub fn without_bundling(mut self) -> Self {
+        self.bundling = false;
+        self
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.machine.nodes as usize
+    }
+
+    /// Cores per node.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.machine.cores_per_node as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_optimizations() {
+        let c = PpmConfig::franklin(4);
+        assert!(c.overlap);
+        assert!(c.bundling);
+        assert_eq!(c.nodes(), 4);
+        assert_eq!(c.cores_per_node(), 4);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = PpmConfig::franklin(2).without_overlap().without_bundling();
+        assert!(!c.overlap);
+        assert!(!c.bundling);
+    }
+}

@@ -1,0 +1,181 @@
+//! Data distribution of global shared arrays over nodes.
+//!
+//! The paper's runtime performs "automatic data distribution and locality
+//! management" (§3). The default (and the one all apps use) is a block
+//! distribution; a cyclic distribution is provided for load-spreading
+//! irregular tables.
+
+/// How a global array's elements map to owner nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Contiguous blocks of `ceil(len/nodes)` elements per node.
+    Block,
+    /// Element `i` lives on node `i % nodes`.
+    Cyclic,
+}
+
+/// A concrete distribution: layout + array length + node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dist {
+    /// Distribution layout.
+    pub layout: Layout,
+    /// Global array length.
+    pub len: usize,
+    /// Number of owner nodes.
+    pub nodes: usize,
+}
+
+impl Dist {
+    /// Block distribution of `len` elements over `nodes` nodes.
+    pub fn block(len: usize, nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        Dist {
+            layout: Layout::Block,
+            len,
+            nodes,
+        }
+    }
+
+    /// Cyclic distribution of `len` elements over `nodes` nodes.
+    pub fn cyclic(len: usize, nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        Dist {
+            layout: Layout::Cyclic,
+            len,
+            nodes,
+        }
+    }
+
+    /// Elements per block for the block layout.
+    #[inline]
+    fn block_size(&self) -> usize {
+        self.len.div_ceil(self.nodes).max(1)
+    }
+
+    /// Node owning global index `i`.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match self.layout {
+            Layout::Block => (i / self.block_size()).min(self.nodes - 1),
+            Layout::Cyclic => i % self.nodes,
+        }
+    }
+
+    /// Offset of global index `i` within its owner's local storage.
+    #[inline]
+    pub fn local_offset(&self, i: usize) -> usize {
+        match self.layout {
+            Layout::Block => i - self.owner(i) * self.block_size(),
+            Layout::Cyclic => i / self.nodes,
+        }
+    }
+
+    /// Number of elements stored on `node`.
+    pub fn local_len(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes);
+        match self.layout {
+            Layout::Block => {
+                let bs = self.block_size();
+                self.len.saturating_sub(node * bs).min(bs)
+            }
+            Layout::Cyclic => {
+                let full = self.len / self.nodes;
+                full + usize::from(node < self.len % self.nodes)
+            }
+        }
+    }
+
+    /// Global index of local offset `off` on `node`.
+    #[inline]
+    pub fn global_index(&self, node: usize, off: usize) -> usize {
+        debug_assert!(off < self.local_len(node));
+        match self.layout {
+            Layout::Block => node * self.block_size() + off,
+            Layout::Cyclic => off * self.nodes + node,
+        }
+    }
+
+    /// For the block layout: the contiguous global range owned by `node`.
+    pub fn block_range(&self, node: usize) -> std::ops::Range<usize> {
+        assert_eq!(self.layout, Layout::Block, "block_range needs Block layout");
+        let bs = self.block_size();
+        let start = (node * bs).min(self.len);
+        let end = ((node + 1) * bs).min(self.len);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every distribution must be a bijection between global indices and
+    /// (node, offset) pairs, with offsets dense per node.
+    fn check_bijection(d: Dist) {
+        let mut per_node = vec![0usize; d.nodes];
+        for i in 0..d.len {
+            let n = d.owner(i);
+            let off = d.local_offset(i);
+            assert!(n < d.nodes);
+            assert!(off < d.local_len(n), "i={i} n={n} off={off}");
+            assert_eq!(d.global_index(n, off), i);
+            per_node[n] += 1;
+        }
+        for (n, &c) in per_node.iter().enumerate() {
+            assert_eq!(c, d.local_len(n), "node {n}");
+        }
+        assert_eq!(per_node.iter().sum::<usize>(), d.len);
+    }
+
+    #[test]
+    fn block_bijection_various_shapes() {
+        for (len, nodes) in [(10, 3), (12, 4), (1, 5), (100, 7), (5, 8), (0, 2)] {
+            check_bijection(Dist::block(len, nodes));
+        }
+    }
+
+    #[test]
+    fn cyclic_bijection_various_shapes() {
+        for (len, nodes) in [(10, 3), (12, 4), (1, 5), (100, 7), (5, 8), (0, 2)] {
+            check_bijection(Dist::cyclic(len, nodes));
+        }
+    }
+
+    #[test]
+    fn block_ranges_partition() {
+        let d = Dist::block(10, 4);
+        assert_eq!(d.block_range(0), 0..3);
+        assert_eq!(d.block_range(1), 3..6);
+        assert_eq!(d.block_range(2), 6..9);
+        assert_eq!(d.block_range(3), 9..10);
+    }
+
+    #[test]
+    fn block_owner_is_monotone() {
+        let d = Dist::block(17, 5);
+        let owners: Vec<usize> = (0..17).map(|i| d.owner(i)).collect();
+        for w in owners.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn cyclic_spreads_adjacent_indices() {
+        let d = Dist::cyclic(8, 4);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(1), 1);
+        assert_eq!(d.owner(5), 1);
+        assert_eq!(d.local_offset(5), 1);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let d = Dist::block(100, 1);
+        for i in (0..100).step_by(13) {
+            assert_eq!(d.owner(i), 0);
+            assert_eq!(d.local_offset(i), i);
+        }
+        assert_eq!(d.local_len(0), 100);
+    }
+}

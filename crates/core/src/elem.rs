@@ -1,0 +1,82 @@
+//! Element types storable in PPM shared variables.
+
+use ppm_simnet::WireSize;
+
+/// A value that can live in a PPM shared array.
+///
+/// Elements are plain copyable data: they cross node boundaries inside read
+/// responses and write bundles, and arrays are allocated zero-initialized
+/// (via `Default`), matching the paper's C-style shared arrays.
+pub trait Elem: Copy + Send + Default + WireSize + std::fmt::Debug + 'static {}
+
+impl<T> Elem for T where T: Copy + Send + Default + WireSize + std::fmt::Debug + 'static {}
+
+/// Combining operators for `accumulate` writes.
+///
+/// Accumulating writes from many VPs to the same element are merged by the
+/// runtime (locally before shipping, then at the owner), so e.g. a global
+/// sum costs one bundle entry per node. All operators are associative and
+/// commutative; the runtime nevertheless applies them in a fixed
+/// deterministic order so floating-point results are bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccumOp {
+    /// Addition.
+    Add,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Elements that support combining writes.
+pub trait AccumElem: Elem + PartialOrd + std::ops::Add<Output = Self> {
+    /// Apply `op` to combine two values.
+    #[inline]
+    fn combine(op: AccumOp, a: Self, b: Self) -> Self {
+        match op {
+            AccumOp::Add => a + b,
+            AccumOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+            AccumOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+}
+
+impl AccumElem for f64 {}
+impl AccumElem for f32 {}
+impl AccumElem for u64 {}
+impl AccumElem for i64 {}
+impl AccumElem for u32 {}
+impl AccumElem for i32 {}
+impl AccumElem for usize {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_ops() {
+        assert_eq!(f64::combine(AccumOp::Add, 1.5, 2.0), 3.5);
+        assert_eq!(u64::combine(AccumOp::Min, 7, 3), 3);
+        assert_eq!(i64::combine(AccumOp::Max, -2, -9), -2);
+        assert_eq!(f64::combine(AccumOp::Min, f64::NAN, 1.0).to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn tuples_are_elems() {
+        fn takes_elem<T: Elem>(_: T) {}
+        takes_elem((1.0f64, 2u64));
+        takes_elem([0.0f64; 4]);
+    }
+}

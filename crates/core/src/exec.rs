@@ -1,0 +1,528 @@
+//! The VP executor: `ppm_do` scheduling, communication waves, and phase
+//! exchanges.
+//!
+//! This plays the role of the paper's source-to-source compiler plus
+//! runtime scheduler (§3.4): virtual processors are cooperative futures
+//! multiplexed over the node's cores ("converted into loops"), remote reads
+//! park VPs and are *bundled* into one request message per destination per
+//! wave, and phase ends run the BSP-style exchange that publishes buffered
+//! writes and synchronizes clocks.
+//!
+//! ## Determinism
+//!
+//! Scheduling is deterministic regardless of host thread timing: runnable
+//! VPs are always polled in ascending rank order, a wave blocks until *all*
+//! of its responses arrived before any VP resumes, and write bundles are
+//! applied in ascending source-node order. Simulated clocks are computed
+//! from per-phase totals, never from message interleaving.
+
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+use ppm_simnet::{Message, SimTime};
+
+use crate::msgs::{self, ReqBundle, RespBundle, WriteBundleMsg};
+use crate::nodectx::NodeCtx;
+use crate::state::{DoMode, PhaseKind, Traffic};
+use crate::vp::{Vp, VpIdent};
+
+type VpTask = Pin<Box<dyn Future<Output = ()>>>;
+/// Write parcels grouped per array: `(source node, payload)` pairs.
+type ParcelsByArray = BTreeMap<u32, Vec<(u32, Box<dyn std::any::Any + Send>)>>;
+
+/// Run one `PPM_do(k) f` construct to completion.
+pub(crate) fn run_do<Fut>(nc: &mut NodeCtx<'_>, k: usize, mode: DoMode, f: impl Fn(Vp) -> Fut)
+where
+    Fut: Future<Output = ()> + 'static,
+{
+    let me = nc.node_id();
+    if mode == DoMode::Collective {
+        // A node with zero VPs could never send its end-of-phase bundles,
+        // deadlocking any peer that runs a global phase. Fail early with
+        // advice instead.
+        assert!(
+            k >= 1,
+            "node {me}: ppm_do requires at least one VP per node (use k=1 with an \
+             empty function for idle nodes, or ppm_do_local for node-only work)"
+        );
+    }
+    let (base, total) = match mode {
+        DoMode::Collective => {
+            // Collective prologue: learn every node's VP count so global
+            // ranks and `PPM_VP_global_rank` work (k may differ per node).
+            let ks = nc.allgather_nodes(k as u64);
+            (ks[..me].iter().sum(), ks.iter().sum())
+        }
+        // Asynchronous mode: no cross-node coordination; ranks are
+        // node-local.
+        DoMode::Local => (0, k as u64),
+    };
+    {
+        let mut inner = nc.inner.borrow_mut();
+        inner.vp_base_global = base;
+        inner.total_vps_global = total;
+        inner.live_vps = k;
+        inner.do_mode = mode;
+    }
+
+    // Instantiate the VPs.
+    let mut tasks: Vec<Option<VpTask>> = (0..k)
+        .map(|rank| {
+            let ident = std::rc::Rc::new(VpIdent {
+                id: rank,
+                global_rank: base + rank as u64,
+                write_seq: std::cell::Cell::new(0),
+                in_phase: std::cell::Cell::new(false),
+            });
+            let vp = Vp {
+                inner: nc.inner.clone(),
+                ident,
+                node_vp_count: k,
+            };
+            Some(Box::pin(f(vp)) as VpTask)
+        })
+        .collect();
+
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    let mut live = k;
+    let mut ready: Vec<usize> = (0..k).collect();
+
+    loop {
+        // Poll runnable VPs in deterministic (ascending-rank) order.
+        while !ready.is_empty() {
+            ready.sort_unstable();
+            ready.dedup();
+            let batch = std::mem::take(&mut ready);
+            for vp in batch {
+                let task = tasks[vp].as_mut().expect("ready VP must be live");
+                if let Poll::Ready(()) = task.as_mut().poll(&mut cx) {
+                    tasks[vp] = None;
+                    live -= 1;
+                    nc.inner.borrow_mut().live_vps = live;
+                }
+            }
+            // Slot fills produced while polling (none today, but harmless)
+            // plus barrier releases land in the wake lists.
+            ready.append(&mut nc.inner.borrow_mut().slots.wake);
+        }
+
+        if live == 0 {
+            break;
+        }
+
+        // No VP is runnable: decide why and advance the runtime.
+        let (has_reqs, outstanding, arrived, open) = {
+            let inner = nc.inner.borrow();
+            (
+                !inner.reqs.is_empty(),
+                inner.slots.outstanding(),
+                inner.phase.arrived,
+                inner.phase.open,
+            )
+        };
+
+        if has_reqs {
+            run_wave(nc);
+            ready.append(&mut nc.inner.borrow_mut().slots.wake);
+            continue;
+        }
+        assert_eq!(
+            outstanding, 0,
+            "VPs parked on reads but no requests queued: runtime bug"
+        );
+        match open {
+            Some(kind) if arrived == live => {
+                match kind {
+                    PhaseKind::Node => node_phase_end(nc),
+                    PhaseKind::Global => global_phase_end(nc),
+                }
+                let mut inner = nc.inner.borrow_mut();
+                ready.append(&mut inner.barrier_waiters);
+            }
+            _ => panic!(
+                "node {me}: runtime stuck with {live} live VPs, {arrived} at a barrier, \
+                 phase {open:?} — VPs must all follow the same phase sequence"
+            ),
+        }
+    }
+
+    // Epilogue: charge compute done after the last phase and merge counters.
+    let leftover = {
+        let mut inner = nc.inner.borrow_mut();
+        let max = inner
+            .core_compute
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        inner.core_compute.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        max
+    };
+    nc.ep.clock.advance_compute(leftover);
+    merge_counters(nc);
+}
+
+/// Flush the queued read requests as one bundle per destination — with
+/// duplicate (array, index) requests from different VPs merged into a
+/// single entry — then block until every response arrived (servicing peers
+/// meanwhile). One wave.
+fn run_wave(nc: &mut NodeCtx<'_>) {
+    let me = nc.node_id();
+    let cfg = nc.config();
+    let (per_dest, phase) = {
+        let mut inner = nc.inner.borrow_mut();
+        // BTreeMaps keep destination and entry order deterministic.
+        let mut per_dest: BTreeMap<usize, BTreeMap<(u32, u64), Vec<u64>>> = BTreeMap::new();
+        for (dest, entries) in inner.reqs.drain() {
+            let uniq = per_dest.entry(dest).or_default();
+            for e in entries {
+                uniq.entry((e.array, e.idx)).or_default().push(e.slot);
+            }
+        }
+        (per_dest, inner.phase.global_seq)
+    };
+
+    // Per destination: the slot groups each request ticket fans out to.
+    let mut pending: std::collections::HashMap<usize, Vec<Vec<u64>>> = Default::default();
+    for (dest, uniq) in per_dest {
+        debug_assert_ne!(dest, me);
+        let mut entries = Vec::with_capacity(uniq.len());
+        let mut tickets: Vec<Vec<u64>> = Vec::with_capacity(uniq.len());
+        for ((array, idx), slots) in uniq {
+            entries.push(crate::state::ReqEntry {
+                array,
+                idx,
+                slot: tickets.len() as u64,
+            });
+            tickets.push(slots);
+        }
+        let bytes = cfg.bundle_header_bytes + entries.len() * cfg.req_entry_bytes;
+        {
+            let mut inner = nc.inner.borrow_mut();
+            inner.traffic.req_bundles_out += 1;
+            inner.traffic.req_entries_out += entries.len() as u64;
+            inner.traffic.req_bytes_out += bytes as u64;
+            inner.counters.msgs_sent += 1;
+            inner.counters.bytes_sent += bytes as u64;
+            inner.counters.bundles_sent += 1;
+        }
+        let now = nc.ep.clock.now();
+        nc.ep.net.send(Message::new(
+            me,
+            dest,
+            msgs::tag(msgs::K_READ_REQ, phase),
+            now,
+            bytes,
+            ReqBundle { phase, entries },
+        ));
+        pending.insert(dest, tickets);
+    }
+
+    while !pending.is_empty() {
+        let msg = nc.pump_recv(|m| msgs::untag(m.tag).0 == msgs::K_READ_RESP);
+        let src = msg.src;
+        let bytes = msg.bytes as u64;
+        let resp: RespBundle = msg.take();
+        let mut tickets = pending
+            .remove(&src)
+            .unwrap_or_else(|| panic!("unexpected read response from node {src}"));
+        let mut inner = nc.inner.borrow_mut();
+        inner.traffic.resp_bundles_in += 1;
+        inner.traffic.resp_bytes_in += bytes;
+        inner.counters.msgs_recv += 1;
+        inner.counters.bytes_recv += bytes;
+        for part in resp.parts {
+            // The echoed "slots" are our tickets; expand each back to the
+            // VPs waiting on that element.
+            let groups: Vec<Vec<u64>> = part
+                .slots
+                .iter()
+                .map(|&t| std::mem::take(&mut tickets[t as usize]))
+                .collect();
+            // fulfill touches the slot table while the array is borrowed;
+            // take the table out for the call and put it back.
+            let mut table = std::mem::take(&mut inner.slots);
+            inner.garrays[part.array as usize].fulfill_multi(part.values, &groups, &mut table);
+            inner.slots = table;
+        }
+    }
+
+    let mut inner = nc.inner.borrow_mut();
+    inner.traffic.waves += 1;
+    inner.counters.waves += 1;
+}
+
+/// End a node phase: publish node-shared writes, charge the cores' max
+/// compute plus the node barrier, release the VPs.
+fn node_phase_end(nc: &mut NodeCtx<'_>) {
+    let cfg = nc.config();
+    let compute = {
+        let mut inner = nc.inner.borrow_mut();
+        for na in inner.narrays.iter_mut() {
+            na.apply();
+        }
+        debug_assert!(
+            inner.garrays.iter().all(|g| !g.has_pending_writes()),
+            "global writes buffered during a node phase"
+        );
+        let max = inner
+            .core_compute
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        inner.core_compute.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        inner.phase.open = None;
+        inner.phase.entered = 0;
+        inner.phase.arrived = 0;
+        inner.phase.node_seq += 1;
+        inner.phase.epoch += 1;
+        inner.counters.barriers += 1;
+        inner.phase_log.push(crate::state::PhaseRecord {
+            kind: PhaseKind::Node,
+            compute: max,
+            service: SimTime::ZERO,
+            comm: cfg.node_barrier,
+            waves: 0,
+            bytes_out: 0,
+            bytes_in: 0,
+        });
+        max
+    };
+    nc.ep.clock.advance_compute(compute);
+    nc.ep.clock.advance_comm(cfg.node_barrier);
+}
+
+/// End a global phase: ship write bundles, collect everyone's, apply
+/// deterministically, charge the phase's modeled time, and run the
+/// clock-synchronizing barrier.
+fn global_phase_end(nc: &mut NodeCtx<'_>) {
+    let me = nc.node_id();
+    let nodes = nc.num_nodes();
+    let cfg = nc.config();
+    let phase = nc.inner.borrow().phase.global_seq;
+
+    // 1. Drain write buffers into per-destination parcels.
+    let mut per_dest: Vec<Vec<(u32, Box<dyn std::any::Any + Send>)>> =
+        (0..nodes).map(|_| Vec::new()).collect();
+    let mut dest_entries = vec![0u64; nodes];
+    let mut dest_bytes = vec![0usize; nodes];
+    {
+        let mut inner = nc.inner.borrow_mut();
+        for id in 0..inner.garrays.len() {
+            for parcel in inner.garrays[id].drain_writes() {
+                dest_entries[parcel.dest] += parcel.entries;
+                dest_bytes[parcel.dest] += parcel.bytes;
+                per_dest[parcel.dest].push((id as u32, parcel.payload));
+            }
+        }
+    }
+
+    // 2. Ship a bundle to every peer (empty ones act as end-of-phase
+    //    tokens and are not charged as traffic).
+    for dest in 0..nodes {
+        if dest == me {
+            continue;
+        }
+        let parts = std::mem::take(&mut per_dest[dest]);
+        let entries = dest_entries[dest];
+        let bytes = if entries > 0 {
+            cfg.bundle_header_bytes + dest_bytes[dest]
+        } else {
+            0
+        };
+        {
+            let mut inner = nc.inner.borrow_mut();
+            if entries > 0 {
+                inner.traffic.write_bundles_out += 1;
+                inner.traffic.write_entries_out += entries;
+                inner.traffic.write_bytes_out += bytes as u64;
+                inner.counters.bundles_sent += 1;
+            }
+            inner.counters.msgs_sent += 1;
+            inner.counters.bytes_sent += bytes as u64;
+        }
+        let now = nc.ep.clock.now();
+        nc.ep.net.send(Message::new(
+            me,
+            dest,
+            msgs::tag(msgs::K_WRITE, phase),
+            now,
+            bytes,
+            WriteBundleMsg {
+                phase,
+                entries,
+                parts,
+            },
+        ));
+    }
+
+    // 3. Collect the other nodes' bundles, servicing read requests from
+    //    stragglers still inside their phase bodies.
+    let mut incoming: Vec<(u32, WriteBundleMsg)> = Vec::with_capacity(nodes - 1);
+    while incoming.len() < nodes - 1 {
+        let msg = nc.pump_recv(|m| m.tag == msgs::tag(msgs::K_WRITE, phase));
+        let src = msg.src as u32;
+        let bytes = msg.bytes as u64;
+        let bundle: WriteBundleMsg = msg.take();
+        debug_assert_eq!(bundle.phase, phase);
+        let mut inner = nc.inner.borrow_mut();
+        if bundle.entries > 0 {
+            inner.traffic.write_bundles_in += 1;
+            inner.traffic.write_entries_in += bundle.entries;
+            inner.traffic.write_bytes_in += bytes;
+        }
+        inner.counters.msgs_recv += 1;
+        inner.counters.bytes_recv += bytes;
+        drop(inner);
+        incoming.push((src, bundle));
+    }
+
+    // 4. Apply: group parcels by array, sources in ascending order
+    //    (own writes participate as source `me`).
+    let mut by_array: ParcelsByArray = BTreeMap::new();
+    for (array, payload) in std::mem::take(&mut per_dest[me]) {
+        by_array.entry(array).or_default().push((me as u32, payload));
+    }
+    for (src, bundle) in incoming {
+        for (array, payload) in bundle.parts {
+            by_array.entry(array).or_default().push((src, payload));
+        }
+    }
+    let mut applied_remote = 0u64;
+    {
+        let mut inner = nc.inner.borrow_mut();
+        for (array, mut parcels) in by_array {
+            parcels.sort_by_key(|(src, _)| *src);
+            let n = inner.garrays[array as usize].apply_writes(parcels);
+            applied_remote += n;
+        }
+        // Node-shared writes made inside the global phase publish too.
+        for na in inner.narrays.iter_mut() {
+            na.apply();
+        }
+        inner.service_time += cfg.service_overhead.scale(applied_remote);
+        // The arrays now hold the next phase's snapshot: requests for
+        // phase+1 may legally arrive (from nodes that already finished the
+        // clock barrier) and be serviced from here on.
+        inner.phase.global_seq += 1;
+    }
+
+    // 5. Charge the phase's modeled time.
+    charge_phase_time(nc);
+
+    // 6. Clock-synchronizing dissemination barrier, then release the VPs.
+    clock_barrier(nc, phase);
+
+    let mut inner = nc.inner.borrow_mut();
+    inner.phase.open = None;
+    inner.phase.entered = 0;
+    inner.phase.arrived = 0;
+    inner.phase.epoch += 1;
+    inner.counters.barriers += 1;
+}
+
+/// Turn the phase's traffic totals and compute accumulators into simulated
+/// time on this node's clock.
+fn charge_phase_time(nc: &mut NodeCtx<'_>) {
+    let cfg = nc.config();
+    let net = cfg.machine.net;
+    let (compute, service, t) = {
+        let mut inner = nc.inner.borrow_mut();
+        let compute = inner
+            .core_compute
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        inner.core_compute.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        let service = inner.service_time;
+        inner.service_time = SimTime::ZERO;
+        let t = inner.traffic;
+        inner.traffic = Traffic::default();
+        (compute, service, t)
+    };
+
+    let mut bytes_out = t.req_bytes_out + t.resp_bytes_out + t.write_bytes_out;
+    let mut bytes_in = t.req_bytes_in + t.resp_bytes_in + t.write_bytes_in;
+    let (msgs_out, msgs_in) = if cfg.bundling {
+        (
+            t.req_bundles_out + t.resp_bundles_out + t.write_bundles_out,
+            t.req_bundles_in + t.resp_bundles_in + t.write_bundles_in,
+        )
+    } else {
+        // Ablation: every element access is its own message, with its own
+        // per-message overhead and framing bytes.
+        let extra_out = (t.req_entries_out + t.req_entries_in + t.write_entries_out) * 16;
+        let extra_in = (t.req_entries_in + t.req_entries_out + t.write_entries_in) * 16;
+        bytes_out += extra_out;
+        bytes_in += extra_in;
+        (
+            t.req_entries_out + t.req_entries_in + t.write_entries_out,
+            t.req_entries_in + t.req_entries_out + t.write_entries_in,
+        )
+    };
+
+    // Node-level sender: the runtime owns the NIC (share factor 1).
+    let gap = net.gap_per_byte.scale(bytes_out.max(bytes_in));
+    let overhead = net.overhead.scale(msgs_out + msgs_in);
+    let latency = net.latency.scale(2 * t.waves);
+
+    let busy = compute + service;
+    nc.ep.clock.advance_compute(busy);
+    let comm = if cfg.overlap {
+        // Gap time hides under computation (§3.3 overlap); overheads and
+        // wave round trips do not.
+        let exposed_gap = if gap > busy { gap - busy } else { SimTime::ZERO };
+        exposed_gap + overhead + latency
+    } else {
+        gap + overhead + latency
+    };
+    nc.ep.clock.advance_comm(comm);
+    nc.inner.borrow_mut().phase_log.push(crate::state::PhaseRecord {
+        kind: PhaseKind::Global,
+        compute,
+        service,
+        comm,
+        waves: t.waves,
+        bytes_out,
+        bytes_in,
+    });
+}
+
+/// Dissemination barrier among nodes that also propagates the maximum
+/// clock, so every node leaves the phase at a consistent (and
+/// deterministic) simulated instant.
+fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64) {
+    let me = nc.node_id();
+    let nodes = nc.num_nodes();
+    if nodes == 1 {
+        return;
+    }
+    let net = nc.config().machine.net;
+    let mut d = 1usize;
+    let mut round = 0u32;
+    while d < nodes {
+        let to = (me + d) % nodes;
+        let from = (me + nodes - d) % nodes;
+        nc.ep.clock.advance_comm(net.overhead);
+        let now = nc.ep.clock.now();
+        let tag = msgs::tag(msgs::K_BARRIER, msgs::barrier_meta(phase, round));
+        nc.ep
+            .net
+            .send(Message::new(me, to, tag, now + net.latency, 0, now));
+        let msg = nc.pump_recv(|m| m.tag == tag && m.src == from);
+        let peer_sent: SimTime = msg.take();
+        nc.ep.clock.wait_until(peer_sent + net.latency);
+        nc.ep.clock.advance_comm(net.overhead);
+        d <<= 1;
+        round += 1;
+    }
+}
+
+/// Fold the Inner counters accumulated during `ppm_do` into the endpoint's.
+fn merge_counters(nc: &mut NodeCtx<'_>) {
+    let mut inner = nc.inner.borrow_mut();
+    let c = std::mem::take(&mut inner.counters);
+    nc.ep.counters = nc.ep.counters.merge(&c);
+}

@@ -1,0 +1,88 @@
+//! Runtime message kinds and tag layout for node-to-node traffic.
+
+use std::any::Any;
+
+use crate::state::ReqEntry;
+
+/// Message kinds (top byte of the 64-bit tag).
+pub(crate) const K_READ_REQ: u64 = 1;
+pub(crate) const K_READ_RESP: u64 = 2;
+pub(crate) const K_WRITE: u64 = 3;
+pub(crate) const K_BARRIER: u64 = 4;
+pub(crate) const K_COLL: u64 = 5;
+
+const KIND_SHIFT: u32 = 56;
+const META_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+/// Compose a runtime tag from a kind and kind-specific metadata.
+#[inline]
+pub(crate) fn tag(kind: u64, meta: u64) -> u64 {
+    debug_assert!(meta <= META_MASK);
+    (kind << KIND_SHIFT) | meta
+}
+
+/// Extract (kind, meta) from a tag.
+#[inline]
+pub(crate) fn untag(t: u64) -> (u64, u64) {
+    (t >> KIND_SHIFT, t & META_MASK)
+}
+
+/// Barrier metadata: phase sequence and dissemination round.
+#[inline]
+pub(crate) fn barrier_meta(phase: u64, round: u32) -> u64 {
+    debug_assert!(round < 64);
+    (phase << 6) | round as u64
+}
+
+/// A bundle of read requests for elements owned by the destination node.
+pub(crate) struct ReqBundle {
+    /// Global phase sequence the requests belong to (protocol checking).
+    pub phase: u64,
+    pub entries: Vec<ReqEntry>,
+}
+
+/// One array's worth of a read response.
+pub(crate) struct RespPart {
+    pub array: u32,
+    /// Requester-side slots, parallel to `values`.
+    pub slots: Vec<u64>,
+    /// `Vec<T>` for the array's element type.
+    pub values: Box<dyn Any + Send>,
+}
+
+/// A bundle of read responses (one per request bundle).
+pub(crate) struct RespBundle {
+    pub parts: Vec<RespPart>,
+}
+
+/// End-of-phase write bundle: buffered writes destined for one owner node.
+pub(crate) struct WriteBundleMsg {
+    pub phase: u64,
+    /// Total entries across parts (for traffic accounting).
+    pub entries: u64,
+    /// `(array id, Vec<(u64 idx, WireWrite<T>)>)` per touched array.
+    pub parts: Vec<(u32, Box<dyn Any + Send>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for kind in [K_READ_REQ, K_READ_RESP, K_WRITE, K_BARRIER, K_COLL] {
+            for meta in [0u64, 1, 12345, META_MASK] {
+                assert_eq!(untag(tag(kind, meta)), (kind, meta));
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_meta_packs_phase_and_round() {
+        let m = barrier_meta(100, 5);
+        assert_eq!(m >> 6, 100);
+        assert_eq!(m & 63, 5);
+        assert_ne!(barrier_meta(100, 5), barrier_meta(100, 6));
+        assert_ne!(barrier_meta(100, 5), barrier_meta(101, 5));
+    }
+}

@@ -1,0 +1,331 @@
+//! The per-node SPMD context.
+//!
+//! PPM is an SPMD model (paper §3.2): one copy of the program runs on every
+//! node, and [`NodeCtx`] is that copy's handle to the runtime — system
+//! variables, shared-variable allocation, direct access to locally-owned
+//! data (initialization and result extraction), node-level collectives, and
+//! [`NodeCtx::ppm_do`], the `PPM_do(K) func(...)` construct.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::rc::Rc;
+
+use ppm_simnet::{EndpointCtx, Message, SimTime};
+
+use crate::config::PpmConfig;
+use crate::dist::{Dist, Layout};
+use crate::elem::Elem;
+use crate::msgs::{self, RespBundle, RespPart};
+use crate::shared::{GlobalShared, NodeShared};
+use crate::state::{GArray, Inner, NArray};
+use crate::vp::Vp;
+
+/// Per-node handle passed to the SPMD closure of [`crate::run`].
+pub struct NodeCtx<'a> {
+    pub(crate) ep: &'a mut EndpointCtx,
+    pub(crate) inner: Rc<RefCell<Inner>>,
+    /// Received-but-not-yet-wanted runtime messages.
+    pub(crate) stash: VecDeque<Message>,
+    /// Node-collective sequence number.
+    pub(crate) coll_seq: u64,
+    cfg: PpmConfig,
+}
+
+impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(ep: &'a mut EndpointCtx, cfg: PpmConfig) -> Self {
+        let node = ep.id();
+        NodeCtx {
+            ep,
+            inner: Rc::new(RefCell::new(Inner::new(cfg, node))),
+            stash: VecDeque::new(),
+            coll_seq: 0,
+            cfg,
+        }
+    }
+
+    /// `PPM_node_id`: this node's id.
+    #[inline]
+    pub fn node_id(&self) -> usize {
+        self.ep.id()
+    }
+
+    /// `PPM_node_count`: number of nodes in the cluster.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.cfg.nodes()
+    }
+
+    /// `PPM_cores_per_node`: cores on each node.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.cfg.cores_per_node()
+    }
+
+    /// Runtime configuration.
+    #[inline]
+    pub fn config(&self) -> PpmConfig {
+        self.cfg
+    }
+
+    /// Current simulated time on this node.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.ep.clock.now()
+    }
+
+    /// Charge node-level (single-core) computation.
+    pub fn charge_flops(&mut self, n: u64) {
+        self.ep.counters.flops += n;
+        self.ep.clock.advance_compute(self.cfg.machine.core.flops(n));
+    }
+
+    /// Event counters accumulated on this node so far (endpoint counters
+    /// merged with any not-yet-folded runtime counters).
+    pub fn ep_counters(&self) -> ppm_simnet::Counters {
+        self.ep.counters.merge(&self.inner.borrow().counters)
+    }
+
+    /// Drain the per-phase trace accumulated so far: one record per
+    /// completed phase, in execution order (observability; see
+    /// [`crate::PhaseRecord`]).
+    pub fn take_phase_log(&mut self) -> Vec<crate::state::PhaseRecord> {
+        std::mem::take(&mut self.inner.borrow_mut().phase_log)
+    }
+
+    /// Charge node-level memory operations.
+    pub fn charge_mem_ops(&mut self, n: u64) {
+        self.ep.counters.mem_ops += n;
+        self.ep.clock.advance_compute(self.cfg.machine.core.mem_ops(n));
+    }
+
+    // -- allocation ---------------------------------------------------------
+
+    /// Declare a global shared array of `len` elements, block-distributed
+    /// over the nodes (`PPM_global_shared T a[len]`). Collective: every
+    /// node must allocate the same arrays in the same order.
+    pub fn alloc_global<T: Elem>(&mut self, len: usize) -> GlobalShared<T> {
+        self.alloc_global_with(len, Layout::Block)
+    }
+
+    /// Declare a global shared array with an explicit distribution layout.
+    pub fn alloc_global_with<T: Elem>(&mut self, len: usize, layout: Layout) -> GlobalShared<T> {
+        let mut inner = self.inner.borrow_mut();
+        let dist = match layout {
+            Layout::Block => Dist::block(len, self.cfg.nodes()),
+            Layout::Cyclic => Dist::cyclic(len, self.cfg.nodes()),
+        };
+        let id = inner.garrays.len() as u32;
+        inner
+            .garrays
+            .push(Box::new(GArray::<T>::new(dist, self.node_id())));
+        GlobalShared::new(id, len)
+    }
+
+    /// Declare a node-shared array of `len` elements
+    /// (`PPM_node_shared T a[len]`): one instance per node.
+    pub fn alloc_node<T: Elem>(&mut self, len: usize) -> NodeShared<T> {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.narrays.len() as u32;
+        inner.narrays.push(Box::new(NArray::<T>::new(len)));
+        NodeShared::new(id, len)
+    }
+
+    // -- direct (node-level) data access ------------------------------------
+
+    /// Global index range owned by this node (block layout).
+    pub fn local_range<T: Elem>(&self, g: &GlobalShared<T>) -> std::ops::Range<usize> {
+        let inner = self.inner.borrow();
+        let ga = garray_ref::<T>(&inner, g.id);
+        ga.dist.block_range(self.node_id())
+    }
+
+    /// Distribution of a global array.
+    pub fn dist_of<T: Elem>(&self, g: &GlobalShared<T>) -> Dist {
+        let inner = self.inner.borrow();
+        garray_ref::<T>(&inner, g.id).dist
+    }
+
+    /// Read this node's partition of a global array.
+    pub fn with_local<T: Elem, R>(&self, g: &GlobalShared<T>, f: impl FnOnce(&[T]) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(&garray_ref::<T>(&inner, g.id).local)
+    }
+
+    /// Mutate this node's partition of a global array directly
+    /// (initialization / result extraction, outside any `ppm_do`).
+    pub fn with_local_mut<T: Elem, R>(
+        &mut self,
+        g: &GlobalShared<T>,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> R {
+        let mut inner = self.inner.borrow_mut();
+        f(&mut garray_mut::<T>(&mut inner, g.id).local)
+    }
+
+    /// Read this node's instance of a node-shared array.
+    pub fn with_node<T: Elem, R>(&self, n: &NodeShared<T>, f: impl FnOnce(&[T]) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(&narray_ref::<T>(&inner, n.id).data)
+    }
+
+    /// Mutate this node's instance of a node-shared array directly.
+    pub fn with_node_mut<T: Elem, R>(
+        &mut self,
+        n: &NodeShared<T>,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> R {
+        let mut inner = self.inner.borrow_mut();
+        f(&mut narray_mut::<T>(&mut inner, n.id).data)
+    }
+
+    // -- ppm_do --------------------------------------------------------------
+
+    /// `PPM_do(K) func(...)`: start `k` virtual processors running the PPM
+    /// function `f`, each with a unique rank in `0..k`, and block until all
+    /// complete. Collective across nodes (`k` and `f` may differ per node).
+    /// VPs are multiplexed over the node's cores; phases inside `f`
+    /// synchronize per the model (§3.1–3.2).
+    pub fn ppm_do<Fut>(&mut self, k: usize, f: impl Fn(Vp) -> Fut)
+    where
+        Fut: Future<Output = ()> + 'static,
+    {
+        crate::exec::run_do(self, k, crate::state::DoMode::Collective, f);
+    }
+
+    /// Asynchronous variant of [`Self::ppm_do`] (paper §3.3: "a PPM
+    /// program can make different nodes work on completely different tasks
+    /// asynchronously"): starts `k` VPs on *this node only*, with no
+    /// cross-node coordination. Only node phases (and node-shared
+    /// variables, plus this node's partitions of global arrays) may be
+    /// used inside; a global phase panics.
+    pub fn ppm_do_local<Fut>(&mut self, k: usize, f: impl Fn(Vp) -> Fut)
+    where
+        Fut: Future<Output = ()> + 'static,
+    {
+        crate::exec::run_do(self, k, crate::state::DoMode::Local, f);
+    }
+
+    // -- message pump ---------------------------------------------------------
+
+    /// Blocking receive of the first runtime message satisfying `want`,
+    /// servicing incoming read requests and stashing everything else.
+    pub(crate) fn pump_recv(&mut self, want: impl Fn(&Message) -> bool) -> Message {
+        if let Some(pos) = self.stash.iter().position(&want) {
+            return self.stash.remove(pos).expect("valid position");
+        }
+        loop {
+            let msg = self.ep.net.recv();
+            let (kind, _) = msgs::untag(msg.tag);
+            if kind == msgs::K_READ_REQ {
+                self.service_read_req(msg);
+                continue;
+            }
+            if want(&msg) {
+                return msg;
+            }
+            self.stash.push_back(msg);
+        }
+    }
+
+    /// Serve a bundle of read requests against this node's partitions.
+    pub(crate) fn service_read_req(&mut self, msg: Message) {
+        let src = msg.src;
+        let req_bytes = msg.bytes;
+        let bundle: msgs::ReqBundle = msg.take();
+        let mut inner = self.inner.borrow_mut();
+        // Protocol check: a request can only target the phase whose
+        // snapshot our arrays currently hold (see exec.rs determinism
+        // notes) — i.e. the phase we have completed exactly `phase`
+        // exchanges for.
+        debug_assert_eq!(
+            bundle.phase, inner.phase.global_seq,
+            "read request for phase {} arrived while node {} holds phase {}",
+            bundle.phase,
+            self.ep.id(),
+            inner.phase.global_seq
+        );
+        let n_entries = bundle.entries.len() as u64;
+        inner.traffic.req_bundles_in += 1;
+        inner.traffic.req_entries_in += n_entries;
+        inner.traffic.req_bytes_in += req_bytes as u64;
+        inner.counters.msgs_recv += 1;
+        inner.counters.bytes_recv += req_bytes as u64;
+
+        // Group by array, preserving request order within each array.
+        let mut order: Vec<u32> = Vec::new();
+        let mut grouped: std::collections::HashMap<u32, (Vec<u64>, Vec<u64>)> =
+            std::collections::HashMap::new();
+        for e in &bundle.entries {
+            let g = grouped.entry(e.array).or_insert_with(|| {
+                order.push(e.array);
+                (Vec::new(), Vec::new())
+            });
+            g.0.push(e.idx);
+            g.1.push(e.slot);
+        }
+
+        let mut parts = Vec::with_capacity(order.len());
+        let mut bytes = self.cfg.bundle_header_bytes;
+        for array in order {
+            let (idxs, slots) = grouped.remove(&array).expect("grouped above");
+            let (values, vbytes) = inner.garrays[array as usize].serve(&idxs);
+            bytes += vbytes;
+            parts.push(RespPart {
+                array,
+                slots,
+                values,
+            });
+        }
+        inner.service_time += self.cfg.service_overhead.scale(n_entries);
+        inner.traffic.resp_bundles_out += 1;
+        inner.traffic.resp_bytes_out += bytes as u64;
+        inner.counters.msgs_sent += 1;
+        inner.counters.bytes_sent += bytes as u64;
+        drop(inner);
+
+        let now = self.ep.clock.now();
+        self.ep.net.send(Message::new(
+            self.node_id(),
+            src,
+            msgs::tag(msgs::K_READ_RESP, 0),
+            now,
+            bytes,
+            RespBundle { parts },
+        ));
+    }
+}
+
+// Helpers to view typed arrays through the trait objects.
+fn garray_ref<T: Elem>(inner: &Inner, id: u32) -> &GArray<T> {
+    inner.garrays[id as usize]
+        .as_any_ref()
+        .downcast_ref::<GArray<T>>()
+        .expect("global array handle type mismatch")
+}
+
+fn garray_mut<T: Elem>(inner: &mut Inner, id: u32) -> &mut GArray<T> {
+    inner.garrays[id as usize]
+        .as_any()
+        .downcast_mut::<GArray<T>>()
+        .expect("global array handle type mismatch")
+}
+
+fn narray_ref<T: Elem>(inner: &Inner, id: u32) -> &NArray<T> {
+    inner.narrays[id as usize]
+        .as_any_ref()
+        .downcast_ref::<NArray<T>>()
+        .expect("node array handle type mismatch")
+}
+
+fn narray_mut<T: Elem>(inner: &mut Inner, id: u32) -> &mut NArray<T> {
+    inner.narrays[id as usize]
+        .as_any()
+        .downcast_mut::<NArray<T>>()
+        .expect("node array handle type mismatch")
+}
+
+/// Keep `Any` imported for downcast bounds used above.
+#[allow(unused)]
+fn _assert_any(_: &dyn Any) {}

@@ -1,0 +1,114 @@
+//! Handles to PPM shared variables.
+//!
+//! Handles are small `Copy` tokens (array id + length), so VP closures can
+//! capture them freely; the actual storage lives in the node runtime. This
+//! mirrors the paper's `PPM_global_shared` / `PPM_node_shared` declarations:
+//! a global declaration names *one* cluster-wide array, a node declaration
+//! names one array *per node* (§3.1 item 1).
+
+use std::marker::PhantomData;
+
+use crate::elem::Elem;
+
+/// A globally shared array, partitioned over the nodes of the cluster
+/// (virtual shared memory). Declared with
+/// [`NodeCtx::alloc_global`](crate::NodeCtx::alloc_global).
+pub struct GlobalShared<T: Elem> {
+    pub(crate) id: u32,
+    pub(crate) len: usize,
+    pub(crate) _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Elem> GlobalShared<T> {
+    pub(crate) fn new(id: u32, len: usize) -> Self {
+        GlobalShared {
+            id,
+            len,
+            _t: PhantomData,
+        }
+    }
+
+    /// Global length of the array.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+// Derived impls would bound on `T`, which handles don't need.
+impl<T: Elem> Clone for GlobalShared<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Elem> Copy for GlobalShared<T> {}
+impl<T: Elem> std::fmt::Debug for GlobalShared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GlobalShared#{}(len={})", self.id, self.len)
+    }
+}
+
+/// A node-shared array: one instance per node, living in that node's
+/// physical shared memory. Declared with
+/// [`NodeCtx::alloc_node`](crate::NodeCtx::alloc_node).
+pub struct NodeShared<T: Elem> {
+    pub(crate) id: u32,
+    pub(crate) len: usize,
+    pub(crate) _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Elem> NodeShared<T> {
+    pub(crate) fn new(id: u32, len: usize) -> Self {
+        NodeShared {
+            id,
+            len,
+            _t: PhantomData,
+        }
+    }
+
+    /// Length of this node's instance.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Elem> Clone for NodeShared<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Elem> Copy for NodeShared<T> {}
+impl<T: Elem> std::fmt::Debug for NodeShared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeShared#{}(len={})", self.id, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_copy_and_small() {
+        let g: GlobalShared<f64> = GlobalShared::new(0, 10);
+        let g2 = g;
+        assert_eq!(g.len(), g2.len());
+        assert!(std::mem::size_of::<GlobalShared<f64>>() <= 16);
+        let n: NodeShared<u64> = NodeShared::new(1, 0);
+        assert!(n.is_empty());
+        assert_eq!(format!("{g:?}"), "GlobalShared#0(len=10)");
+    }
+}

@@ -1,0 +1,930 @@
+//! Per-node runtime state shared between VP futures and the executor.
+//!
+//! Everything a virtual processor touches while running (shared-array
+//! storage, write buffers, pending read requests, phase bookkeeping,
+//! per-core compute accounting) lives in [`Inner`], behind an
+//! `Rc<RefCell<_>>` — the node runtime is single-threaded, with node
+//! parallelism *modeled* through the per-core compute accumulators.
+//!
+//! Phase semantics are implemented here:
+//!
+//! * reads see phase-start values because writes are *buffered* (the live
+//!   arrays are never mutated during a phase body);
+//! * `put` conflicts resolve deterministically by [`WriteKey`] (global VP
+//!   rank, program order) — last writer wins;
+//! * `accumulate` writes are pre-combined locally (one bundle entry per
+//!   node per element) and applied at the owner in ascending source-node
+//!   order, so floating-point results are bit-reproducible;
+//! * mixing `put` and `accumulate` on the same element in the same phase is
+//!   a programming error and panics.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use ppm_simnet::{Counters, SimTime, WireSize};
+
+use crate::config::PpmConfig;
+use crate::dist::Dist;
+use crate::elem::{AccumElem, AccumOp, Elem};
+
+/// Deterministic ordering key for assign conflicts: (global VP rank,
+/// per-VP write sequence number). Later keys win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct WriteKey {
+    pub vp: u64,
+    pub seq: u64,
+}
+
+/// A buffered write, as shipped in write bundles.
+///
+/// `Accum` carries the monomorphized combiner so the type-erased apply path
+/// can merge values without knowing `T: AccumElem`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WireWrite<T> {
+    Assign(T, WriteKey),
+    Accum(AccumOp, T, fn(AccumOp, T, T) -> T),
+}
+
+/// One entry of an outgoing read-request bundle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqEntry {
+    pub array: u32,
+    pub idx: u64,
+    pub slot: u64,
+}
+
+/// How the current `ppm_do` participates in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DoMode {
+    /// `ppm_do`: collective across nodes; global phases allowed.
+    Collective,
+    /// `ppm_do_local`: this node only (asynchronous mode, paper §3.3);
+    /// only node phases and node-shared variables may be used.
+    Local,
+}
+
+/// Which phase construct is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// `PPM_global_phase`: synchronizes all VPs on all nodes and publishes
+    /// global- and node-shared writes.
+    Global,
+    /// `PPM_node_phase`: synchronizes this node's VPs and publishes
+    /// node-shared writes. No network traffic.
+    Node,
+}
+
+// ---------------------------------------------------------------------------
+// Slot table: parking spots for VPs suspended on remote reads.
+// ---------------------------------------------------------------------------
+
+enum Slot {
+    Waiting { vp: usize },
+    Filled { value: Box<dyn Any> },
+}
+
+/// Parking table for suspended remote reads. Filling a slot records the
+/// owning VP in `wake` for the executor to re-poll.
+#[derive(Default)]
+pub(crate) struct SlotTable {
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    /// VPs made runnable by slot fills; drained by the executor.
+    pub wake: Vec<usize>,
+}
+
+impl SlotTable {
+    pub fn alloc(&mut self, vp: usize) -> u64 {
+        let slot = Slot::Waiting { vp };
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i].is_none());
+                self.slots[i] = Some(slot);
+                i as u64
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    pub fn fill(&mut self, slot: u64, value: Box<dyn Any>) {
+        let s = self.slots[slot as usize]
+            .replace(Slot::Filled { value })
+            .expect("filling a free slot");
+        match s {
+            Slot::Waiting { vp } => self.wake.push(vp),
+            Slot::Filled { .. } => panic!("slot {slot} filled twice"),
+        }
+    }
+
+    /// Take the value if the slot has been filled; frees the slot.
+    pub fn try_take(&mut self, slot: u64) -> Option<Box<dyn Any>> {
+        match &self.slots[slot as usize] {
+            Some(Slot::Filled { .. }) => {
+                let s = self.slots[slot as usize].take().expect("checked above");
+                self.free.push(slot as usize);
+                match s {
+                    Slot::Filled { value } => Some(value),
+                    Slot::Waiting { .. } => unreachable!(),
+                }
+            }
+            Some(Slot::Waiting { .. }) => None,
+            None => panic!("polling a freed slot"),
+        }
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.slots.iter().flatten().count() - self.filled_count()
+    }
+
+    fn filled_count(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Slot::Filled { .. }))
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global shared array storage.
+// ---------------------------------------------------------------------------
+
+/// A write parcel produced by draining an array's write buffer: the entries
+/// destined for one owner node.
+pub(crate) struct WriteParcel {
+    pub dest: usize,
+    pub entries: u64,
+    pub bytes: usize,
+    /// `Vec<(u64 global_idx, WireWrite<T>)>`, sorted by index.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// This node's partition of one global shared array plus its phase write
+/// buffer.
+pub(crate) struct GArray<T: Elem> {
+    pub dist: Dist,
+    pub local: Vec<T>,
+    wbuf: HashMap<usize, WireWrite<T>>,
+}
+
+impl<T: Elem> GArray<T> {
+    pub fn new(dist: Dist, node: usize) -> Self {
+        GArray {
+            dist,
+            local: vec![T::default(); dist.local_len(node)],
+            wbuf: HashMap::new(),
+        }
+    }
+
+    pub fn buffer_assign(&mut self, idx: usize, val: T, key: WriteKey) {
+        match self.wbuf.entry(idx) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
+                WireWrite::Assign(_, old_key) => {
+                    if key > *old_key {
+                        e.insert(WireWrite::Assign(val, key));
+                    }
+                }
+                WireWrite::Accum(..) => {
+                    panic!("element {idx}: put and accumulate mixed in one phase")
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WireWrite::Assign(val, key));
+            }
+        }
+    }
+}
+
+impl<T: AccumElem> GArray<T> {
+    pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
+        match self.wbuf.entry(idx) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match *e.get() {
+                WireWrite::Accum(old_op, acc, f) => {
+                    assert_eq!(
+                        old_op, op,
+                        "element {idx}: conflicting accumulate operators in one phase"
+                    );
+                    e.insert(WireWrite::Accum(op, f(op, acc, val), f));
+                }
+                WireWrite::Assign(..) => {
+                    panic!("element {idx}: put and accumulate mixed in one phase")
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WireWrite::Accum(op, val, T::combine));
+            }
+        }
+    }
+}
+
+/// Type-erased face of `GArray<T>` for the exchange path (serving reads,
+/// draining and applying write bundles).
+pub(crate) trait GArrayObj {
+    fn as_any(&mut self) -> &mut dyn Any;
+    fn as_any_ref(&self) -> &dyn Any;
+    /// Read the values at `idxs` (global indices owned by this node);
+    /// returns the payload (`Vec<T>`) and its modeled byte size.
+    fn serve(&self, idxs: &[u64]) -> (Box<dyn Any + Send>, usize);
+    /// Requester side: value `i` of the response fans out to every slot in
+    /// `groups[i]` (request deduplication lets many VPs share one wire
+    /// entry for the same remote element).
+    fn fulfill_multi(&self, values: Box<dyn Any + Send>, groups: &[Vec<u64>], table: &mut SlotTable);
+    /// Drain the write buffer into per-destination parcels (the destination
+    /// may be this node itself).
+    fn drain_writes(&mut self) -> Vec<WriteParcel>;
+    /// Owner side: apply `(source node, payload)` parcels; resolution order
+    /// is deterministic. Returns the number of entries applied.
+    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> u64;
+    /// Whether any writes are buffered (used to assert clean phase ends).
+    fn has_pending_writes(&self) -> bool;
+}
+
+impl<T: Elem> GArrayObj for GArray<T> {
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+
+    fn serve(&self, idxs: &[u64]) -> (Box<dyn Any + Send>, usize) {
+        let values: Vec<T> = idxs
+            .iter()
+            .map(|&i| self.local[self.dist.local_offset(i as usize)])
+            .collect();
+        let bytes = values.wire_size();
+        (Box::new(values), bytes)
+    }
+
+    fn fulfill_multi(&self, values: Box<dyn Any + Send>, groups: &[Vec<u64>], table: &mut SlotTable) {
+        let values = values
+            .downcast::<Vec<T>>()
+            .expect("response payload type mismatch");
+        debug_assert_eq!(values.len(), groups.len());
+        for (slots, v) in groups.iter().zip(*values) {
+            for &slot in slots {
+                table.fill(slot, Box::new(v));
+            }
+        }
+    }
+
+    fn drain_writes(&mut self) -> Vec<WriteParcel> {
+        if self.wbuf.is_empty() {
+            return Vec::new();
+        }
+        let mut by_dest: HashMap<usize, Vec<(u64, WireWrite<T>)>> = HashMap::new();
+        for (idx, w) in self.wbuf.drain() {
+            by_dest
+                .entry(self.dist.owner(idx))
+                .or_default()
+                .push((idx as u64, w));
+        }
+        let mut parcels: Vec<WriteParcel> = by_dest
+            .into_iter()
+            .map(|(dest, mut entries)| {
+                entries.sort_by_key(|(i, _)| *i);
+                let bytes: usize = entries
+                    .iter()
+                    .map(|(_, w)| {
+                        9 + match w {
+                            WireWrite::Assign(v, _) => v.wire_size(),
+                            WireWrite::Accum(_, v, _) => v.wire_size(),
+                        }
+                    })
+                    .sum();
+                WriteParcel {
+                    dest,
+                    entries: entries.len() as u64,
+                    bytes,
+                    payload: Box::new(entries),
+                }
+            })
+            .collect();
+        parcels.sort_by_key(|p| p.dest);
+        parcels
+    }
+
+    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> u64 {
+        let mut all: Vec<(u64, u32, WireWrite<T>)> = Vec::new();
+        for (src, payload) in parcels {
+            let entries = payload
+                .downcast::<Vec<(u64, WireWrite<T>)>>()
+                .expect("write parcel type mismatch");
+            all.extend(entries.into_iter().map(|(idx, w)| (idx, src, w)));
+        }
+        // Deterministic application order: by element, then by source node.
+        all.sort_by_key(|(idx, src, _)| (*idx, *src));
+        let applied = all.len() as u64;
+        let mut i = 0;
+        while i < all.len() {
+            let idx = all[i].0;
+            let mut j = i + 1;
+            while j < all.len() && all[j].0 == idx {
+                j += 1;
+            }
+            let resolved = resolve_conflicts(idx, &all[i..j]);
+            let off = self.dist.local_offset(idx as usize);
+            self.local[off] = resolved;
+            i = j;
+        }
+        applied
+    }
+
+    fn has_pending_writes(&self) -> bool {
+        !self.wbuf.is_empty()
+    }
+}
+
+/// Fold one element's writes (already in deterministic order) into a value.
+fn resolve_conflicts<T: Elem>(idx: u64, run: &[(u64, u32, WireWrite<T>)]) -> T {
+    let mut iter = run.iter().map(|(_, _, w)| *w);
+    let first = iter.next().expect("non-empty run");
+    match first {
+        WireWrite::Assign(v, k) => {
+            let (mut best_v, mut best_k) = (v, k);
+            for w in iter {
+                match w {
+                    WireWrite::Assign(v, k) => {
+                        if k > best_k {
+                            best_v = v;
+                            best_k = k;
+                        }
+                    }
+                    WireWrite::Accum(..) => {
+                        panic!("element {idx}: put and accumulate mixed across nodes in one phase")
+                    }
+                }
+            }
+            best_v
+        }
+        WireWrite::Accum(op, v, f) => {
+            let mut acc = v;
+            for w in iter {
+                match w {
+                    WireWrite::Accum(op2, v2, _) => {
+                        assert_eq!(op, op2, "element {idx}: conflicting accumulate operators");
+                        acc = f(op, acc, v2);
+                    }
+                    WireWrite::Assign(..) => {
+                        panic!("element {idx}: put and accumulate mixed across nodes in one phase")
+                    }
+                }
+            }
+            acc
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node shared array storage.
+// ---------------------------------------------------------------------------
+
+/// One node's instance of a node-shared array plus its phase write buffer.
+pub(crate) struct NArray<T: Elem> {
+    pub data: Vec<T>,
+    wbuf: HashMap<usize, WireWrite<T>>,
+}
+
+impl<T: Elem> NArray<T> {
+    pub fn new(len: usize) -> Self {
+        NArray {
+            data: vec![T::default(); len],
+            wbuf: HashMap::new(),
+        }
+    }
+
+    pub fn buffer_assign(&mut self, idx: usize, val: T, key: WriteKey) {
+        match self.wbuf.entry(idx) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
+                WireWrite::Assign(_, old_key) => {
+                    if key > *old_key {
+                        e.insert(WireWrite::Assign(val, key));
+                    }
+                }
+                WireWrite::Accum(..) => {
+                    panic!("node element {idx}: put and accumulate mixed in one phase")
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WireWrite::Assign(val, key));
+            }
+        }
+    }
+}
+
+impl<T: AccumElem> NArray<T> {
+    pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
+        match self.wbuf.entry(idx) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match *e.get() {
+                WireWrite::Accum(old_op, acc, f) => {
+                    assert_eq!(old_op, op, "node element {idx}: conflicting accumulate ops");
+                    e.insert(WireWrite::Accum(op, f(op, acc, val), f));
+                }
+                WireWrite::Assign(..) => {
+                    panic!("node element {idx}: put and accumulate mixed in one phase")
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WireWrite::Accum(op, val, T::combine));
+            }
+        }
+    }
+}
+
+/// Type-erased face of `NArray<T>` for end-of-phase application.
+pub(crate) trait NArrayObj {
+    fn as_any(&mut self) -> &mut dyn Any;
+    fn as_any_ref(&self) -> &dyn Any;
+    /// Apply the buffered writes. Returns entries applied.
+    fn apply(&mut self) -> u64;
+}
+
+impl<T: Elem> NArrayObj for NArray<T> {
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+
+    fn apply(&mut self) -> u64 {
+        let n = self.wbuf.len() as u64;
+        let mut entries: Vec<(usize, WireWrite<T>)> = self.wbuf.drain().collect();
+        entries.sort_by_key(|(i, _)| *i);
+        for (idx, w) in entries {
+            self.data[idx] = match w {
+                WireWrite::Assign(v, _) => v,
+                WireWrite::Accum(_, v, _) => v,
+            };
+        }
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase bookkeeping and traffic accounting.
+// ---------------------------------------------------------------------------
+
+/// Barrier/phase bookkeeping for the current `ppm_do`.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseState {
+    /// Kind of the currently open phase, if any VP has entered one.
+    pub open: Option<PhaseKind>,
+    /// VPs that entered the current phase.
+    pub entered: usize,
+    /// VPs waiting at the current phase's end barrier.
+    pub arrived: usize,
+    /// Completed-phase counter; barrier futures wait for it to advance.
+    pub epoch: u64,
+    /// Completed global phases (used to tag runtime messages).
+    pub global_seq: u64,
+    /// Completed node phases.
+    pub node_seq: u64,
+}
+
+/// One completed phase, as recorded in the node's phase log — the
+/// observability channel for understanding where a PPM program's time
+/// goes. Retrieved with [`crate::NodeCtx::take_phase_log`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Global or node phase.
+    pub kind: PhaseKind,
+    /// Max per-core compute charged during the phase.
+    pub compute: SimTime,
+    /// Owner-side service CPU (remote reads served, writes applied).
+    pub service: SimTime,
+    /// Communication time charged (gap + overhead + wave latency +
+    /// barrier), as seen by this node.
+    pub comm: SimTime,
+    /// Request flush rounds.
+    pub waves: u64,
+    /// Modeled bytes sent during the phase.
+    pub bytes_out: u64,
+    /// Modeled bytes received during the phase.
+    pub bytes_in: u64,
+}
+
+/// Per-phase communication totals, turned into simulated time by the
+/// executor's cost formula at each global phase end.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Traffic {
+    pub req_bundles_out: u64,
+    pub req_entries_out: u64,
+    pub req_bytes_out: u64,
+    pub req_bundles_in: u64,
+    pub req_entries_in: u64,
+    pub req_bytes_in: u64,
+    pub resp_bundles_out: u64,
+    pub resp_bytes_out: u64,
+    pub resp_bundles_in: u64,
+    pub resp_bytes_in: u64,
+    pub write_bundles_out: u64,
+    pub write_entries_out: u64,
+    pub write_bytes_out: u64,
+    pub write_bundles_in: u64,
+    pub write_entries_in: u64,
+    pub write_bytes_in: u64,
+    pub waves: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Inner: the per-node runtime state.
+// ---------------------------------------------------------------------------
+
+/// Outcome of a shared read issued by a VP.
+pub(crate) enum GetOutcome<T> {
+    /// The element is owned locally; here is its value.
+    Local(T),
+    /// The element is remote; the VP parks on this slot.
+    Remote(u64),
+}
+
+/// All per-node runtime state the VPs and the executor share.
+pub(crate) struct Inner {
+    pub cfg: PpmConfig,
+    pub node: usize,
+    pub garrays: Vec<Box<dyn GArrayObj>>,
+    pub narrays: Vec<Box<dyn NArrayObj>>,
+    pub slots: SlotTable,
+    /// Outgoing read requests queued for the next wave, by destination.
+    pub reqs: HashMap<usize, Vec<ReqEntry>>,
+    pub phase: PhaseState,
+    pub traffic: Traffic,
+    /// Per-core compute accumulated in the current phase (VP charges and
+    /// shared-access overheads).
+    pub core_compute: Vec<SimTime>,
+    /// Owner-side service CPU spent this phase.
+    pub service_time: SimTime,
+    /// Event counters, merged into the endpoint at exchange points.
+    pub counters: Counters,
+    /// VPs of the current `ppm_do` that have not finished.
+    pub live_vps: usize,
+    /// Global rank of this node's VP 0 in the current `ppm_do`.
+    pub vp_base_global: u64,
+    /// Total VPs across all nodes in the current `ppm_do`.
+    pub total_vps_global: u64,
+    /// VPs woken by the executor releasing a barrier.
+    pub barrier_waiters: Vec<usize>,
+    /// Participation mode of the current `ppm_do`.
+    pub(crate) do_mode: DoMode,
+    /// Completed-phase records (drained by `NodeCtx::take_phase_log`).
+    pub phase_log: Vec<PhaseRecord>,
+}
+
+impl Inner {
+    pub fn new(cfg: PpmConfig, node: usize) -> Self {
+        Inner {
+            cfg,
+            node,
+            garrays: Vec::new(),
+            narrays: Vec::new(),
+            slots: SlotTable::default(),
+            reqs: HashMap::new(),
+            phase: PhaseState::default(),
+            traffic: Traffic::default(),
+            core_compute: vec![SimTime::ZERO; cfg.cores_per_node()],
+            service_time: SimTime::ZERO,
+            counters: Counters::default(),
+            live_vps: 0,
+            vp_base_global: 0,
+            total_vps_global: 0,
+            barrier_waiters: Vec::new(),
+            do_mode: DoMode::Collective,
+            phase_log: Vec::new(),
+        }
+    }
+
+    /// Core hosting a VP (round-robin, the paper's "VPs become loops over
+    /// cores" lowering).
+    #[inline]
+    pub fn core_of(&self, vp_node_rank: usize) -> usize {
+        vp_node_rank % self.cfg.cores_per_node()
+    }
+
+    /// Charge compute time to a VP's core.
+    #[inline]
+    pub fn charge_core(&mut self, vp_node_rank: usize, t: SimTime) {
+        let core = self.core_of(vp_node_rank);
+        self.core_compute[core] += t;
+    }
+
+    fn garray<T: Elem>(&mut self, id: u32) -> &mut GArray<T> {
+        self.garrays[id as usize]
+            .as_any()
+            .downcast_mut::<GArray<T>>()
+            .expect("global array handle type mismatch")
+    }
+
+    fn narray<T: Elem>(&mut self, id: u32) -> &mut NArray<T> {
+        self.narrays[id as usize]
+            .as_any()
+            .downcast_mut::<NArray<T>>()
+            .expect("node array handle type mismatch")
+    }
+
+    fn assert_in_phase(&self, what: &str) -> PhaseKind {
+        self.phase
+            .open
+            .unwrap_or_else(|| panic!("{what} requires an open phase"))
+    }
+
+    /// VP read of a global shared element.
+    pub fn get_global<T: Elem>(&mut self, id: u32, idx: usize, vp: usize) -> GetOutcome<T> {
+        let kind = self.assert_in_phase("global shared read");
+        let sv = self.cfg.sv_overhead;
+        self.charge_core(vp, sv);
+        let node = self.node;
+        let ga = self.garray::<T>(id);
+        assert!(idx < ga.dist.len, "global read index {idx} out of bounds");
+        let owner = ga.dist.owner(idx);
+        if owner == node {
+            let v = ga.local[ga.dist.local_offset(idx)];
+            self.counters.local_accesses += 1;
+            GetOutcome::Local(v)
+        } else {
+            assert_eq!(
+                kind,
+                PhaseKind::Global,
+                "remote shared read inside a node phase (element {idx} is on node {owner}); \
+                 use a global phase"
+            );
+            let slot = self.slots.alloc(vp);
+            self.reqs.entry(owner).or_default().push(ReqEntry {
+                array: id,
+                idx: idx as u64,
+                slot,
+            });
+            self.counters.remote_gets += 1;
+            GetOutcome::Remote(slot)
+        }
+    }
+
+    /// VP write (assign) of a global shared element.
+    pub fn put_global<T: Elem>(&mut self, id: u32, idx: usize, val: T, key: WriteKey, vp: usize) {
+        let kind = self.assert_in_phase("global shared write");
+        assert_eq!(
+            kind,
+            PhaseKind::Global,
+            "global shared writes are only allowed inside a global phase"
+        );
+        let sv = self.cfg.sv_overhead;
+        self.charge_core(vp, sv);
+        let node = self.node;
+        let ga = self.garray::<T>(id);
+        assert!(idx < ga.dist.len, "global write index {idx} out of bounds");
+        if ga.dist.owner(idx) == node {
+            self.counters.local_accesses += 1;
+        } else {
+            self.counters.remote_puts += 1;
+        }
+        self.garray::<T>(id).buffer_assign(idx, val, key);
+    }
+
+    /// VP combining write of a global shared element.
+    pub fn accum_global<T: AccumElem>(
+        &mut self,
+        id: u32,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+        vp: usize,
+    ) {
+        let kind = self.assert_in_phase("global shared accumulate");
+        assert_eq!(
+            kind,
+            PhaseKind::Global,
+            "global shared accumulates are only allowed inside a global phase"
+        );
+        let sv = self.cfg.sv_overhead;
+        self.charge_core(vp, sv);
+        let node = self.node;
+        let ga = self.garray::<T>(id);
+        assert!(idx < ga.dist.len, "accumulate index {idx} out of bounds");
+        if ga.dist.owner(idx) == node {
+            self.counters.local_accesses += 1;
+        } else {
+            self.counters.remote_puts += 1;
+        }
+        self.garray::<T>(id).buffer_accum(idx, op, val);
+    }
+
+    /// VP read of a node-shared element (physical shared memory: immediate).
+    pub fn get_node_arr<T: Elem>(&mut self, id: u32, idx: usize, vp: usize) -> T {
+        self.assert_in_phase("node shared read");
+        let sv = self.cfg.node_sv_overhead;
+        self.charge_core(vp, sv);
+        self.counters.local_accesses += 1;
+        let na = self.narray::<T>(id);
+        assert!(idx < na.data.len(), "node read index {idx} out of bounds");
+        na.data[idx]
+    }
+
+    /// VP write (assign) of a node-shared element.
+    pub fn put_node_arr<T: Elem>(&mut self, id: u32, idx: usize, val: T, key: WriteKey, vp: usize) {
+        self.assert_in_phase("node shared write");
+        let sv = self.cfg.node_sv_overhead;
+        self.charge_core(vp, sv);
+        self.counters.local_accesses += 1;
+        let na = self.narray::<T>(id);
+        assert!(idx < na.data.len(), "node write index {idx} out of bounds");
+        na.buffer_assign(idx, val, key);
+    }
+
+    /// VP combining write of a node-shared element.
+    pub fn accum_node_arr<T: AccumElem>(
+        &mut self,
+        id: u32,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+        vp: usize,
+    ) {
+        self.assert_in_phase("node shared accumulate");
+        let sv = self.cfg.node_sv_overhead;
+        self.charge_core(vp, sv);
+        self.counters.local_accesses += 1;
+        let na = self.narray::<T>(id);
+        assert!(idx < na.data.len(), "accumulate index {idx} out of bounds");
+        na.buffer_accum(idx, op, val);
+    }
+
+    /// A VP enters a phase of `kind`; all concurrent VPs must agree.
+    pub fn enter_phase(&mut self, kind: PhaseKind) {
+        assert!(
+            !(self.do_mode == DoMode::Local && kind == PhaseKind::Global),
+            "global phases are not allowed inside ppm_do_local \
+             (asynchronous node-level mode); use ppm_do"
+        );
+        match self.phase.open {
+            None => {
+                self.phase.open = Some(kind);
+                self.phase.entered = 1;
+            }
+            Some(k) => {
+                assert_eq!(
+                    k, kind,
+                    "VPs disagree on the current phase kind: the Parallel Phase Model \
+                     requires all of a node's VPs to execute the same phase sequence"
+                );
+                self.phase.entered += 1;
+            }
+        }
+    }
+
+    /// A VP reaches the current phase's end barrier. Returns the epoch the
+    /// VP must wait to see advance.
+    pub fn arrive_barrier(&mut self, vp: usize) -> u64 {
+        debug_assert!(self.phase.open.is_some());
+        self.phase.arrived += 1;
+        self.barrier_waiters.push(vp);
+        self.phase.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vp: u64, seq: u64) -> WriteKey {
+        WriteKey { vp, seq }
+    }
+
+    #[test]
+    fn slot_table_lifecycle() {
+        let mut t = SlotTable::default();
+        let s0 = t.alloc(3);
+        let s1 = t.alloc(5);
+        assert_eq!(t.outstanding(), 2);
+        assert!(t.try_take(s0).is_none());
+        t.fill(s0, Box::new(1.5f64));
+        assert_eq!(t.wake, vec![3]);
+        let v = t.try_take(s0).expect("filled");
+        assert_eq!(*v.downcast::<f64>().unwrap(), 1.5);
+        // freed slot is reused
+        let s2 = t.alloc(7);
+        assert_eq!(s2, s0);
+        t.fill(s1, Box::new(2u64));
+        t.fill(s2, Box::new(3u64));
+        assert_eq!(t.wake, vec![3, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_panics() {
+        let mut t = SlotTable::default();
+        let s = t.alloc(0);
+        t.fill(s, Box::new(1u8));
+        t.fill(s, Box::new(2u8));
+    }
+
+    #[test]
+    fn assign_last_writer_wins_locally() {
+        let mut ga: GArray<f64> = GArray::new(Dist::block(4, 1), 0);
+        ga.buffer_assign(2, 1.0, key(0, 0));
+        ga.buffer_assign(2, 2.0, key(1, 0));
+        ga.buffer_assign(2, 1.5, key(0, 5)); // lower vp, loses to (1,0)? No: (1,0) > (0,5)
+        let parcels = ga.drain_writes();
+        assert_eq!(parcels.len(), 1);
+        let p = parcels.into_iter().next().unwrap();
+        let entries = p.payload.downcast::<Vec<(u64, WireWrite<f64>)>>().unwrap();
+        match entries[0].1 {
+            WireWrite::Assign(v, k) => {
+                assert_eq!(v, 2.0);
+                assert_eq!(k, key(1, 0));
+            }
+            _ => panic!("expected assign"),
+        }
+    }
+
+    #[test]
+    fn accum_merges_locally() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(4, 2), 0);
+        ga.buffer_accum(3, AccumOp::Add, 5);
+        ga.buffer_accum(3, AccumOp::Add, 7);
+        let parcels = ga.drain_writes();
+        assert_eq!(parcels.len(), 1);
+        assert_eq!(parcels[0].dest, 1); // idx 3 lives on node 1 of 2
+        assert_eq!(parcels[0].entries, 1); // merged
+    }
+
+    #[test]
+    #[should_panic(expected = "put and accumulate mixed")]
+    fn mixed_write_kinds_panic() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(4, 1), 0);
+        ga.buffer_assign(0, 1, key(0, 0));
+        ga.buffer_accum(0, AccumOp::Add, 1);
+    }
+
+    #[test]
+    fn apply_resolves_across_sources_deterministically() {
+        let mut ga: GArray<f64> = GArray::new(Dist::block(4, 1), 0);
+        // Two "remote" parcels plus a local one, unsorted source order.
+        let p2: Vec<(u64, WireWrite<f64>)> = vec![(1, WireWrite::Assign(20.0, key(9, 0)))];
+        let p0: Vec<(u64, WireWrite<f64>)> = vec![
+            (1, WireWrite::Assign(10.0, key(2, 3))),
+            (2, WireWrite::Accum(AccumOp::Add, 1.0, f64::combine)),
+        ];
+        let p1: Vec<(u64, WireWrite<f64>)> =
+            vec![(2, WireWrite::Accum(AccumOp::Add, 2.0, f64::combine))];
+        let n = ga.apply_writes(vec![(2, Box::new(p2)), (0, Box::new(p0)), (1, Box::new(p1))]);
+        assert_eq!(n, 4);
+        assert_eq!(ga.local[1], 20.0, "assign with highest WriteKey wins");
+        assert_eq!(ga.local[2], 3.0, "accumulates sum across sources");
+        assert_eq!(ga.local[0], 0.0, "untouched elements stay default");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed across nodes")]
+    fn apply_detects_cross_node_mix() {
+        let mut ga: GArray<f64> = GArray::new(Dist::block(2, 1), 0);
+        let a: Vec<(u64, WireWrite<f64>)> = vec![(0, WireWrite::Assign(1.0, key(0, 0)))];
+        let b: Vec<(u64, WireWrite<f64>)> =
+            vec![(0, WireWrite::Accum(AccumOp::Add, 1.0, f64::combine))];
+        ga.apply_writes(vec![(0, Box::new(a)), (1, Box::new(b))]);
+    }
+
+    #[test]
+    fn serve_reads_global_indices() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(10, 2), 1);
+        // node 1 owns indices 5..10 at offsets 0..5
+        for (off, v) in ga.local.iter_mut().enumerate() {
+            *v = (off + 100) as u64;
+        }
+        let (payload, bytes) = GArrayObj::serve(&ga, &[5, 9, 7]);
+        assert_eq!(bytes, 8 + 3 * 8);
+        let vals = payload.downcast::<Vec<u64>>().unwrap();
+        assert_eq!(*vals, vec![100, 104, 102]);
+    }
+
+    #[test]
+    fn narray_apply_overwrites_and_clears() {
+        let mut na: NArray<u64> = NArray::new(3);
+        na.buffer_assign(0, 5, key(0, 0));
+        na.buffer_accum(2, AccumOp::Max, 9);
+        na.buffer_accum(2, AccumOp::Max, 4);
+        assert_eq!(na.apply(), 2);
+        assert_eq!(na.data, vec![5, 0, 9]);
+        assert_eq!(na.apply(), 0);
+    }
+
+    #[test]
+    fn drain_splits_by_owner_and_sorts() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(8, 4), 0);
+        for idx in [7, 0, 3, 5, 1] {
+            ga.buffer_assign(idx, idx as u64, key(0, idx as u64));
+        }
+        let parcels = ga.drain_writes();
+        let dests: Vec<usize> = parcels.iter().map(|p| p.dest).collect();
+        assert_eq!(dests, vec![0, 1, 2, 3]);
+        assert!(!ga.has_pending_writes());
+        let p0 = parcels.into_iter().next().unwrap();
+        let entries = p0.payload.downcast::<Vec<(u64, WireWrite<u64>)>>().unwrap();
+        let idxs: Vec<u64> = entries.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idxs, vec![0, 1], "entries sorted by index");
+    }
+}

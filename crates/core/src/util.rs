@@ -1,0 +1,308 @@
+//! Higher-level runtime utilities built on the model's own primitives.
+//!
+//! The paper lists utility functions (reduction, parallel prefix, …) as
+//! part of the PPM programming environment (§3.1 item 6). The node-level
+//! reduction/prefix/broadcast live as methods on
+//! [`NodeCtx`]; this module adds array-granularity
+//! utilities used by the applications, most importantly a distributed
+//! sample sort.
+
+use crate::elem::Elem;
+use crate::nodectx::NodeCtx;
+use crate::shared::GlobalShared;
+
+/// Sort a block-distributed global `u64` array in place (ascending), using
+/// a node-level sample sort: sample local partitions, agree on splitters,
+/// pairwise-exchange buckets, sort locally, then rebalance back to the
+/// array's block distribution. Collective.
+///
+/// Charges `O((n/p)·log n)` comparison work per node plus the exchange
+/// traffic that the pairwise all-to-all induces.
+pub fn sort_global_u64(node: &mut NodeCtx<'_>, g: &GlobalShared<u64>) {
+    sort_global_by_key(node, g, |x| x)
+}
+
+/// Like [`sort_global_u64`] but ordering elements by `key(elem)`.
+/// `key` must be the same function on every node. The sort is stable with
+/// respect to the pre-sort global order of equal keys.
+pub fn sort_global_by_key<T, K>(node: &mut NodeCtx<'_>, g: &GlobalShared<T>, key: K)
+where
+    T: Elem,
+    K: Fn(T) -> u64 + Copy,
+{
+    let p = node.num_nodes();
+    let n = g.len();
+    if n == 0 {
+        return;
+    }
+    let mut local: Vec<T> = node.with_local(g, |s| s.to_vec());
+    // 1. Local sort.
+    charge_sort(node, local.len());
+    local.sort_by_key(|&x| key(x));
+
+    if p > 1 {
+        // 2. Regular sampling: p samples per node.
+        let samples: Vec<u64> = (0..p)
+            .map(|i| {
+                if local.is_empty() {
+                    u64::MAX
+                } else {
+                    key(local[i * local.len() / p])
+                }
+            })
+            .collect();
+        let mut sorted_samples: Vec<u64> = node
+            .allgatherv_nodes(samples)
+            .into_iter()
+            .flatten()
+            .collect();
+        sorted_samples.sort_unstable();
+        // p-1 splitters at the sample quantiles.
+        let splitters: Vec<u64> = (1..p).map(|i| sorted_samples[i * p]).collect();
+
+        // 3. Partition the local run by splitter and exchange pairwise.
+        let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for &x in &local {
+            let b = splitters.partition_point(|&s| s <= key(x));
+            buckets[b].push(x);
+        }
+        charge_probe(node, local.len(), p);
+        let received = node.alltoallv_nodes(buckets);
+
+        // 4. Merge the received (sorted) runs.
+        local = received.into_iter().flatten().collect();
+        charge_sort(node, local.len());
+        local.sort_by_key(|&x| key(x));
+    }
+
+    // 5. Rebalance to the block distribution: node i must end up with
+    //    exactly its block of the globally sorted order.
+    let counts = node.allgather_nodes(local.len() as u64);
+    let my_start: u64 = counts[..node.node_id()].iter().sum();
+    let dist = node.dist_of(g);
+    let mut outgoing: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, &x) in local.iter().enumerate() {
+        let gidx = my_start as usize + i;
+        outgoing[dist.owner(gidx)].push(x);
+    }
+    let incoming = node.alltoallv_nodes(outgoing);
+    // Sources arrive in node order and each node's run is sorted and
+    // contiguous in the global order, so concatenation is exactly the
+    // block this node owns.
+    let merged: Vec<T> = incoming.into_iter().flatten().collect();
+    node.with_local_mut(g, |s| {
+        assert_eq!(s.len(), merged.len(), "rebalance must fill the block exactly");
+        s.copy_from_slice(&merged);
+    });
+}
+
+/// Reduce a global array to a single value with `op` (applied in ascending
+/// index order per node, then across nodes in node order — deterministic).
+/// Collective; every node receives the result.
+pub fn reduce_global<T, F>(node: &mut NodeCtx<'_>, g: &GlobalShared<T>, identity: T, op: F) -> T
+where
+    T: Elem,
+    F: Fn(T, T) -> T,
+{
+    let local = node.with_local(g, |s| s.iter().fold(identity, |a, &b| op(a, b)));
+    node.charge_mem_ops(node.with_local(g, |s| s.len()) as u64);
+    node.allreduce_nodes(local, op)
+}
+
+/// In-place inclusive prefix combine (parallel prefix, paper §3.1 item 6)
+/// over a block-distributed global array: element `i` becomes
+/// `op(a[0], …, a[i])`. Local scans plus one node-level exclusive scan.
+/// Collective.
+pub fn scan_global<T, F>(node: &mut NodeCtx<'_>, g: &GlobalShared<T>, op: F)
+where
+    T: Elem,
+    F: Fn(T, T) -> T + Copy,
+{
+    // 1. Local inclusive scan.
+    let total = node.with_local_mut(g, |s| {
+        let mut acc: Option<T> = None;
+        for v in s.iter_mut() {
+            acc = Some(match acc {
+                None => *v,
+                Some(a) => op(a, *v),
+            });
+            *v = acc.expect("just set");
+        }
+        acc
+    });
+    node.charge_mem_ops(node.with_local(g, |s| s.len()) as u64);
+
+    // 2. Exclusive scan of the node totals (empty partitions contribute
+    //    nothing).
+    let below = node
+        .exscan_nodes(total, move |a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(op(x, y)),
+            (x, None) => x,
+            (None, y) => y,
+        })
+        .flatten();
+
+    // 3. Fold the carry into the local elements.
+    if let Some(carry) = below {
+        node.with_local_mut(g, |s| {
+            for v in s.iter_mut() {
+                *v = op(carry, *v);
+            }
+        });
+        node.charge_mem_ops(node.with_local(g, |s| s.len()) as u64);
+    }
+}
+
+/// Scatter `(global index, value)` records into a global array: records are
+/// routed to their owner nodes (pairwise exchange) and written directly.
+/// Collective; each index should be written by at most one record across
+/// all nodes (later sources overwrite earlier ones deterministically).
+pub fn scatter_global<T: Elem>(
+    node: &mut NodeCtx<'_>,
+    g: &GlobalShared<T>,
+    records: Vec<(usize, T)>,
+) {
+    let dist = node.dist_of(g);
+    let p = node.num_nodes();
+    let mut sends: Vec<Vec<(u64, T)>> = (0..p).map(|_| Vec::new()).collect();
+    for (idx, v) in records {
+        assert!(idx < g.len(), "scatter index {idx} out of bounds");
+        sends[dist.owner(idx)].push((idx as u64, v));
+    }
+    let received = node.alltoallv_nodes(sends);
+    node.charge_mem_ops(received.iter().map(Vec::len).sum::<usize>() as u64);
+    node.with_local_mut(g, |s| {
+        for batch in received {
+            for (idx, v) in batch {
+                s[dist.local_offset(idx as usize)] = v;
+            }
+        }
+    });
+}
+
+fn charge_sort(node: &mut NodeCtx<'_>, n: usize) {
+    if n > 1 {
+        let cmps = (n as u64) * (usize::BITS - (n - 1).leading_zeros()) as u64;
+        node.charge_mem_ops(cmps);
+    }
+}
+
+fn charge_probe(node: &mut NodeCtx<'_>, n: usize, p: usize) {
+    if n > 0 && p > 1 {
+        let cmps = (n as u64) * (usize::BITS - (p - 1).leading_zeros()) as u64;
+        node.charge_mem_ops(cmps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, PpmConfig};
+
+    fn scrambled(n: usize) -> Vec<u64> {
+        // Deterministic pseudo-random values (with duplicates).
+        (0..n as u64).map(|i| (i.wrapping_mul(2654435761)) % 1000).collect()
+    }
+
+    #[test]
+    fn sample_sort_matches_std_sort() {
+        for nodes in [1u32, 2, 3, 5] {
+            for n in [0usize, 1, 7, 100, 257] {
+                let vals = scrambled(n);
+                let mut expect = vals.clone();
+                expect.sort_unstable();
+                let report = run(PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 2)), {
+                    let vals = vals.clone();
+                    move |node| {
+                        let g = node.alloc_global::<u64>(n);
+                        let r = node.local_range(&g);
+                        node.with_local_mut(&g, |s| {
+                            s.copy_from_slice(&vals[r.clone()]);
+                        });
+                        sort_global_u64(node, &g);
+                        node.gather_global(&g)
+                    }
+                });
+                for got in report.results {
+                    assert_eq!(got, expect, "nodes={nodes} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_global_matches_sequential_fold() {
+        for nodes in [1u32, 2, 5] {
+            for n in [0usize, 1, 13, 64] {
+                let report = run(PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)), move |node| {
+                    let g = node.alloc_global::<u64>(n);
+                    let r = node.local_range(&g);
+                    node.with_local_mut(&g, |s| {
+                        for (off, v) in s.iter_mut().enumerate() {
+                            *v = (r.start + off) as u64 + 1;
+                        }
+                    });
+                    (
+                        reduce_global(node, &g, 0, |a, b| a + b),
+                        reduce_global(node, &g, u64::MAX, u64::min),
+                    )
+                });
+                let sum = (n as u64) * (n as u64 + 1) / 2;
+                let min = if n == 0 { u64::MAX } else { 1 };
+                for (s, m) in report.results {
+                    assert_eq!(s, sum, "nodes={nodes} n={n}");
+                    assert_eq!(m, min, "nodes={nodes} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_global_is_inclusive_prefix() {
+        for nodes in [1u32, 2, 3, 7] {
+            for n in [0usize, 1, 9, 50] {
+                let report = run(PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)), move |node| {
+                    let g = node.alloc_global::<u64>(n);
+                    let r = node.local_range(&g);
+                    node.with_local_mut(&g, |s| {
+                        for (off, v) in s.iter_mut().enumerate() {
+                            *v = (r.start + off) as u64 + 1;
+                        }
+                    });
+                    scan_global(node, &g, |a, b| a + b);
+                    node.gather_global(&g)
+                });
+                let expect: Vec<u64> = (1..=n as u64).map(|i| i * (i + 1) / 2).collect();
+                for got in report.results {
+                    assert_eq!(got, expect, "nodes={nodes} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_by_key_orders_structs() {
+        let n = 64usize;
+        let report = run(
+            PpmConfig::new(ppm_simnet::MachineConfig::new(3, 1)),
+            move |node| {
+                let g = node.alloc_global::<(u64, f64)>(n);
+                let r = node.local_range(&g);
+                node.with_local_mut(&g, |s| {
+                    for (off, v) in s.iter_mut().enumerate() {
+                        let gi = (r.start + off) as u64;
+                        *v = ((n as u64 - gi) % 17, gi as f64);
+                    }
+                });
+                sort_global_by_key(node, &g, |(k, _)| k);
+                node.gather_global(&g)
+            },
+        );
+        for got in report.results {
+            let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(keys, expect);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Virtual processors and parallel phases — the programmer-facing side of
+//! the model (paper §3.1, items 2–4).
+//!
+//! A PPM function in the paper becomes an `async` closure here: the
+//! `PPM_do(K) func(...)` construct is [`NodeCtx::ppm_do`](crate::NodeCtx::ppm_do),
+//! which instantiates `K` futures of the closure, and
+//! `PPM_global_phase { ... }` / `PPM_node_phase { ... }` become
+//! [`Vp::global_phase`] / [`Vp::node_phase`], whose implicit end-of-phase
+//! barrier is the `.await` of an internal barrier future. Suspension points
+//! (remote reads, barriers) are exactly where the paper's runtime would
+//! deschedule a virtual processor.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::elem::{AccumElem, AccumOp, Elem};
+use crate::shared::{GlobalShared, NodeShared};
+use crate::state::{GetOutcome, Inner, PhaseKind, WriteKey};
+
+/// Identity of one virtual processor, shared between its `Vp` handle and
+/// the phase handles it creates.
+pub(crate) struct VpIdent {
+    /// Node-relative rank (`PPM_VP_node_rank`).
+    pub id: usize,
+    /// Cluster-wide rank (`PPM_VP_global_rank`).
+    pub global_rank: u64,
+    /// Program-order counter for this VP's writes (conflict resolution).
+    pub write_seq: Cell<u64>,
+    /// Guard against nested phases.
+    pub in_phase: Cell<bool>,
+}
+
+/// Handle given to each virtual processor started by `ppm_do`.
+///
+/// Carries the VP's identity (rank functions, paper §3.1 item 6), explicit
+/// work charging, and the phase constructs.
+pub struct Vp {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+    pub(crate) ident: Rc<VpIdent>,
+    pub(crate) node_vp_count: usize,
+}
+
+// Cheap handle duplication so phase bodies (`async move` blocks) can
+// capture their own copy while the VP function keeps using the original.
+impl Clone for Vp {
+    fn clone(&self) -> Self {
+        Vp {
+            inner: self.inner.clone(),
+            ident: self.ident.clone(),
+            node_vp_count: self.node_vp_count,
+        }
+    }
+}
+
+impl Vp {
+    /// `PPM_VP_node_rank()`: this VP's rank among the node's VPs.
+    #[inline]
+    pub fn node_rank(&self) -> usize {
+        self.ident.id
+    }
+
+    /// `PPM_VP_global_rank()`: this VP's rank across all nodes.
+    #[inline]
+    pub fn global_rank(&self) -> usize {
+        self.ident.global_rank as usize
+    }
+
+    /// VPs started on this node by the current `ppm_do`.
+    #[inline]
+    pub fn node_vp_count(&self) -> usize {
+        self.node_vp_count
+    }
+
+    /// VPs started across all nodes by the current `ppm_do`.
+    #[inline]
+    pub fn global_vp_count(&self) -> usize {
+        self.inner.borrow().total_vps_global as usize
+    }
+
+    /// `PPM_node_id`.
+    #[inline]
+    pub fn node_id(&self) -> usize {
+        self.inner.borrow().node
+    }
+
+    /// `PPM_node_count`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.inner.borrow().cfg.nodes()
+    }
+
+    /// `PPM_cores_per_node`.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.inner.borrow().cfg.cores_per_node()
+    }
+
+    /// Charge `n` floating-point operations of VP-private computation.
+    pub fn charge_flops(&self, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.flops += n;
+        let t = inner.cfg.machine.core.flops(n);
+        inner.charge_core(self.ident.id, t);
+    }
+
+    /// Charge `n` memory operations of VP-private computation.
+    pub fn charge_mem_ops(&self, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.mem_ops += n;
+        let t = inner.cfg.machine.core.mem_ops(n);
+        inner.charge_core(self.ident.id, t);
+    }
+
+    /// `PPM_global_phase { body }`: run `body` under phase semantics
+    /// (reads see phase-start values, writes publish at phase end) with an
+    /// implicit cluster-wide barrier at the end.
+    pub async fn global_phase<R, Fut>(&self, body: impl FnOnce(Phase) -> Fut) -> R
+    where
+        Fut: Future<Output = R>,
+    {
+        self.phase(PhaseKind::Global, body).await
+    }
+
+    /// `PPM_node_phase { body }`: like [`Self::global_phase`] but the
+    /// barrier covers only this node's VPs and only node-shared writes
+    /// publish. No network traffic.
+    pub async fn node_phase<R, Fut>(&self, body: impl FnOnce(Phase) -> Fut) -> R
+    where
+        Fut: Future<Output = R>,
+    {
+        self.phase(PhaseKind::Node, body).await
+    }
+
+    async fn phase<R, Fut>(&self, kind: PhaseKind, body: impl FnOnce(Phase) -> Fut) -> R
+    where
+        Fut: Future<Output = R>,
+    {
+        assert!(
+            !self.ident.in_phase.get(),
+            "phases cannot be nested (VP {} on node {})",
+            self.ident.id,
+            self.node_id()
+        );
+        self.ident.in_phase.set(true);
+        self.inner.borrow_mut().enter_phase(kind);
+        let ph = Phase {
+            inner: self.inner.clone(),
+            ident: self.ident.clone(),
+            kind,
+        };
+        let r = body(ph).await;
+        let epoch = self.inner.borrow_mut().arrive_barrier(self.ident.id);
+        BarrierFut {
+            inner: self.inner.clone(),
+            epoch,
+        }
+        .await;
+        self.ident.in_phase.set(false);
+        r
+    }
+}
+
+/// Handle to the currently executing phase: the only way to touch shared
+/// variables, which enforces the paper's rule that shared access happens
+/// inside phases.
+pub struct Phase {
+    inner: Rc<RefCell<Inner>>,
+    ident: Rc<VpIdent>,
+    kind: PhaseKind,
+}
+
+impl Phase {
+    /// Which kind of phase this is.
+    #[inline]
+    pub fn kind(&self) -> PhaseKind {
+        self.kind
+    }
+
+    fn next_key(&self) -> WriteKey {
+        let seq = self.ident.write_seq.get();
+        self.ident.write_seq.set(seq + 1);
+        WriteKey {
+            vp: self.ident.global_rank,
+            seq,
+        }
+    }
+
+    /// Read a global shared element. Returns the value the element had at
+    /// phase start. Local elements resolve immediately; remote elements
+    /// suspend the VP until the runtime's next bundled wave.
+    pub fn get<T: Elem>(&self, g: &GlobalShared<T>, idx: usize) -> GetFut<T> {
+        GetFut {
+            inner: self.inner.clone(),
+            vp: self.ident.id,
+            array: g.id,
+            idx,
+            slot: None,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Bulk read of global shared elements: issues every access at once
+    /// and resolves to the values in request order. Semantically identical
+    /// to awaiting [`Self::get`] per index (all reads see phase-start
+    /// values), but the runtime can satisfy all remote elements in a
+    /// single communication wave instead of one wave per dependent await —
+    /// this is the split-phase access the paper's compiler generates for
+    /// loops over shared arrays.
+    pub fn get_many<T: Elem>(
+        &self,
+        g: &GlobalShared<T>,
+        idxs: impl IntoIterator<Item = usize>,
+    ) -> GetManyFut<T> {
+        GetManyFut {
+            inner: self.inner.clone(),
+            vp: self.ident.id,
+            array: g.id,
+            idxs: Some(idxs.into_iter().collect()),
+            state: Vec::new(),
+            remaining: 0,
+        }
+    }
+
+    /// Write a global shared element. Takes effect at the end of the phase;
+    /// conflicting writes resolve deterministically (last writer in
+    /// (global VP rank, program order) wins). Only valid in a global phase.
+    pub fn put<T: Elem>(&self, g: &GlobalShared<T>, idx: usize, val: T) {
+        let key = self.next_key();
+        self.inner
+            .borrow_mut()
+            .put_global(g.id, idx, val, key, self.ident.id);
+    }
+
+    /// Combining write to a global shared element: at phase end the element
+    /// becomes `op` applied over its phase-start value's *replacements*...
+    /// precisely: all values accumulated this phase, combined with `op`
+    /// (the phase-start value is *not* included). Accumulates from many VPs
+    /// are merged locally, so a cluster-wide sum ships one entry per node.
+    pub fn accumulate<T: AccumElem>(&self, g: &GlobalShared<T>, idx: usize, op: AccumOp, val: T) {
+        self.inner
+            .borrow_mut()
+            .accum_global(g.id, idx, op, val, self.ident.id);
+    }
+
+    /// Read a node-shared element (this node's physical shared memory;
+    /// immediate).
+    pub fn get_node<T: Elem>(&self, n: &NodeShared<T>, idx: usize) -> T {
+        self.inner.borrow_mut().get_node_arr(n.id, idx, self.ident.id)
+    }
+
+    /// Write a node-shared element; takes effect at phase end.
+    pub fn put_node<T: Elem>(&self, n: &NodeShared<T>, idx: usize, val: T) {
+        let key = self.next_key();
+        self.inner
+            .borrow_mut()
+            .put_node_arr(n.id, idx, val, key, self.ident.id);
+    }
+
+    /// Combining write to a node-shared element.
+    pub fn accumulate_node<T: AccumElem>(&self, n: &NodeShared<T>, idx: usize, op: AccumOp, val: T) {
+        self.inner
+            .borrow_mut()
+            .accum_node_arr(n.id, idx, op, val, self.ident.id);
+    }
+}
+
+/// Future returned by [`Phase::get`].
+pub struct GetFut<T: Elem> {
+    inner: Rc<RefCell<Inner>>,
+    vp: usize,
+    array: u32,
+    idx: usize,
+    slot: Option<u64>,
+    _t: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Elem> Future for GetFut<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let this = &mut *self;
+        match this.slot {
+            None => {
+                let outcome = this
+                    .inner
+                    .borrow_mut()
+                    .get_global::<T>(this.array, this.idx, this.vp);
+                match outcome {
+                    GetOutcome::Local(v) => Poll::Ready(v),
+                    GetOutcome::Remote(slot) => {
+                        this.slot = Some(slot);
+                        Poll::Pending
+                    }
+                }
+            }
+            Some(slot) => match this.inner.borrow_mut().slots.try_take(slot) {
+                Some(boxed) => {
+                    let v = boxed.downcast::<T>().expect("slot value type mismatch");
+                    Poll::Ready(*v)
+                }
+                None => Poll::Pending,
+            },
+        }
+    }
+}
+
+enum ManySlot<T> {
+    Ready(T),
+    Waiting(u64),
+}
+
+/// Future returned by [`Phase::get_many`].
+pub struct GetManyFut<T: Elem> {
+    inner: Rc<RefCell<Inner>>,
+    vp: usize,
+    array: u32,
+    idxs: Option<Vec<usize>>,
+    state: Vec<ManySlot<T>>,
+    remaining: usize,
+}
+
+// Sound: the future holds no self-references (plain owned fields); `T` is
+// `Copy` data parked by value.
+impl<T: Elem> Unpin for GetManyFut<T> {}
+
+impl<T: Elem> Future for GetManyFut<T> {
+    type Output = Vec<T>;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Vec<T>> {
+        let this = &mut *self;
+        if let Some(idxs) = this.idxs.take() {
+            // First poll: issue every access; remote ones queue for the
+            // next wave together.
+            let mut inner = this.inner.borrow_mut();
+            this.state = idxs
+                .into_iter()
+                .map(|idx| match inner.get_global::<T>(this.array, idx, this.vp) {
+                    GetOutcome::Local(v) => ManySlot::Ready(v),
+                    GetOutcome::Remote(slot) => {
+                        this.remaining += 1;
+                        ManySlot::Waiting(slot)
+                    }
+                })
+                .collect();
+        } else {
+            let mut inner = this.inner.borrow_mut();
+            for s in this.state.iter_mut() {
+                if let ManySlot::Waiting(slot) = *s {
+                    if let Some(boxed) = inner.slots.try_take(slot) {
+                        let v = boxed.downcast::<T>().expect("slot value type mismatch");
+                        *s = ManySlot::Ready(*v);
+                        this.remaining -= 1;
+                    }
+                }
+            }
+        }
+        if this.remaining == 0 {
+            let values = std::mem::take(&mut this.state)
+                .into_iter()
+                .map(|s| match s {
+                    ManySlot::Ready(v) => v,
+                    _ => unreachable!("all slots resolved"),
+                })
+                .collect();
+            Poll::Ready(values)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Future that resolves when the executor completes the current phase.
+struct BarrierFut {
+    inner: Rc<RefCell<Inner>>,
+    epoch: u64,
+}
+
+impl Future for BarrierFut {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.borrow().phase.epoch > self.epoch {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}

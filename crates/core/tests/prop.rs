@@ -1,0 +1,253 @@
+//! Property-based tests of the PPM runtime.
+//!
+//! The centerpiece is a model-based test: arbitrary programs of shared
+//! reads/puts/accumulates from arbitrary VPs on arbitrary machine shapes
+//! are checked against a tiny sequential interpreter of the paper's phase
+//! semantics.
+
+use proptest::prelude::*;
+
+use ppm_core::{run, AccumOp, Dist, Layout, PpmConfig};
+use ppm_simnet::MachineConfig;
+
+/// One shared-variable operation a VP performs inside the phase.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Read `idx`; the value must equal the phase-start state.
+    Get(usize),
+    /// Write `val` to `idx`.
+    Put(usize, i64),
+    /// Accumulate `val` into `idx`.
+    Accum(usize, i64),
+}
+
+#[derive(Debug, Clone)]
+struct Program {
+    nodes: u32,
+    cores: u32,
+    len: usize,
+    /// Per node, per VP: the op list. Generation segregates put and
+    /// accumulate targets per element, so kinds never mix.
+    vps: Vec<Vec<Vec<Op>>>,
+}
+
+fn op_strategy(len: usize, accum_elem: Vec<bool>) -> impl Strategy<Value = Op> {
+    (0..len, -50i64..50, 0..3u8).prop_map(move |(idx, val, kind)| match kind {
+        0 => Op::Get(idx),
+        _ => {
+            if accum_elem[idx] {
+                Op::Accum(idx, val)
+            } else {
+                Op::Put(idx, val)
+            }
+        }
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (1..4u32, 1..3u32, 1..24usize)
+        .prop_flat_map(|(nodes, cores, len)| {
+            let accum = proptest::collection::vec(any::<bool>(), len);
+            (Just(nodes), Just(cores), Just(len), accum)
+        })
+        .prop_flat_map(|(nodes, cores, len, accum_elem)| {
+            let ops = proptest::collection::vec(op_strategy(len, accum_elem.clone()), 0..12);
+            let vp = proptest::collection::vec(ops, 1..4);
+            let per_node = proptest::collection::vec(vp, nodes as usize);
+            (
+                Just(nodes),
+                Just(cores),
+                Just(len),
+                Just(accum_elem),
+                per_node,
+            )
+        })
+        .prop_map(|(nodes, cores, len, _accum_elem, vps)| Program {
+            nodes,
+            cores,
+            len,
+            vps,
+        })
+}
+
+/// Sequential interpreter of the paper's phase semantics.
+fn interpret(p: &Program, initial: &[i64]) -> Vec<i64> {
+    #[derive(Clone, Copy)]
+    enum Pending {
+        None,
+        Put { key: (u64, u64), val: i64 },
+        Accum(i64),
+    }
+    let mut pending = vec![Pending::None; p.len];
+    let mut global_rank = 0u64;
+    for node in &p.vps {
+        for vp in node {
+            let mut seq = 0u64;
+            for op in vp {
+                match *op {
+                    Op::Get(_) => {}
+                    Op::Put(idx, val) => {
+                        let key = (global_rank, seq);
+                        seq += 1;
+                        pending[idx] = match pending[idx] {
+                            Pending::Put { key: k, .. } if k > key => pending[idx],
+                            Pending::Accum(_) => unreachable!("generation segregates kinds"),
+                            _ => Pending::Put { key, val },
+                        };
+                    }
+                    Op::Accum(idx, val) => {
+                        pending[idx] = match pending[idx] {
+                            Pending::Accum(acc) => Pending::Accum(acc + val),
+                            Pending::None => Pending::Accum(val),
+                            Pending::Put { .. } => unreachable!("generation segregates kinds"),
+                        };
+                    }
+                }
+            }
+            global_rank += 1;
+        }
+    }
+    initial
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| match pending[i] {
+            Pending::None => v,
+            Pending::Put { val, .. } => val,
+            Pending::Accum(acc) => acc,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary one-phase programs match the sequential interpreter, and
+    /// every in-phase read observes the phase-start snapshot.
+    #[test]
+    fn phase_semantics_match_model(prog in program_strategy()) {
+        let initial: Vec<i64> = (0..prog.len as i64).map(|i| i * 7 - 3).collect();
+        let expected = interpret(&prog, &initial);
+
+        let prog2 = prog.clone();
+        let init2 = initial.clone();
+        let report = run(
+            PpmConfig::new(MachineConfig::new(prog.nodes, prog.cores)),
+            move |node| {
+                let a = node.alloc_global::<i64>(prog2.len);
+                let r = node.local_range(&a);
+                node.with_local_mut(&a, |s| s.copy_from_slice(&init2[r.clone()]));
+                let my_vps = std::rc::Rc::new(prog2.vps[node.node_id()].clone());
+                let init = std::rc::Rc::new(init2.clone());
+                node.ppm_do(my_vps.len(), move |vp| {
+                    let ops = my_vps[vp.node_rank()].clone();
+                    let init = init.clone();
+                    async move {
+                        vp.global_phase(|ph| async move {
+                            for op in ops {
+                                match op {
+                                    Op::Get(idx) => {
+                                        let v = ph.get(&a, idx).await;
+                                        assert_eq!(v, init[idx], "snapshot read");
+                                    }
+                                    Op::Put(idx, val) => ph.put(&a, idx, val),
+                                    Op::Accum(idx, val) => {
+                                        ph.accumulate(&a, idx, AccumOp::Add, val)
+                                    }
+                                }
+                            }
+                        })
+                        .await;
+                    }
+                });
+                node.gather_global(&a)
+            },
+        );
+        for got in report.results {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    /// Block and cyclic distributions are bijections for any shape.
+    #[test]
+    fn distributions_are_bijections(len in 0..200usize, nodes in 1..16usize, cyclic in any::<bool>()) {
+        let d = if cyclic { Dist::cyclic(len, nodes) } else { Dist::block(len, nodes) };
+        let mut counts = vec![0usize; nodes];
+        for i in 0..len {
+            let n = d.owner(i);
+            let off = d.local_offset(i);
+            prop_assert!(n < nodes);
+            prop_assert!(off < d.local_len(n));
+            prop_assert_eq!(d.global_index(n, off), i);
+            counts[n] += 1;
+        }
+        for (n, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, d.local_len(n));
+        }
+    }
+
+    /// The distributed sample sort agrees with std sort for arbitrary data
+    /// and shapes.
+    #[test]
+    fn sample_sort_matches_std(
+        vals in proptest::collection::vec(0u64..1000, 0..120),
+        nodes in 1..5u32,
+    ) {
+        let n = vals.len();
+        let mut expected = vals.clone();
+        expected.sort_unstable();
+        let report = run(PpmConfig::new(MachineConfig::new(nodes, 2)), move |node| {
+            let g = node.alloc_global::<u64>(n);
+            let r = node.local_range(&g);
+            let vals = vals.clone();
+            node.with_local_mut(&g, |s| s.copy_from_slice(&vals[r.clone()]));
+            ppm_core::util::sort_global_u64(node, &g);
+            node.gather_global(&g)
+        });
+        for got in report.results {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    /// Layout choice never changes results, only data placement.
+    #[test]
+    fn layout_is_transparent(
+        vals in proptest::collection::vec(-100i64..100, 1..40),
+        nodes in 1..4u32,
+    ) {
+        let n = vals.len();
+        let sum_of = |layout: Layout| {
+            let vals = vals.clone();
+            run(PpmConfig::new(MachineConfig::new(nodes, 1)), move |node| {
+                let a = node.alloc_global_with::<i64>(n, layout);
+                let acc = node.alloc_global::<i64>(1);
+                let dist = node.dist_of(&a);
+                let me = node.node_id();
+                let vals = vals.clone();
+                node.with_local_mut(&a, |s| {
+                    for (off, v) in s.iter_mut().enumerate() {
+                        *v = vals[dist.global_index(me, off)];
+                    }
+                });
+                node.ppm_do(n.min(8), move |vp| async move {
+                    let k = vp.global_vp_count();
+                    let i = vp.global_rank();
+                    vp.global_phase(|ph| async move {
+                        let mut part = 0i64;
+                        let mut j = i;
+                        while j < n {
+                            part += ph.get(&a, j).await;
+                            j += k;
+                        }
+                        ph.accumulate(&acc, 0, AccumOp::Add, part);
+                    })
+                    .await;
+                });
+                node.gather_global(&acc)[0]
+            })
+            .results[0]
+        };
+        let expected: i64 = vals.iter().sum();
+        prop_assert_eq!(sum_of(Layout::Block), expected);
+        prop_assert_eq!(sum_of(Layout::Cyclic), expected);
+    }
+}

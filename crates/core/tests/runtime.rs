@@ -1,0 +1,719 @@
+//! Behavioural tests of the PPM runtime semantics, exercised through the
+//! public API across a range of machine shapes.
+
+use ppm_core::{run, AccumOp, PpmConfig};
+use ppm_simnet::MachineConfig;
+
+fn cfg(nodes: u32, cores: u32) -> PpmConfig {
+    PpmConfig::new(MachineConfig::new(nodes, cores))
+}
+
+/// Shapes exercised by most tests: single node, multi-node, odd counts.
+fn shapes() -> Vec<PpmConfig> {
+    vec![cfg(1, 1), cfg(1, 4), cfg(2, 2), cfg(3, 1), cfg(4, 4), cfg(5, 3)]
+}
+
+#[test]
+fn reads_see_phase_start_snapshot() {
+    // Every VP increments-by-put its own element while reading its
+    // neighbour's: all reads must observe the *initial* values even though
+    // writes are issued in the same phase.
+    for c in shapes() {
+        let n = 24;
+        let report = run(c, move |node| {
+            let a = node.alloc_global::<u64>(n);
+            let r = node.local_range(&a);
+            node.with_local_mut(&a, |s| {
+                for (off, v) in s.iter_mut().enumerate() {
+                    *v = (r.start + off) as u64 * 10;
+                }
+            });
+            let k = if node.node_id() == 0 { n } else { 0 };
+            node.ppm_do(k.max(1).min(n), move |vp| async move {
+                if vp.node_id() != 0 {
+                    // Other nodes still participate in the global phase.
+                    vp.global_phase(|_ph| async move {}).await;
+                    return;
+                }
+                let i = vp.node_rank();
+                vp.global_phase(|ph| async move {
+                    let neighbour = ph.get(&a, (i + 1) % n).await;
+                    assert_eq!(
+                        neighbour,
+                        (((i + 1) % n) as u64) * 10,
+                        "read must see the phase-start value"
+                    );
+                    ph.put(&a, i, neighbour + 1);
+                })
+                .await;
+            });
+            node.gather_global(&a)
+        });
+        for got in report.results {
+            let expect: Vec<u64> = (0..n).map(|i| (((i + 1) % n) as u64) * 10 + 1).collect();
+            assert_eq!(got, expect);
+        }
+    }
+}
+
+#[test]
+fn writes_visible_in_next_phase() {
+    for c in shapes() {
+        let n = 16;
+        let report = run(c, move |node| {
+            let a = node.alloc_global::<u64>(n);
+            let nodes = node.num_nodes();
+            // Spread VPs over nodes: each VP owns index == its global rank.
+            let k = n / nodes + usize::from(node.node_id() < n % nodes);
+            node.ppm_do(k, move |vp| async move {
+                let i = vp.global_rank();
+                vp.global_phase(|ph| async move {
+                    ph.put(&a, i, (i * i) as u64);
+                })
+                .await;
+                vp.global_phase(|ph| async move {
+                    let v = ph.get(&a, (i + 1) % n).await;
+                    let j = (i + 1) % n;
+                    assert_eq!(v, (j * j) as u64, "phase-2 read sees phase-1 writes");
+                })
+                .await;
+            });
+        });
+        assert_eq!(report.results.len(), c.nodes());
+    }
+}
+
+#[test]
+fn put_conflicts_resolve_to_highest_rank_writer() {
+    for c in shapes() {
+        let report = run(c, move |node| {
+            let a = node.alloc_global::<u64>(1);
+            let k = 5;
+            node.ppm_do(k, move |vp| async move {
+                let me = vp.global_rank() as u64;
+                vp.global_phase(|ph| async move {
+                    ph.put(&a, 0, 1000 + me);
+                })
+                .await;
+            });
+            node.gather_global(&a)[0]
+        });
+        let total_vps = 5 * c.nodes() as u64;
+        for got in report.results {
+            assert_eq!(got, 1000 + total_vps - 1, "last (highest-rank) writer wins");
+        }
+    }
+}
+
+#[test]
+fn later_put_by_same_vp_wins() {
+    let report = run(cfg(2, 2), move |node| {
+        let a = node.alloc_global::<u64>(4);
+        node.ppm_do(1, move |vp| async move {
+            vp.global_phase(|ph| async move {
+                ph.put(&a, 2, 1);
+                ph.put(&a, 2, 7);
+            })
+            .await;
+        });
+        node.gather_global(&a)[2]
+    });
+    assert!(report.results.iter().all(|&v| v == 7));
+}
+
+#[test]
+fn accumulate_sums_across_all_vps() {
+    for c in shapes() {
+        let k = 7usize;
+        let report = run(c, move |node| {
+            let acc = node.alloc_global::<u64>(2);
+            node.ppm_do(k, move |vp| async move {
+                let me = vp.global_rank() as u64;
+                vp.global_phase(|ph| async move {
+                    ph.accumulate(&acc, 0, AccumOp::Add, me + 1);
+                    ph.accumulate(&acc, 1, AccumOp::Max, me);
+                })
+                .await;
+            });
+            node.gather_global(&acc)
+        });
+        let total = k as u64 * c.nodes() as u64;
+        for got in report.results {
+            assert_eq!(got[0], total * (total + 1) / 2, "global sum");
+            assert_eq!(got[1], total - 1, "global max");
+        }
+    }
+}
+
+#[test]
+fn accumulate_float_sum_is_deterministic() {
+    let go = || {
+        run(cfg(3, 2), move |node| {
+            let acc = node.alloc_global::<f64>(1);
+            node.ppm_do(50, move |vp| async move {
+                let me = vp.global_rank() as f64;
+                vp.global_phase(|ph| async move {
+                    ph.accumulate(&acc, 0, AccumOp::Add, 0.1 * (me + 1.0));
+                })
+                .await;
+            });
+            node.gather_global(&acc)[0].to_bits()
+        })
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.results, b.results, "bit-identical accumulation");
+    assert_eq!(a.makespan(), b.makespan(), "bit-identical clocks");
+}
+
+#[test]
+fn node_phase_publishes_node_shared_only_locally() {
+    let report = run(cfg(3, 4), move |node| {
+        let buf = node.alloc_node::<u64>(8);
+        let me = node.node_id() as u64;
+        node.ppm_do(8, move |vp| async move {
+            let i = vp.node_rank();
+            vp.node_phase(|ph| async move {
+                ph.put_node(&buf, i, me * 100 + i as u64);
+            })
+            .await;
+            vp.node_phase(|ph| async move {
+                // Every VP sees the whole node's writes from phase 1.
+                let v = ph.get_node(&buf, (i + 3) % 8);
+                assert_eq!(v, me * 100 + ((i + 3) % 8) as u64);
+            })
+            .await;
+        });
+        node.with_node(&buf, |s| s.to_vec())
+    });
+    for (n, got) in report.results.into_iter().enumerate() {
+        let expect: Vec<u64> = (0..8).map(|i| n as u64 * 100 + i).collect();
+        assert_eq!(got, expect, "node {n} instance is independent");
+    }
+}
+
+#[test]
+fn node_phases_do_not_touch_the_network() {
+    let report = run(cfg(4, 4), move |node| {
+        let buf = node.alloc_node::<u64>(16);
+        node.ppm_do(16, move |vp| async move {
+            let i = vp.node_rank();
+            for round in 0..5u64 {
+                vp.node_phase(|ph| async move {
+                    let prev = ph.get_node(&buf, i);
+                    ph.put_node(&buf, i, prev + round);
+                })
+                .await;
+            }
+        });
+        node.with_node(&buf, |s| s.iter().sum::<u64>())
+    });
+    // 16 elements × (0+1+2+3+4)
+    assert!(report.results.iter().all(|&s| s == 160));
+    let totals = report.total_counters();
+    // Only the ppm_do prologue allgather communicates; node phases add 0.
+    assert_eq!(totals.remote_gets, 0);
+    assert_eq!(totals.remote_puts, 0);
+    assert_eq!(totals.waves, 0);
+}
+
+#[test]
+fn dependent_reads_take_multiple_waves() {
+    // A pointer-chase across nodes: VP follows a linked list stored in a
+    // global array, one hop per wave, all within one phase.
+    let c = cfg(4, 1);
+    let n = 32;
+    let report = run(c, move |node| {
+        let next = node.alloc_global::<u64>(n);
+        let r = node.local_range(&next);
+        node.with_local_mut(&next, |s| {
+            for (off, v) in s.iter_mut().enumerate() {
+                // A stride permutation that hops between nodes.
+                *v = ((r.start + off) as u64 * 13 + 5) % n as u64;
+            }
+        });
+        let k = usize::from(node.node_id() == 0);
+        node.ppm_do(k.max(1), move |vp| async move {
+            if vp.node_id() != 0 || vp.node_rank() > 0 {
+                vp.global_phase(|_ph| async move {}).await;
+                return;
+            }
+            vp.global_phase(|ph| async move {
+                let mut cur = 0u64;
+                let mut path = Vec::new();
+                for _ in 0..10 {
+                    cur = ph.get(&next, cur as usize).await;
+                    path.push(cur);
+                }
+                // Sequential reference of the same chase.
+                let expect_fn = |i: u64| (i * 13 + 5) % n as u64;
+                let mut e = 0u64;
+                for &p in &path {
+                    e = expect_fn(e);
+                    assert_eq!(p, e);
+                }
+            })
+            .await;
+        });
+        node.ep_counters()
+    });
+    let waves: u64 = report.results.iter().map(|c| c.waves).sum();
+    assert!(
+        waves >= 5,
+        "a 10-hop remote chase needs many waves, got {waves}"
+    );
+}
+
+#[test]
+fn bundling_one_request_message_per_destination_per_wave() {
+    // One phase in which node 0's 64 VPs each read one element from node 1:
+    // with bundling the runtime must send exactly ONE request message.
+    let c = cfg(2, 4);
+    let report = run(c, move |node| {
+        let a = node.alloc_global::<u64>(128); // node 1 owns 64..128
+        let k = if node.node_id() == 0 { 64 } else { 1 };
+        node.ppm_do(k, move |vp| async move {
+            let i = vp.node_rank();
+            let v = vp.clone();
+            vp.global_phase(|ph| async move {
+                if v.node_id() == 0 {
+                    let _ = ph.get(&a, 64 + i).await;
+                }
+            })
+            .await;
+        });
+        node.ep_counters()
+    });
+    let c0 = &report.results[0];
+    assert_eq!(c0.remote_gets, 64, "64 fine-grained reads issued");
+    assert_eq!(c0.bundles_sent, 1, "bundled into one request message");
+    assert_eq!(c0.waves, 1);
+}
+
+#[test]
+fn determinism_across_runs_and_schedules() {
+    let go = || {
+        run(cfg(3, 4), move |node| {
+            let a = node.alloc_global::<f64>(60);
+            let r = node.local_range(&a);
+            node.with_local_mut(&a, |s| {
+                for (off, v) in s.iter_mut().enumerate() {
+                    *v = (r.start + off) as f64;
+                }
+            });
+            node.ppm_do(20, move |vp| async move {
+                let g = vp.global_rank();
+                for _round in 0..3 {
+                    let v2 = vp.clone();
+                    vp.global_phase(|ph| async move {
+                        let v = ph.get(&a, (g * 7 + 3) % 60).await;
+                        ph.accumulate(&a, g % 60, AccumOp::Add, v * 0.5);
+                        v2.charge_flops(10);
+                    })
+                    .await;
+                }
+            });
+            (
+                node.gather_global(&a)
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect::<Vec<_>>(),
+                node.now(),
+            )
+        })
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn vp_ranks_and_system_variables() {
+    let c = cfg(3, 2);
+    let report = run(c, move |node| {
+        let ranks = node.alloc_global::<u64>(30);
+        let k = 10;
+        node.ppm_do(k, move |vp| async move {
+            assert_eq!(vp.node_vp_count(), 10);
+            assert_eq!(vp.global_vp_count(), 30);
+            assert_eq!(vp.num_nodes(), 3);
+            assert_eq!(vp.cores_per_node(), 2);
+            assert_eq!(vp.global_rank(), vp.node_id() * 10 + vp.node_rank());
+            let g = vp.global_rank();
+            vp.global_phase(|ph| async move {
+                ph.put(&ranks, g, g as u64 + 1);
+            })
+            .await;
+        });
+        node.gather_global(&ranks)
+    });
+    let expect: Vec<u64> = (1..=30).collect();
+    for got in report.results {
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn different_vp_counts_per_node() {
+    let c = cfg(4, 2);
+    let report = run(c, move |node| {
+        let acc = node.alloc_global::<u64>(1);
+        let k = node.node_id() + 1; // 1, 2, 3, 4 VPs
+        node.ppm_do(k, move |vp| async move {
+            vp.global_phase(|ph| async move {
+                ph.accumulate(&acc, 0, AccumOp::Add, 1);
+            })
+            .await;
+        });
+        node.gather_global(&acc)[0]
+    });
+    assert!(report.results.iter().all(|&v| v == 10));
+}
+
+#[test]
+fn multiple_ppm_dos_compose() {
+    let report = run(cfg(2, 2), move |node| {
+        let a = node.alloc_global::<u64>(8);
+        for round in 0..3u64 {
+            node.ppm_do(4, move |vp| async move {
+                let g = vp.global_rank();
+                vp.global_phase(|ph| async move {
+                    let prev = ph.get(&a, g).await;
+                    ph.put(&a, g, prev + round + 1);
+                })
+                .await;
+            });
+        }
+        node.gather_global(&a)
+    });
+    for got in report.results {
+        assert_eq!(got, vec![6, 6, 6, 6, 6, 6, 6, 6]);
+    }
+}
+
+#[test]
+fn phase_body_can_return_values() {
+    let report = run(cfg(2, 1), move |node| {
+        let a = node.alloc_global::<u64>(4);
+        node.with_local_mut(&a, |s| s.fill(5));
+        let result = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let r2 = result.clone();
+        node.ppm_do(1, move |vp| {
+            let r = r2.clone();
+            async move {
+                let sum = vp
+                    .global_phase(|ph| async move {
+                        let x = ph.get(&a, 0).await;
+                        let y = ph.get(&a, 3).await;
+                        x + y
+                    })
+                    .await;
+                r.set(sum);
+            }
+        });
+        result.get()
+    });
+    assert!(report.results.iter().all(|&v| v == 10));
+}
+
+#[test]
+fn simulated_time_grows_with_communication() {
+    // Same computation; reading remote data must cost more simulated time
+    // than reading local data.
+    let local_time = run(cfg(2, 1), move |node| {
+        let a = node.alloc_global::<u64>(64);
+        node.ppm_do(8, move |vp| async move {
+            let base = vp.node_id() * 32; // own partition
+            vp.global_phase(|ph| async move {
+                for j in 0..4 {
+                    let _ = ph.get(&a, base + j).await;
+                }
+            })
+            .await;
+        });
+    })
+    .makespan();
+    let remote_time = run(cfg(2, 1), move |node| {
+        let a = node.alloc_global::<u64>(64);
+        node.ppm_do(8, move |vp| async move {
+            let base = (1 - vp.node_id()) * 32; // the other node's partition
+            vp.global_phase(|ph| async move {
+                for j in 0..4 {
+                    let _ = ph.get(&a, base + j).await;
+                }
+            })
+            .await;
+        });
+    })
+    .makespan();
+    assert!(
+        remote_time > local_time,
+        "remote {remote_time} must exceed local {local_time}"
+    );
+}
+
+#[test]
+fn clock_breakdown_sums_to_now() {
+    let report = run(cfg(3, 2), move |node| {
+        let a = node.alloc_global::<f64>(30);
+        node.ppm_do(10, move |vp| async move {
+            let g = vp.global_rank();
+            vp.charge_flops(100);
+            vp.global_phase(|ph| async move {
+                let v = ph.get(&a, (g + 7) % 30).await;
+                ph.put(&a, g, v + 1.0);
+            })
+            .await;
+        });
+    });
+    for clock in &report.clocks {
+        assert_eq!(clock.compute() + clock.comm() + clock.wait(), clock.now());
+        assert!(clock.now() > ppm_simnet::SimTime::ZERO);
+    }
+}
+
+#[test]
+fn get_many_edge_cases() {
+    let report = run(cfg(3, 2), move |node| {
+        let a = node.alloc_global::<u64>(30);
+        let r = node.local_range(&a);
+        node.with_local_mut(&a, |s| {
+            for (off, v) in s.iter_mut().enumerate() {
+                *v = ((r.start + off) * 3) as u64;
+            }
+        });
+        node.ppm_do(2, move |vp| async move {
+            vp.global_phase(|ph| async move {
+                // Empty batch resolves immediately.
+                let none = ph.get_many(&a, std::iter::empty()).await;
+                assert!(none.is_empty());
+                // Duplicates, repeats, mixed local/remote, reversed order.
+                let idxs = [29usize, 0, 7, 7, 29, 15, 0];
+                let got = ph.get_many(&a, idxs.iter().copied()).await;
+                let expect: Vec<u64> = idxs.iter().map(|&i| (i * 3) as u64).collect();
+                assert_eq!(got, expect, "values arrive in request order");
+            })
+            .await;
+        });
+        node.ep_counters()
+    });
+    // Each node's wave must carry deduplicated entries only.
+    for c in &report.results {
+        assert!(c.waves <= 2, "one wave per phase at most, got {}", c.waves);
+    }
+}
+
+#[test]
+fn get_many_matches_sequential_gets() {
+    let report = run(cfg(2, 1), move |node| {
+        let a = node.alloc_global::<f64>(64);
+        let r = node.local_range(&a);
+        node.with_local_mut(&a, |s| {
+            for (off, v) in s.iter_mut().enumerate() {
+                *v = (r.start + off) as f64 * 0.5;
+            }
+        });
+        node.ppm_do(4, move |vp| async move {
+            let g = vp.global_rank();
+            vp.global_phase(|ph| async move {
+                let idxs: Vec<usize> = (0..10).map(|j| (g * 13 + j * 7) % 64).collect();
+                let bulk = ph.get_many(&a, idxs.iter().copied()).await;
+                for (k, &i) in idxs.iter().enumerate() {
+                    let single = ph.get(&a, i).await;
+                    assert_eq!(bulk[k].to_bits(), single.to_bits());
+                }
+            })
+            .await;
+        });
+    });
+    assert_eq!(report.results.len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "at least one VP per node")]
+fn collective_do_with_zero_vps_panics() {
+    run(cfg(1, 1), move |node| {
+        node.ppm_do(0, move |vp| async move {
+            vp.global_phase(|_ph| async move {}).await;
+        });
+    });
+}
+
+#[test]
+fn phase_log_records_every_phase() {
+    let report = run(cfg(2, 2), move |node| {
+        let a = node.alloc_global::<u64>(16);
+        node.ppm_do(4, move |vp| async move {
+            let g = vp.global_rank();
+            // An element in the middle of the *other* node's block.
+            let remote = if vp.node_id() == 0 { 8 } else { 0 } + vp.node_rank();
+            for _ in 0..3 {
+                vp.global_phase(|ph| async move {
+                    let v = ph.get(&a, remote).await;
+                    ph.put(&a, g, v + 1);
+                })
+                .await;
+                vp.node_phase(|_ph| async move {}).await;
+            }
+        });
+        node.take_phase_log()
+    });
+    for log in &report.results {
+        assert_eq!(log.len(), 6, "3 global + 3 node phases");
+        let globals: Vec<_> = log
+            .iter()
+            .filter(|r| r.kind == ppm_core::PhaseKind::Global)
+            .collect();
+        let nodes_: Vec<_> = log
+            .iter()
+            .filter(|r| r.kind == ppm_core::PhaseKind::Node)
+            .collect();
+        assert_eq!(globals.len(), 3);
+        assert_eq!(nodes_.len(), 3);
+        for g in globals {
+            assert!(g.waves >= 1, "each global phase has remote reads");
+            assert!(g.bytes_out > 0);
+            assert!(g.compute > ppm_simnet::SimTime::ZERO);
+        }
+        for n in nodes_ {
+            assert_eq!(n.bytes_out, 0, "node phases are network-free");
+        }
+    }
+    // Draining empties the log.
+    let report2 = run(cfg(1, 1), move |node| {
+        node.ppm_do(1, |vp| async move {
+            vp.node_phase(|_| async move {}).await;
+        });
+        let first = node.take_phase_log().len();
+        let second = node.take_phase_log().len();
+        (first, second)
+    });
+    assert_eq!(report2.results[0], (1, 0));
+}
+
+#[test]
+fn ppm_do_local_runs_asynchronously_per_node() {
+    // Paper §3.3 asynchronous mode: each node runs a *different* number of
+    // local `ppm_do`s with node phases, no cross-node coordination — then
+    // everyone meets again in a collective do.
+    let report = run(cfg(4, 2), move |node| {
+        let buf = node.alloc_node::<u64>(4);
+        let rounds = node.node_id() + 1; // 1..=4 asynchronous task batches
+        for _ in 0..rounds {
+            node.ppm_do_local(4, move |vp| async move {
+                let i = vp.node_rank();
+                vp.node_phase(|ph| async move {
+                    let prev = ph.get_node(&buf, i);
+                    ph.put_node(&buf, i, prev + 1);
+                })
+                .await;
+            });
+        }
+        // Re-synchronize and combine across nodes collectively.
+        let local_sum: u64 = node.with_node(&buf, |s| s.iter().sum());
+        node.allreduce_nodes(local_sum, |a, b| a + b)
+    });
+    // Node n contributed 4·(n+1); total = 4·(1+2+3+4) = 40.
+    assert!(report.results.iter().all(|&v| v == 40));
+}
+
+#[test]
+#[should_panic(expected = "global phases are not allowed inside ppm_do_local")]
+fn global_phase_inside_local_do_panics() {
+    run(cfg(1, 1), move |node| {
+        node.ppm_do_local(1, move |vp| async move {
+            vp.global_phase(|_ph| async move {}).await;
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "phases cannot be nested")]
+fn nested_phases_panic() {
+    run(cfg(1, 1), move |node| {
+        node.ppm_do(1, move |vp| async move {
+            let v = vp.clone();
+            vp.global_phase(|_ph| async move {
+                v.node_phase(|_p2| async move {}).await;
+            })
+            .await;
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "remote shared read inside a node phase")]
+fn remote_read_in_node_phase_panics() {
+    run(cfg(2, 1), move |node| {
+        let a = node.alloc_global::<u64>(8); // node 1 owns 4..8
+        node.ppm_do(1, move |vp| async move {
+            let me = vp.node_id();
+            vp.node_phase(|ph| async move {
+                if me == 0 {
+                    let _ = ph.get(&a, 7).await; // remote!
+                }
+            })
+            .await;
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "only allowed inside a global phase")]
+fn global_write_in_node_phase_panics() {
+    run(cfg(1, 1), move |node| {
+        let a = node.alloc_global::<u64>(4);
+        node.ppm_do(1, move |vp| async move {
+            vp.node_phase(|ph| async move {
+                ph.put(&a, 0, 1);
+            })
+            .await;
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "put and accumulate mixed")]
+fn mixed_put_accumulate_panics_through_public_api() {
+    run(cfg(1, 1), move |node| {
+        let a = node.alloc_global::<u64>(4);
+        node.ppm_do(2, move |vp| async move {
+            let r = vp.node_rank();
+            vp.global_phase(|ph| async move {
+                if r == 0 {
+                    ph.put(&a, 1, 5);
+                } else {
+                    ph.accumulate(&a, 1, AccumOp::Add, 5);
+                }
+            })
+            .await;
+        });
+    });
+}
+
+#[test]
+fn cyclic_layout_spreads_ownership() {
+    let report = run(cfg(4, 1), move |node| {
+        let a = node.alloc_global_with::<u64>(16, ppm_core::Layout::Cyclic);
+        // Element i lives on node i % 4; initialize via direct local access.
+        node.with_local_mut(&a, |s| {
+            for v in s.iter_mut() {
+                *v = 1;
+            }
+        });
+        node.ppm_do(4, move |vp| async move {
+            let g = vp.global_rank();
+            vp.global_phase(|ph| async move {
+                let v = ph.get(&a, g).await; // g % 4 == node for first 4 VPs? exercise mixed
+                ph.accumulate(&a, (g * 5) % 16, AccumOp::Add, v);
+            })
+            .await;
+        });
+        node.gather_global(&a).iter().sum::<u64>()
+    });
+    // (g*5)%16 is a permutation, so every element receives exactly one
+    // accumulate contribution of value 1 — and accumulate *replaces* the
+    // element with the combined contributions (phase-start value excluded).
+    assert!(report.results.iter().all(|&s| s == 16), "{:?}", report.results);
+}

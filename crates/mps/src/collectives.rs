@@ -1,0 +1,423 @@
+//! Collective operations, implemented as real message algorithms over the
+//! point-to-point layer so that their simulated cost *emerges* from the
+//! network model instead of being asserted analytically:
+//!
+//! * barrier — dissemination (⌈log₂P⌉ rounds)
+//! * bcast / reduce / gather — binomial trees
+//! * allreduce / allgather — reduce+bcast / gather+bcast
+//! * scan / exscan — Hillis–Steele recursive doubling
+//! * alltoallv — pairwise exchange (P−1 rounds)
+//!
+//! Reduction trees are fixed, so floating-point combines happen in a
+//! deterministic order and repeated runs are bit-identical.
+
+use std::any::Any;
+
+use ppm_simnet::WireSize;
+
+use crate::comm::Comm;
+use crate::tags;
+
+impl Comm<'_> {
+    fn next_coll(&mut self) -> u64 {
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+        seq
+    }
+
+    /// Dissemination barrier across all ranks.
+    pub fn barrier(&mut self) {
+        let seq = self.next_coll();
+        let p = self.size();
+        let me = self.rank();
+        let mut step = 0u32;
+        let mut d = 1usize;
+        while d < p {
+            let to = (me + d) % p;
+            let from = (me + p - d) % p;
+            self.send_raw(to, tags::collective(seq, step), ());
+            let () = self.recv_raw(from, tags::collective(seq, step));
+            d <<= 1;
+            step += 1;
+        }
+        // Mark the barrier on this rank's counters (base ctx access via a
+        // zero-cost charge).
+        self.note_barrier();
+    }
+
+    /// Broadcast `value` from `root` (only the root's `Some` is used) to all
+    /// ranks via a binomial tree.
+    pub fn bcast<T>(&mut self, root: usize, value: Option<T>) -> T
+    where
+        T: Any + Send + Clone + WireSize,
+    {
+        let seq = self.next_coll();
+        let p = self.size();
+        let me = self.rank();
+        let rel = (me + p - root) % p;
+
+        let mut have: Option<T> = if rel == 0 {
+            Some(value.expect("bcast root must supply a value"))
+        } else {
+            None
+        };
+
+        // Receive phase: find the bit where we hang off the tree.
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let src = (rel - mask + root) % p;
+                have = Some(self.recv_raw(src, tags::collective(seq, 0)));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: fan out to our subtree, largest child first.
+        let v = have.expect("bcast tree covers every rank");
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < p {
+                let dst = (rel + mask + root) % p;
+                self.send_raw(dst, tags::collective(seq, 0), v.clone());
+            }
+            mask >>= 1;
+        }
+        v
+    }
+
+    /// Reduce every rank's `value` with `op` onto `root` via a binomial
+    /// tree. Non-roots get `None`.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Any + Send + WireSize,
+        F: Fn(T, T) -> T,
+    {
+        let seq = self.next_coll();
+        let p = self.size();
+        let me = self.rank();
+        let rel = (me + p - root) % p;
+
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask == 0 {
+                let peer_rel = rel | mask;
+                if peer_rel < p {
+                    let src = (peer_rel + root) % p;
+                    let other: T = self.recv_raw(src, tags::collective(seq, 0));
+                    // Lower relative rank on the left keeps the combine
+                    // order deterministic and rank-ordered.
+                    acc = op(acc, other);
+                }
+            } else {
+                let dst = ((rel & !mask) + root) % p;
+                self.send_raw(dst, tags::collective(seq, 0), acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduction whose result every rank receives (reduce to 0 + bcast).
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Any + Send + Clone + WireSize,
+        F: Fn(T, T) -> T,
+    {
+        let r = self.reduce(0, value, op);
+        self.bcast(0, r)
+    }
+
+    /// Exclusive prefix combine: rank r gets `op` over ranks `0..r`
+    /// (`None` on rank 0). Hillis–Steele recursive doubling; `op` must be
+    /// associative and commutative.
+    pub fn exscan<T, F>(&mut self, value: T, op: F) -> Option<T>
+    where
+        T: Any + Send + Clone + WireSize,
+        F: Fn(T, T) -> T,
+    {
+        let seq = self.next_coll();
+        let p = self.size();
+        let me = self.rank();
+
+        let mut partial = value;
+        let mut below: Option<T> = None;
+        let mut d = 1usize;
+        let mut step = 0u32;
+        while d < p {
+            if me + d < p {
+                self.send_raw(me + d, tags::collective(seq, step), partial.clone());
+            }
+            if me >= d {
+                let v: T = self.recv_raw(me - d, tags::collective(seq, step));
+                below = Some(match below {
+                    None => v.clone(),
+                    Some(b) => op(v.clone(), b),
+                });
+                partial = op(v, partial);
+            }
+            d <<= 1;
+            step += 1;
+        }
+        below
+    }
+
+    /// Inclusive prefix combine: rank r gets `op` over ranks `0..=r`.
+    pub fn scan<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Any + Send + Clone + WireSize,
+        F: Fn(T, T) -> T,
+    {
+        match self.exscan(value.clone(), &op) {
+            None => value,
+            Some(below) => op(below, value),
+        }
+    }
+
+    /// Gather every rank's `value` onto `root`, ordered by rank.
+    pub fn gather<T>(&mut self, root: usize, value: T) -> Option<Vec<T>>
+    where
+        T: Any + Send + WireSize,
+    {
+        let seq = self.next_coll();
+        let p = self.size();
+        let me = self.rank();
+        let rel = (me + p - root) % p;
+
+        let mut acc: Vec<(u64, T)> = vec![(me as u64, value)];
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask == 0 {
+                let peer_rel = rel | mask;
+                if peer_rel < p {
+                    let src = (peer_rel + root) % p;
+                    let mut other: Vec<(u64, T)> = self.recv_raw(src, tags::collective(seq, 0));
+                    acc.append(&mut other);
+                }
+            } else {
+                let dst = ((rel & !mask) + root) % p;
+                self.send_raw(dst, tags::collective(seq, 0), acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        acc.sort_by_key(|(r, _)| *r);
+        debug_assert_eq!(acc.len(), p);
+        Some(acc.into_iter().map(|(_, v)| v).collect())
+    }
+
+    /// Gather whose result every rank receives.
+    pub fn allgather<T>(&mut self, value: T) -> Vec<T>
+    where
+        T: Any + Send + Clone + WireSize,
+    {
+        let g = self.gather(0, value);
+        self.bcast(0, g)
+    }
+
+    /// Variable-size all-to-all: `sends[d]` goes to rank `d`; the result's
+    /// slot `s` holds what rank `s` sent here. Pairwise exchange.
+    pub fn alltoallv<T>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>>
+    where
+        T: Any + Send + WireSize,
+    {
+        let p = self.size();
+        assert_eq!(sends.len(), p, "alltoallv needs one send list per rank");
+        let seq = self.next_coll();
+        let me = self.rank();
+
+        let mut recvs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        recvs[me] = std::mem::take(&mut sends[me]);
+        for s in 1..p {
+            let dst = (me + s) % p;
+            let src = (me + p - s) % p;
+            let out = std::mem::take(&mut sends[dst]);
+            self.send_raw(dst, tags::collective(seq, s as u32), out);
+            recvs[src] = self.recv_raw(src, tags::collective(seq, s as u32));
+        }
+        recvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+    use ppm_simnet::MachineConfig;
+
+    /// Machine shapes exercised by every collective test: single node,
+    /// power-of-two and non-power-of-two rank counts, multi-core nodes.
+    fn shapes() -> Vec<MachineConfig> {
+        vec![
+            MachineConfig::new(1, 1),
+            MachineConfig::new(1, 4),
+            MachineConfig::new(3, 1),
+            MachineConfig::new(2, 4),
+            MachineConfig::new(5, 3),
+        ]
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        for cfg in shapes() {
+            let report = run(cfg, |comm| {
+                // Skew the ranks, then meet at the barrier.
+                comm.charge_flops(1_000 * (comm.rank() as u64 + 1));
+                let before_max = comm.config().core.flops(1_000 * comm.size() as u64);
+                comm.barrier();
+                (comm.now(), before_max)
+            });
+            for (now, before_max) in &report.results {
+                assert!(
+                    now >= before_max,
+                    "rank clock {now} must pass the slowest pre-barrier clock {before_max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_value() {
+        for cfg in shapes() {
+            let p = cfg.total_cores() as usize;
+            for root in [0, p - 1, p / 2] {
+                let report = run(cfg, |comm| {
+                    let v = if comm.rank() == root {
+                        Some(vec![root as u64, 42])
+                    } else {
+                        None
+                    };
+                    comm.bcast(root, v)
+                });
+                for r in report.results {
+                    assert_eq!(r, vec![root as u64, 42]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_ranks() {
+        for cfg in shapes() {
+            let p = cfg.total_cores() as usize;
+            let expect = (p * (p - 1) / 2) as u64;
+            let report = run(cfg, |comm| comm.reduce(0, comm.rank() as u64, |a, b| a + b));
+            assert_eq!(report.results[0], Some(expect));
+            for r in &report.results[1..] {
+                assert_eq!(*r, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_and_sum() {
+        for cfg in shapes() {
+            let p = cfg.total_cores() as usize;
+            let report = run(cfg, |comm| {
+                let sum = comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b);
+                let min = comm.allreduce(comm.rank() as i64 - 5, i64::min);
+                (sum, min)
+            });
+            for (sum, min) in report.results {
+                assert_eq!(sum, (p * (p + 1) / 2) as u64);
+                assert_eq!(min, -5);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_and_exscan_prefixes() {
+        for cfg in shapes() {
+            let report = run(cfg, |comm| {
+                let inc = comm.scan(comm.rank() as u64 + 1, |a, b| a + b);
+                let exc = comm.exscan(comm.rank() as u64 + 1, |a, b| a + b);
+                (inc, exc)
+            });
+            for (r, (inc, exc)) in report.results.iter().enumerate() {
+                let expect_inc = ((r + 1) * (r + 2) / 2) as u64;
+                assert_eq!(*inc, expect_inc, "inclusive scan at rank {r}");
+                let expect_exc = if r == 0 {
+                    None
+                } else {
+                    Some((r * (r + 1) / 2) as u64)
+                };
+                assert_eq!(*exc, expect_exc, "exclusive scan at rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_allgather_order_by_rank() {
+        for cfg in shapes() {
+            let p = cfg.total_cores() as usize;
+            let report = run(cfg, |comm| {
+                let g = comm.gather(1 % p, comm.rank() as u64 * 3);
+                let ag = comm.allgather(comm.rank() as u64 * 3);
+                (g, ag)
+            });
+            let expect: Vec<u64> = (0..p as u64).map(|r| r * 3).collect();
+            for (r, (g, ag)) in report.results.into_iter().enumerate() {
+                assert_eq!(ag, expect);
+                if r == 1 % p {
+                    assert_eq!(g, Some(expect.clone()));
+                } else {
+                    assert_eq!(g, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_every_list() {
+        for cfg in shapes() {
+            let p = cfg.total_cores() as usize;
+            let report = run(cfg, |comm| {
+                let me = comm.rank();
+                // Send to rank d a list [me, d] of length (d % 3).
+                let sends: Vec<Vec<u64>> = (0..p)
+                    .map(|d| vec![(me * 100 + d) as u64; d % 3])
+                    .collect();
+                comm.alltoallv(sends)
+            });
+            for (me, recvs) in report.results.into_iter().enumerate() {
+                assert_eq!(recvs.len(), p);
+                for (s, list) in recvs.into_iter().enumerate() {
+                    assert_eq!(list, vec![(s * 100 + me) as u64; me % 3]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_compose_without_tag_collisions() {
+        let report = run(MachineConfig::new(2, 2), |comm| {
+            let mut acc = 0u64;
+            for i in 0..10 {
+                acc += comm.allreduce(i + comm.rank() as u64, |a, b| a + b);
+                comm.barrier();
+            }
+            acc
+        });
+        // sum over i of (4i + 0+1+2+3) = 4*45/... : per round 4i+6.
+        let expect: u64 = (0..10).map(|i| 4 * i + 6).sum();
+        for r in report.results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn determinism_bit_identical_runs() {
+        let go = || {
+            run(MachineConfig::new(3, 2), |comm| {
+                let x = comm.allreduce(0.1 * (comm.rank() as f64 + 1.0), |a, b| a + b);
+                comm.barrier();
+                let y = comm.scan(x, |a, b| a + b);
+                (x.to_bits(), y.to_bits(), comm.now())
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.makespan(), b.makespan());
+    }
+}

@@ -1,0 +1,49 @@
+//! Tag-space layout.
+//!
+//! User point-to-point tags and internal collective tags share the 64-bit
+//! message tag but live in disjoint halves, so a collective can never steal
+//! a user message and vice versa.
+
+/// High bit marks collective-internal messages.
+const COLL_BIT: u64 = 1 << 63;
+/// Maximum user tag value.
+pub const MAX_USER_TAG: u64 = COLL_BIT - 1;
+
+/// Encode a user tag.
+#[inline]
+pub fn user(tag: u64) -> u64 {
+    assert!(tag <= MAX_USER_TAG, "user tag {tag} out of range");
+    tag
+}
+
+/// Encode a collective-internal tag from the collective sequence number and
+/// the algorithm step.
+#[inline]
+pub fn collective(seq: u64, step: u32) -> u64 {
+    // 2^23 steps per collective is far beyond any tree depth we run.
+    COLL_BIT | (seq << 23) | step as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_are_disjoint() {
+        assert_ne!(user(0), collective(0, 0));
+        assert_eq!(user(5), 5);
+        assert!(collective(0, 0) & COLL_BIT != 0);
+    }
+
+    #[test]
+    fn collective_tags_distinct_by_seq_and_step() {
+        assert_ne!(collective(1, 0), collective(2, 0));
+        assert_ne!(collective(1, 0), collective(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_user_tag_rejected() {
+        user(MAX_USER_TAG + 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-endpoint simulated clocks with a time breakdown.
+
+use crate::time::SimTime;
+
+/// A simulated clock, tracking where the time went.
+///
+/// `now` is the endpoint's current instant. The breakdown buckets
+/// (`compute`, `comm`, `wait`) always sum to `now`, which tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+    compute: SimTime,
+    comm: SimTime,
+    wait: SimTime,
+}
+
+impl Clock {
+    /// A clock at instant zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Time spent computing.
+    #[inline]
+    pub fn compute(&self) -> SimTime {
+        self.compute
+    }
+
+    /// Time spent in communication (send/recv CPU, wire time on the
+    /// critical path).
+    #[inline]
+    pub fn comm(&self) -> SimTime {
+        self.comm
+    }
+
+    /// Time spent idle, waiting for peers (barrier skew, blocked receives).
+    #[inline]
+    pub fn wait(&self) -> SimTime {
+        self.wait
+    }
+
+    /// Advance by computation time.
+    #[inline]
+    pub fn advance_compute(&mut self, d: SimTime) {
+        self.now += d;
+        self.compute += d;
+    }
+
+    /// Advance by communication time.
+    #[inline]
+    pub fn advance_comm(&mut self, d: SimTime) {
+        self.now += d;
+        self.comm += d;
+    }
+
+    /// Jump forward to `t` if it is in the future, accounting the idle gap
+    /// as wait time. Used when receiving a message whose arrival instant is
+    /// later than the local clock, and at barriers.
+    #[inline]
+    pub fn wait_until(&mut self, t: SimTime) {
+        if t > self.now {
+            self.wait += t - self.now;
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.compute(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn breakdown_sums_to_now() {
+        let mut c = Clock::new();
+        c.advance_compute(SimTime::from_ns(100));
+        c.advance_comm(SimTime::from_ns(30));
+        c.wait_until(SimTime::from_ns(500));
+        assert_eq!(c.now(), SimTime::from_ns(500));
+        assert_eq!(c.compute() + c.comm() + c.wait(), c.now());
+    }
+
+    #[test]
+    fn wait_until_past_is_noop() {
+        let mut c = Clock::new();
+        c.advance_compute(SimTime::from_ns(100));
+        c.wait_until(SimTime::from_ns(50));
+        assert_eq!(c.now(), SimTime::from_ns(100));
+        assert_eq!(c.wait(), SimTime::ZERO);
+    }
+}

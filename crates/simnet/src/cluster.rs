@@ -1,0 +1,166 @@
+//! Job runner: one OS thread per simulated endpoint.
+//!
+//! An *endpoint* is whatever unit of the machine the layer above schedules —
+//! one per node for the PPM runtime, one per core-rank for the MPI-like
+//! substrate. Endpoints execute real Rust code concurrently and exchange
+//! real data through the router; *simulated* time is tracked on each
+//! endpoint's [`Clock`] and is what experiments report, so host parallelism
+//! (or the lack of it) never affects results.
+
+use crate::clock::Clock;
+use crate::config::MachineConfig;
+use crate::router::{make_router, Endpoint};
+use crate::stats::Counters;
+use crate::time::SimTime;
+
+/// Mutable per-endpoint state handed to the job closure.
+pub struct EndpointCtx {
+    /// Transport handle.
+    pub net: Endpoint,
+    /// Simulated clock.
+    pub clock: Clock,
+    /// Event counters.
+    pub counters: Counters,
+    /// Machine description.
+    pub config: MachineConfig,
+}
+
+impl EndpointCtx {
+    /// Endpoint id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.net.id()
+    }
+
+    /// Number of endpoints in the job.
+    #[inline]
+    pub fn num_endpoints(&self) -> usize {
+        self.net.len()
+    }
+}
+
+/// Outcome of a simulated job.
+#[derive(Debug)]
+pub struct JobReport<R> {
+    /// Per-endpoint return values, indexed by endpoint id.
+    pub results: Vec<R>,
+    /// Per-endpoint final clocks.
+    pub clocks: Vec<Clock>,
+    /// Per-endpoint counters.
+    pub counters: Vec<Counters>,
+}
+
+impl<R> JobReport<R> {
+    /// Job completion time: the latest endpoint clock.
+    pub fn makespan(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .map(Clock::now)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Sum of all endpoints' counters.
+    pub fn total_counters(&self) -> Counters {
+        self.counters
+            .iter()
+            .fold(Counters::default(), |acc, c| acc.merge(c))
+    }
+}
+
+/// Run a job of `n` endpoints. The closure receives each endpoint's context
+/// and runs on its own OS thread; a panic on any endpoint fails the job.
+pub fn run<R, F>(n: usize, config: MachineConfig, f: F) -> JobReport<R>
+where
+    R: Send,
+    F: Fn(&mut EndpointCtx) -> R + Send + Sync,
+{
+    let endpoints = make_router(n);
+    let f = &f;
+    let outcomes: Vec<(R, Clock, Counters)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|net| {
+                scope.spawn(move || {
+                    let mut ctx = EndpointCtx {
+                        net,
+                        clock: Clock::new(),
+                        counters: Counters::default(),
+                        config,
+                    };
+                    let r = f(&mut ctx);
+                    (r, ctx.clock, ctx.counters)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise an endpoint's panic with its original payload so
+                // callers (and #[should_panic] tests) see the real message.
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+            })
+            .collect()
+    });
+
+    let mut results = Vec::with_capacity(n);
+    let mut clocks = Vec::with_capacity(n);
+    let mut counters = Vec::with_capacity(n);
+    for (r, cl, co) in outcomes {
+        results.push(r);
+        clocks.push(cl);
+        counters.push(co);
+    }
+    JobReport {
+        results,
+        clocks,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn endpoints_run_and_return_in_order() {
+        let report = run(4, MachineConfig::franklin(4), |ctx| ctx.id() * 10);
+        assert_eq!(report.results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let report = run(3, MachineConfig::franklin(3), |ctx| {
+            ctx.clock
+                .advance_compute(SimTime::from_ns(100 * (ctx.id() as u64 + 1)));
+        });
+        assert_eq!(report.makespan(), SimTime::from_ns(300));
+    }
+
+    #[test]
+    fn ring_exchange() {
+        let n = 4;
+        let report = run(n, MachineConfig::franklin(n as u32), |ctx| {
+            let me = ctx.id();
+            let next = (me + 1) % ctx.num_endpoints();
+            ctx.net
+                .send(Message::new(me, next, 0, SimTime::ZERO, 8, me as u64));
+            ctx.counters.msgs_sent += 1;
+            let m = ctx.net.recv();
+            ctx.counters.msgs_recv += 1;
+            m.take::<u64>()
+        });
+        // endpoint i receives from its predecessor
+        assert_eq!(report.results, vec![3, 0, 1, 2]);
+        let totals = report.total_counters();
+        assert_eq!(totals.msgs_sent, 4);
+        assert_eq!(totals.msgs_recv, 4);
+    }
+
+    #[test]
+    fn single_endpoint_job() {
+        let report = run(1, MachineConfig::new(1, 1), |_| "done");
+        assert_eq!(report.results, vec!["done"]);
+        assert_eq!(report.makespan(), SimTime::ZERO);
+    }
+}

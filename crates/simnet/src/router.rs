@@ -1,0 +1,142 @@
+//! Message transport between simulated endpoints.
+//!
+//! The router gives every endpoint an unbounded inbox. Delivery preserves
+//! per-sender FIFO order (messages from A to B arrive in the order A sent
+//! them), which the PPM phase protocol relies on: a node's read requests
+//! always precede its end-of-phase write bundle on the same channel.
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::message::Message;
+
+/// How long a blocking receive waits before declaring the simulation wedged.
+/// Applications in this workspace are deterministic and deadlock-free by
+/// construction, so hitting this is always a protocol bug; failing loudly
+/// beats hanging the test suite.
+const RECV_STALL: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Per-endpoint transport handle.
+pub struct Endpoint {
+    id: usize,
+    inbox: Receiver<Message>,
+    outboxes: Vec<Sender<Message>>,
+}
+
+impl Endpoint {
+    /// This endpoint's id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of endpoints in the job.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    /// Always false — a router has at least one endpoint.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Deliver a message to its destination's inbox.
+    pub fn send(&self, msg: Message) {
+        debug_assert_eq!(msg.src, self.id, "message src must be the sender");
+        let dst = msg.dst;
+        self.outboxes[dst]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("endpoint {dst} hung up (panicked?)"));
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Message {
+        match self.inbox.recv_timeout(RECV_STALL) {
+            Ok(m) => m,
+            Err(e) => panic!("endpoint {} stalled waiting for a message: {e}", self.id),
+        }
+    }
+
+    /// Take a message if one is already queued.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// Create the transport for `n` endpoints.
+pub fn make_router(n: usize) -> Vec<Endpoint> {
+    assert!(n >= 1, "router needs at least one endpoint");
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel::unbounded()).unzip();
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, inbox)| Endpoint {
+            id,
+            inbox,
+            outboxes: senders.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn msg(src: usize, dst: usize, tag: u64, v: u64) -> Message {
+        Message::new(src, dst, tag, SimTime::ZERO, 8, v)
+    }
+
+    #[test]
+    fn self_send_and_recv() {
+        let eps = make_router(1);
+        eps[0].send(msg(0, 0, 1, 42));
+        let m = eps[0].recv();
+        assert_eq!(m.take::<u64>(), 42);
+    }
+
+    #[test]
+    fn per_sender_fifo_order() {
+        let eps = make_router(2);
+        for i in 0..100u64 {
+            eps[0].send(msg(0, 1, 0, i));
+        }
+        for i in 0..100u64 {
+            assert_eq!(eps[1].recv().take::<u64>(), i);
+        }
+    }
+
+    #[test]
+    fn try_recv_empty_and_nonempty() {
+        let eps = make_router(2);
+        assert!(eps[1].try_recv().is_none());
+        eps[0].send(msg(0, 1, 9, 7));
+        let m = eps[1].try_recv().expect("queued message");
+        assert_eq!(m.tag, 9);
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = make_router(2);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let m = e1.recv();
+            assert_eq!(m.src, 0);
+            e1.send(msg(1, 0, 0, m.take::<u64>() + 1));
+        });
+        e0.send(msg(0, 1, 0, 10));
+        assert_eq!(e0.recv().take::<u64>(), 11);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn endpoint_metadata() {
+        let eps = make_router(3);
+        assert_eq!(eps[2].id(), 2);
+        assert_eq!(eps[0].len(), 3);
+        assert!(!eps[0].is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated time.
+//!
+//! All clocks in the simulator are [`SimTime`] instants measured in integer
+//! picoseconds since job start. Integer time keeps every run bit-for-bit
+//! deterministic (no floating-point accumulation order issues) while still
+//! resolving sub-nanosecond per-byte costs. A `u64` of picoseconds covers
+//! about 213 days of simulated time, far beyond any job we model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds per nanosecond.
+const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An instant (or duration — the simulator uses one type for both) of
+/// simulated time, in picoseconds.
+///
+/// `SimTime` is totally ordered and supports saturating-free checked-by-debug
+/// arithmetic through the usual operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero instant (job start) / zero duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * PS_PER_MS)
+    }
+
+    /// Construct from a (non-negative, finite) number of nanoseconds given as
+    /// `f64`, rounding to the nearest picosecond. Used for cost-model
+    /// constants expressed fractionally (e.g. 0.55 ns/byte).
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns}");
+        SimTime((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanoseconds (lossy).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Value in microseconds (lossy).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Value in milliseconds (lossy).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Value in seconds (lossy).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Duration scaled by an integer count (e.g. per-byte gap × bytes).
+    #[inline]
+    pub fn scale(self, count: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(count))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= PS_PER_S {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1_000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+    }
+
+    #[test]
+    fn fractional_ns_rounds_to_ps() {
+        assert_eq!(SimTime::from_ns_f64(0.55), SimTime::from_ps(550));
+        assert_eq!(SimTime::from_ns_f64(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(13));
+        assert_eq!(a - b, SimTime::from_ns(7));
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.scale(4), SimTime::from_ns(12));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(13));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4u64).map(SimTime::from_ns).sum();
+        assert_eq!(total, SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(500)), "500.000ns");
+        assert_eq!(format!("{}", SimTime::from_us(2)), "2.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(3)), "3.000ms");
+        assert_eq!(format!("{}", SimTime::from_ms(3_000)), "3.000s");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_us(1234);
+        assert!((t.as_us_f64() - 1234.0).abs() < 1e-9);
+        assert!((t.as_ms_f64() - 1.234).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Modeled wire sizes.
+//!
+//! The simulator moves typed Rust values between node threads without
+//! serializing them; communication cost is charged from the *modeled* size of
+//! the payload, provided by [`WireSize`]. Sizes approximate a compact binary
+//! encoding (fixed-width scalars, 8-byte length prefix for sequences).
+
+/// Number of bytes a value would occupy in a compact wire encoding.
+pub trait WireSize {
+    /// Modeled encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+macro_rules! fixed_wire_size {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl WireSize for $t {
+            #[inline]
+            fn wire_size(&self) -> usize { $n }
+        })*
+    };
+}
+
+fixed_wire_size! {
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    usize => 8, isize => 8,
+    bool => 1,
+    () => 0,
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize, D: WireSize> WireSize for (A, B, C, D) {
+    #[inline]
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size() + self.3.wire_size()
+    }
+}
+
+/// Sequences carry an 8-byte length prefix plus their elements.
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for &[T] {
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize, const N: usize> WireSize for [T; N] {
+    fn wire_size(&self) -> usize {
+        self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(1u8.wire_size(), 1);
+        assert_eq!(1u32.wire_size(), 4);
+        assert_eq!(1.0f64.wire_size(), 8);
+        assert_eq!(1usize.wire_size(), 8);
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(true.wire_size(), 1);
+    }
+
+    #[test]
+    fn composites() {
+        assert_eq!((1u32, 2.0f64).wire_size(), 12);
+        assert_eq!((1u8, 2u8, 3u8).wire_size(), 3);
+        assert_eq!((1u8, 2u8, 3u8, 4u64).wire_size(), 11);
+        assert_eq!([1.0f64; 3].wire_size(), 24);
+        assert_eq!(Some(5u32).wire_size(), 5);
+        assert_eq!(None::<u32>.wire_size(), 1);
+    }
+
+    #[test]
+    fn sequences_have_length_prefix() {
+        let v: Vec<f64> = vec![0.0; 10];
+        assert_eq!(v.wire_size(), 8 + 80);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.wire_size(), 8);
+        let pairs: Vec<(u64, f64)> = vec![(0, 0.0); 4];
+        assert_eq!(pairs.wire_size(), 8 + 4 * 16);
+    }
+}

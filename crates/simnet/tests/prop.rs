@@ -1,0 +1,71 @@
+//! Property-based tests of the simulator substrate: time algebra, wire
+//! sizing, cost-model monotonicity, and transport ordering.
+
+use proptest::prelude::*;
+
+use ppm_simnet::{Clock, Message, NetParams, SimTime, WireSize};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simtime_addition_is_commutative_and_monotone(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (x, y) = (SimTime::from_ps(a), SimTime::from_ps(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x + y >= x.max(y));
+        prop_assert_eq!((x + y) - y, x);
+    }
+
+    #[test]
+    fn simtime_scale_distributes(a in 0u64..1 << 20, k in 0u64..1000, j in 0u64..1000) {
+        let t = SimTime::from_ps(a);
+        prop_assert_eq!(t.scale(k) + t.scale(j), t.scale(k + j));
+    }
+
+    #[test]
+    fn clock_breakdown_always_sums_to_now(
+        steps in proptest::collection::vec((0u8..3, 0u64..1 << 30), 0..50)
+    ) {
+        let mut c = Clock::new();
+        for (kind, amount) in steps {
+            let d = SimTime::from_ps(amount);
+            match kind {
+                0 => c.advance_compute(d),
+                1 => c.advance_comm(d),
+                _ => c.wait_until(c.now() + d),
+            }
+        }
+        prop_assert_eq!(c.compute() + c.comm() + c.wait(), c.now());
+    }
+
+    #[test]
+    fn wire_time_is_monotone_in_bytes(b1 in 0usize..1 << 20, extra in 1usize..1 << 20, share in 1u32..8) {
+        let net = NetParams::default();
+        for intra in [false, true] {
+            prop_assert!(
+                net.wire_time(b1, intra, share) <= net.wire_time(b1 + extra, intra, share)
+            );
+        }
+        // Sharing the NIC never speeds things up.
+        prop_assert!(net.wire_time(b1, false, share) >= net.wire_time(b1, false, 1));
+    }
+
+    #[test]
+    fn vec_wire_size_is_additive(a in proptest::collection::vec(any::<f64>(), 0..50),
+                                  b in proptest::collection::vec(any::<f64>(), 0..50)) {
+        let joined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        // Two length prefixes vs one.
+        prop_assert_eq!(a.wire_size() + b.wire_size(), joined.wire_size() + 8);
+    }
+
+    #[test]
+    fn router_preserves_per_sender_order(n in 1usize..100) {
+        let eps = ppm_simnet::make_router(2);
+        for i in 0..n as u64 {
+            eps[0].send(Message::new(0, 1, i % 3, SimTime::ZERO, 8, i));
+        }
+        for i in 0..n as u64 {
+            prop_assert_eq!(eps[1].recv().take::<u64>(), i);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Generate a multiscale-collocation sparse matrix with the PPM program
+//! and verify it is bit-identical to the sequential and MPI versions.
+//!
+//! ```text
+//! cargo run --release --example matgen
+//! ```
+
+use ppm::apps::matgen::{self, MatGenParams};
+use ppm::core::PpmConfig;
+use ppm::simnet::MachineConfig;
+
+fn main() {
+    let params = MatGenParams::new(6, 16);
+    println!(
+        "multiscale collocation matrix: {} levels, {} rows, {} nonzeros",
+        params.levels,
+        params.n(),
+        params.nnz()
+    );
+
+    let seq = matgen::seq::generate(&params);
+
+    let p = params;
+    let ppm_report = ppm::core::run(PpmConfig::franklin(3), move |node| {
+        matgen::ppm::generate(node, &p)
+    });
+    let (ppm_sums, ppm_t) = &ppm_report.results[0];
+    assert_eq!(ppm_sums, &seq, "PPM must be bit-identical");
+
+    let p = params;
+    let mpi_report = ppm::mps::run(MachineConfig::franklin(3), move |comm| {
+        matgen::mpi::generate(comm, &p)
+    });
+    let (mpi_sums, mpi_t) = &mpi_report.results[0];
+    assert_eq!(mpi_sums, &seq, "MPI must be bit-identical");
+
+    println!("PPM and MPI row sums bit-identical to sequential ✓");
+    println!("simulated time: PPM {ppm_t} vs MPI {mpi_t} (3 nodes × 4 cores)");
+    let checksum: f64 = seq.iter().map(|v| v.abs()).sum();
+    println!("Σ|row sums| = {checksum:.6}");
+}

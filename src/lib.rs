@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the PPM workspace.
+pub use ppm_apps as apps;
+pub use ppm_core as core;
+pub use ppm_mps as mps;
+pub use ppm_simnet as simnet;

@@ -1,0 +1,117 @@
+//! Workspace integration tests: exercise the whole stack through the
+//! facade crate — several applications composed in one SPMD job, counters
+//! as a verification channel, end-to-end determinism.
+
+use ppm::apps::barnes_hut::{self as bh, BhParams};
+use ppm::apps::cg::{self, CgParams};
+use ppm::apps::matgen::{self, MatGenParams};
+use ppm::core::PpmConfig;
+use ppm::simnet::MachineConfig;
+
+#[test]
+fn three_applications_compose_in_one_job() {
+    // One SPMD program that runs all three applications back to back on
+    // the same node runtime — allocations, phases, and node collectives
+    // from different apps must not interfere.
+    let cgp = CgParams::cube(6, 10);
+    let mgp = MatGenParams::new(3, 8);
+    let mut bhp = BhParams::new(128);
+    bhp.steps = 1;
+
+    let cg_ref = cg::seq::solve(&cgp);
+    let mg_ref = matgen::seq::generate(&mgp);
+    let bh_ref = bh::seq::simulate(&bhp);
+
+    let report = ppm::core::run(PpmConfig::franklin(2), move |node| {
+        let (cg_out, _) = cg::ppm::solve(node, &cgp);
+        let (mg_out, _) = matgen::ppm::generate(node, &mgp);
+        let (bh_out, _) = bh::ppm::simulate(node, &bhp);
+        (cg_out.rr, mg_out, bh_out)
+    });
+    for (rr, mg, bodies) in &report.results {
+        assert!((rr - cg_ref.rr).abs() <= 1e-9 * (1.0 + cg_ref.rr));
+        assert_eq!(mg, &mg_ref);
+        assert_eq!(
+            bodies.iter().map(|b| b.x.to_bits()).collect::<Vec<_>>(),
+            bh_ref.iter().map(|b| b.x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn bundling_counters_tell_the_papers_story() {
+    // The runtime must turn huge numbers of fine-grained accesses into few
+    // coarse messages — the §3.3 capability the applications rely on.
+    let mut p = BhParams::new(512);
+    p.steps = 1;
+    let report = ppm::core::run(PpmConfig::franklin(4), move |node| {
+        bh::ppm::simulate(node, &p);
+        node.ep_counters()
+    });
+    let c = report
+        .counters
+        .iter()
+        .fold(ppm::simnet::Counters::default(), |a, b| a.merge(b));
+    assert!(c.remote_gets > 10_000, "fine-grained reads: {}", c.remote_gets);
+    assert!(
+        c.bundles_sent < c.remote_gets / 20,
+        "bundling must compress: {} reads in {} bundles",
+        c.remote_gets,
+        c.bundles_sent
+    );
+}
+
+#[test]
+fn simulated_time_is_host_independent() {
+    // Two runs of the same job — interleaved with unrelated load — give
+    // bit-identical simulated clocks and results.
+    let p = CgParams::cube(5, 8);
+    let run_once = || {
+        let pp = p;
+        let report = ppm::core::run(PpmConfig::new(MachineConfig::new(3, 2)), move |node| {
+            let (out, t) = cg::ppm::solve(node, &pp);
+            (out.rr.to_bits(), t)
+        });
+        (report.results.clone(), report.makespan())
+    };
+    let a = run_once();
+    // Unrelated host load between runs.
+    let _noise = (0..500_000u64).fold(0u64, |a, i| a.wrapping_add(i.wrapping_mul(2654435761)));
+    let b = run_once();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mpi_and_ppm_substrates_share_one_machine_model() {
+    // The same machine config drives both substrates; their simulated
+    // times must be on comparable scales for equal work (within 10x),
+    // which guards against unit mistakes in either cost path.
+    let p = MatGenParams::new(4, 8);
+    let ppm_t = ppm::core::run(PpmConfig::franklin(2), move |node| {
+        matgen::ppm::generate(node, &p).1
+    })
+    .results
+    .into_iter()
+    .fold(ppm::simnet::SimTime::ZERO, ppm::simnet::SimTime::max);
+    let mpi_t = ppm::mps::run(MachineConfig::franklin(2), move |comm| {
+        matgen::mpi::generate(comm, &p).1
+    })
+    .results
+    .into_iter()
+    .fold(ppm::simnet::SimTime::ZERO, ppm::simnet::SimTime::max);
+    let ratio = ppm_t.as_ns_f64() / mpi_t.as_ns_f64();
+    assert!((0.1..10.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Spot-check the public API surface users would touch first.
+    let cfg = PpmConfig::franklin(1);
+    assert_eq!(cfg.nodes(), 1);
+    let m = MachineConfig::new(2, 4);
+    assert_eq!(m.total_cores(), 8);
+    let report = ppm::core::run(cfg, |node| node.num_nodes());
+    assert_eq!(report.results, vec![1]);
+    let report = ppm::mps::run(m, |comm| comm.size());
+    assert!(report.results.iter().all(|&s| s == 8));
+}
