@@ -30,8 +30,8 @@ pub mod seq;
 pub mod tree;
 
 use ppm_simnet::WireSize;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SplitMix64;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -187,19 +187,19 @@ impl BBox {
 /// Sample a Plummer sphere: the standard N-body benchmark distribution
 /// (deterministic for a given seed).
 pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let a = 1.0; // Plummer radius
     let m = 1.0 / n as f64;
     (0..n)
         .map(|_| {
             // Radius from the Plummer inverse CDF, capped to keep the box
             // compact.
-            let u: f64 = rng.gen_range(1e-6..1.0);
+            let u: f64 = rng.gen_range_f64(1e-6, 1.0);
             let r = (a / (u.powf(-2.0 / 3.0) - 1.0).sqrt()).min(8.0 * a);
             // Uniform direction.
-            let cos_t: f64 = rng.gen_range(-1.0..1.0);
+            let cos_t: f64 = rng.gen_range_f64(-1.0, 1.0);
             let sin_t = (1.0 - cos_t * cos_t).sqrt();
-            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let phi: f64 = rng.gen_range_f64(0.0, std::f64::consts::TAU);
             // A mild tangential velocity so the system evolves.
             let vscale = 0.1 / (1.0 + r);
             Body {

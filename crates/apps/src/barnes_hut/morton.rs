@@ -55,8 +55,11 @@ mod tests {
     fn roundtrip_various_depths() {
         for depth in [1usize, 3, 5, 10] {
             let side = 1u32 << depth;
-            for &(x, y, z) in &[(0, 0, 0), (side - 1, 0, 1 % side), (side / 2, side - 1, side / 3)]
-            {
+            for &(x, y, z) in &[
+                (0, 0, 0),
+                (side - 1, 0, 1 % side),
+                (side / 2, side - 1, side / 3),
+            ] {
                 let k = encode(x, y, z, depth);
                 assert!(k < 1 << (3 * depth));
                 assert_eq!(decode(k, depth), (x, y, z));

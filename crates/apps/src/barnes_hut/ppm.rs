@@ -188,7 +188,13 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
                                 at += 1;
                                 v.charge_flops(VISIT_FLOPS);
                                 match visit_cell(
-                                    &mine[i], com, d, key, leaves[i], &params, edge,
+                                    &mine[i],
+                                    com,
+                                    d,
+                                    key,
+                                    leaves[i],
+                                    &params,
+                                    edge,
                                     &mut accs[i],
                                 ) {
                                     Visit::Open => {
@@ -206,11 +212,8 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
 
                     // Body-level interactions: fetch each direct leaf's run
                     // metadata, then the run's bodies, in three bulk reads.
-                    let flat: Vec<usize> = direct_cells
-                        .iter()
-                        .flatten()
-                        .map(|&c| c as usize)
-                        .collect();
+                    let flat: Vec<usize> =
+                        direct_cells.iter().flatten().map(|&c| c as usize).collect();
                     let run_starts = ph.get_many(&leaf_start, flat.iter().copied()).await;
                     let run_counts = ph.get_many(&leaf_count, flat.iter().copied()).await;
                     let wants: Vec<usize> = run_starts

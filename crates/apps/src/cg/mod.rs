@@ -85,10 +85,7 @@ pub struct CgOutcome {
 impl CgOutcome {
     /// Maximum absolute error against the exact ones solution.
     pub fn max_error_vs_ones(&self) -> f64 {
-        self.x
-            .iter()
-            .map(|&v| (v - 1.0).abs())
-            .fold(0.0, f64::max)
+        self.x.iter().map(|&v| (v - 1.0).abs()).fold(0.0, f64::max)
     }
 }
 

@@ -19,5 +19,6 @@ pub mod barnes_hut;
 pub mod cg;
 pub mod matgen;
 pub mod pagerank;
+pub mod rng;
 pub mod sparse;
 pub mod stencil27;

@@ -33,7 +33,9 @@ pub fn rank(comm: &mut Comm<'_>, p: &PrParams) -> (Vec<f64>, SimTime) {
             let share = cur[v - lo] / d as f64;
             for e in 0..d {
                 let t = neighbour(p, v, e);
-                *outgoing[(t / bs).min(size - 1)].entry(t as u64).or_insert(0.0) += share;
+                *outgoing[(t / bs).min(size - 1)]
+                    .entry(t as u64)
+                    .or_insert(0.0) += share;
             }
             comm.charge_flops(2 * d as u64 + 1);
         }

@@ -1,0 +1,92 @@
+//! In-repo seeded PRNG (std-only policy: no `rand` crate).
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014): a 64-bit mixing generator with a
+//! single u64 of state. It is not cryptographic, but it is fast, passes
+//! BigCrush when used as a stream, and — the property the workspace
+//! actually relies on — is *bit-deterministic for a given seed on every
+//! platform*, which keeps every sampler (Plummer spheres, test-case
+//! generation) reproducible.
+
+/// Seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)` (53 mantissa bits of the next u64).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via 128-bit multiply (Lemire's unbiased-
+    /// enough-for-simulation fast path; the tiny modulo bias of plain `%`
+    /// is avoided without a rejection loop).
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "gen_index over an empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut g = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let v = g.gen_range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+            let i = g.gen_index(17);
+            assert!(i < 17);
+        }
+    }
+
+    #[test]
+    fn known_first_value() {
+        // Reference value of SplitMix64 seeded with 0 (pins the algorithm,
+        // so a refactor cannot silently change every downstream dataset).
+        assert_eq!(SplitMix64::new(0).next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+}

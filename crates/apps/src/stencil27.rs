@@ -23,7 +23,11 @@ pub struct Stencil27 {
 impl Stencil27 {
     /// A cubic grid.
     pub fn cube(g: usize) -> Self {
-        Stencil27 { gx: g, gy: g, gz: g }
+        Stencil27 {
+            gx: g,
+            gy: g,
+            gz: g,
+        }
     }
 
     /// A "chimney": footprint `g × g`, height `4g` (tall box like the
@@ -111,7 +115,11 @@ mod tests {
 
     #[test]
     fn idx_coords_roundtrip() {
-        let s = Stencil27 { gx: 3, gy: 4, gz: 5 };
+        let s = Stencil27 {
+            gx: 3,
+            gy: 4,
+            gz: 5,
+        };
         for i in 0..s.n() {
             let (x, y, z) = s.coords(i);
             assert_eq!(s.idx(x, y, z), i);

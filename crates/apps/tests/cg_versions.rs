@@ -48,12 +48,20 @@ fn hierarchical_ppm_matches_plain_ppm_bitwise() {
         let p = params();
         let plain = ppm_core::run(PpmConfig::franklin(nodes), move |node| {
             let (out, t) = cg::ppm::solve(node, &p);
-            (out.rr.to_bits(), out.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), t)
+            (
+                out.rr.to_bits(),
+                out.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                t,
+            )
         });
         let p = params();
         let hier = ppm_core::run(PpmConfig::franklin(nodes), move |node| {
             let (out, t) = cg::ppm_hier::solve(node, &p);
-            (out.rr.to_bits(), out.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), t)
+            (
+                out.rr.to_bits(),
+                out.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                t,
+            )
         });
         for (a, b) in plain.results.iter().zip(&hier.results) {
             assert_eq!(a.0, b.0, "nodes={nodes}: rr differs");
@@ -188,4 +196,23 @@ fn ppm_cg_is_deterministic() {
     let b = go();
     assert_eq!(a.results, b.results);
     assert_eq!(a.makespan(), b.makespan());
+}
+
+/// The PPM CG solver is a conforming phase program: with the conformance
+/// checker enabled, no write-write conflicts or read-own-write hazards.
+#[test]
+fn ppm_version_is_phase_conformant() {
+    for nodes in [1u32, 3] {
+        let p = params();
+        let report = ppm_core::run(
+            PpmConfig::new(MachineConfig::new(nodes, 2)).with_checker(true),
+            move |node| {
+                cg::ppm::solve(node, &p);
+                node.take_violations()
+            },
+        );
+        for v in &report.results {
+            assert!(v.is_empty(), "nodes={nodes}: checker reported {v:?}");
+        }
+    }
 }

@@ -82,3 +82,22 @@ fn ppm_matgen_is_deterministic() {
     assert_eq!(a.results, b.results);
     assert_eq!(a.makespan(), b.makespan());
 }
+
+/// The PPM matrix generation is a conforming phase program under the
+/// conformance checker.
+#[test]
+fn ppm_version_is_phase_conformant() {
+    for nodes in [1u32, 4] {
+        let p = params();
+        let report = ppm_core::run(
+            PpmConfig::new(MachineConfig::new(nodes, 2)).with_checker(true),
+            move |node| {
+                matgen::ppm::generate(node, &p);
+                node.take_violations()
+            },
+        );
+        for v in &report.results {
+            assert!(v.is_empty(), "nodes={nodes}: checker reported {v:?}");
+        }
+    }
+}

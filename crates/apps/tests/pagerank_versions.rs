@@ -90,3 +90,23 @@ fn push_scatter_bundles_well() {
         c.bundles_sent
     );
 }
+
+/// The PPM PageRank (accumulate-heavy scatter) is a conforming phase
+/// program under the conformance checker: all cross-VP combining goes
+/// through `accumulate`, never plain `put`.
+#[test]
+fn ppm_version_is_phase_conformant() {
+    let p = PrParams::new(200);
+    for nodes in [1u32, 3] {
+        let report = ppm_core::run(
+            PpmConfig::new(MachineConfig::new(nodes, 2)).with_checker(true),
+            move |node| {
+                pagerank::ppm::rank(node, &p);
+                node.take_violations()
+            },
+        );
+        for v in &report.results {
+            assert!(v.is_empty(), "nodes={nodes}: checker reported {v:?}");
+        }
+    }
+}

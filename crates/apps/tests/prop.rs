@@ -1,109 +1,200 @@
-//! Property-based tests of the application substrates.
-
-use proptest::prelude::*;
+//! Property-based tests of the application substrates (in-repo `testkit`
+//! harness from ppm-core).
 
 use ppm_apps::barnes_hut::{morton, BBox, Body};
 use ppm_apps::matgen::{self, MatGenParams};
 use ppm_apps::sparse::Csr;
 use ppm_apps::stencil27::Stencil27;
+use ppm_core::testkit::forall;
+use ppm_core::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn morton_roundtrip(depth in 1usize..=10, raw in any::<(u32, u32, u32)>()) {
-        let side = 1u32 << depth;
-        let (x, y, z) = (raw.0 % side, raw.1 % side, raw.2 % side);
-        let k = morton::encode(x, y, z, depth);
-        prop_assert!(k < 1u64 << (3 * depth));
-        prop_assert_eq!(morton::decode(k, depth), (x, y, z));
-        // Ancestors are prefixes.
-        for at in 0..=depth {
-            prop_assert_eq!(morton::ancestor(k, depth, at), k >> (3 * (depth - at)));
-        }
-    }
-
-    #[test]
-    fn morton_preserves_containment(depth in 2usize..=8, raw in any::<(u32, u32, u32)>()) {
-        // A child's ancestor at depth-1 equals the key of the coarser grid
-        // coordinates.
-        let side = 1u32 << depth;
-        let (x, y, z) = (raw.0 % side, raw.1 % side, raw.2 % side);
-        let child = morton::encode(x, y, z, depth);
-        let parent = morton::encode(x / 2, y / 2, z / 2, depth - 1);
-        prop_assert_eq!(child / 8, parent);
-    }
-
-    #[test]
-    fn stencil_rows_symmetric_and_bounded(gx in 1usize..6, gy in 1usize..6, gz in 1usize..6) {
-        let s = Stencil27 { gx, gy, gz };
-        for i in 0..s.n() {
-            let row = s.row_entries(i);
-            prop_assert!(!row.is_empty() && row.len() <= 27);
-            // Columns ascend and include the diagonal.
-            prop_assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
-            prop_assert!(row.iter().any(|&(j, v)| j == i && v == 26.0));
-            for &(j, v) in &row {
-                // Symmetry: (j, i) exists with the same value.
-                let back = s.row_entries(j);
-                prop_assert!(back.iter().any(|&(jj, vv)| jj == i && vv == v));
+#[test]
+fn morton_roundtrip() {
+    forall(
+        "morton_roundtrip",
+        64,
+        |g| {
+            (
+                g.usize_in(1..11),
+                (g.u64() as u32, g.u64() as u32, g.u64() as u32),
+            )
+        },
+        |&(depth, raw)| {
+            if depth == 0 || depth > 10 {
+                return Ok(());
             }
-        }
-    }
-
-    #[test]
-    fn csr_spmv_matches_dense(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
-        // Deterministic pseudo-random sparse matrix.
-        let h = |a: u64, b: u64| matgen::splitmix64(seed ^ (a << 32) ^ b);
-        let lists: Vec<Vec<(usize, f64)>> = (0..rows)
-            .map(|r| {
-                (0..cols)
-                    .filter(|&c| h(r as u64, c as u64) % 3 == 0)
-                    .map(|c| (c, (h(r as u64, c as u64) % 100) as f64 - 50.0))
-                    .collect()
-            })
-            .collect();
-        let a = Csr::from_rows(cols, &lists);
-        let x: Vec<f64> = (0..cols).map(|c| (h(7, c as u64) % 10) as f64).collect();
-        let mut y = vec![0.0; rows];
-        a.spmv(&x, &mut y);
-        for r in 0..rows {
-            let dense: f64 = lists[r].iter().map(|&(c, v)| v * x[c]).sum();
-            prop_assert_eq!(y[r], dense);
-        }
-    }
-
-    #[test]
-    fn matgen_geometry_consistent(levels in 1usize..6, n0 in 1usize..20) {
-        let p = MatGenParams::new(levels, n0);
-        // level_of is the inverse of the offsets.
-        for l in 0..levels {
-            prop_assert_eq!(p.level_of(p.offset(l)), l);
-            prop_assert_eq!(p.level_of(p.offset(l) + p.width(l) - 1), l);
-        }
-        prop_assert_eq!(p.offset(levels), p.n());
-        // read indices always in range
-        for m in 0..p.terms {
-            let l = levels - 1;
-            prop_assert!(matgen::read_idx(3, l, 1, m, p.width(l)) < p.width(l));
-        }
-    }
-
-    #[test]
-    fn bbox_keys_are_grid_consistent(pts in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0), 1..50), depth in 1usize..8) {
-        let bodies: Vec<Body> = pts
-            .iter()
-            .map(|&(x, y, z)| Body { x, y, z, mass: 1.0, ..Body::default() })
-            .collect();
-        let bb = BBox::of(&bodies);
-        for b in &bodies {
-            let k = bb.key_of(b.x, b.y, b.z, depth);
+            let side = 1u32 << depth;
+            let (x, y, z) = (raw.0 % side, raw.1 % side, raw.2 % side);
+            let k = morton::encode(x, y, z, depth);
             prop_assert!(k < 1u64 << (3 * depth));
-            // The ancestor relationship holds between depths.
-            if depth > 1 {
-                let parent = bb.key_of(b.x, b.y, b.z, depth - 1);
-                prop_assert_eq!(k >> 3, parent);
+            prop_assert_eq!(morton::decode(k, depth), (x, y, z));
+            // Ancestors are prefixes.
+            for at in 0..=depth {
+                prop_assert_eq!(morton::ancestor(k, depth, at), k >> (3 * (depth - at)));
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn morton_preserves_containment() {
+    forall(
+        "morton_preserves_containment",
+        64,
+        |g| {
+            (
+                g.usize_in(2..9),
+                (g.u64() as u32, g.u64() as u32, g.u64() as u32),
+            )
+        },
+        |&(depth, raw)| {
+            if !(2..=8).contains(&depth) {
+                return Ok(());
+            }
+            // A child's ancestor at depth-1 equals the key of the coarser
+            // grid coordinates.
+            let side = 1u32 << depth;
+            let (x, y, z) = (raw.0 % side, raw.1 % side, raw.2 % side);
+            let child = morton::encode(x, y, z, depth);
+            let parent = morton::encode(x / 2, y / 2, z / 2, depth - 1);
+            prop_assert_eq!(child / 8, parent);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn stencil_rows_symmetric_and_bounded() {
+    forall(
+        "stencil_rows_symmetric_and_bounded",
+        32,
+        |g| (g.usize_in(1..6), g.usize_in(1..6), g.usize_in(1..6)),
+        |&(gx, gy, gz)| {
+            if gx == 0 || gy == 0 || gz == 0 {
+                return Ok(());
+            }
+            let s = Stencil27 { gx, gy, gz };
+            for i in 0..s.n() {
+                let row = s.row_entries(i);
+                prop_assert!(!row.is_empty() && row.len() <= 27);
+                // Columns ascend and include the diagonal.
+                prop_assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+                prop_assert!(row.iter().any(|&(j, v)| j == i && v == 26.0));
+                for &(j, v) in &row {
+                    // Symmetry: (j, i) exists with the same value.
+                    let back = s.row_entries(j);
+                    prop_assert!(back.iter().any(|&(jj, vv)| jj == i && vv == v));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn csr_spmv_matches_dense() {
+    forall(
+        "csr_spmv_matches_dense",
+        64,
+        |g| (g.usize_in(1..8), g.usize_in(1..8), g.u64()),
+        |&(rows, cols, seed)| {
+            if rows == 0 || cols == 0 {
+                return Ok(());
+            }
+            // Deterministic pseudo-random sparse matrix.
+            let h = |a: u64, b: u64| matgen::splitmix64(seed ^ (a << 32) ^ b);
+            let lists: Vec<Vec<(usize, f64)>> = (0..rows)
+                .map(|r| {
+                    (0..cols)
+                        .filter(|&c| h(r as u64, c as u64) % 3 == 0)
+                        .map(|c| (c, (h(r as u64, c as u64) % 100) as f64 - 50.0))
+                        .collect()
+                })
+                .collect();
+            let a = Csr::from_rows(cols, &lists);
+            let x: Vec<f64> = (0..cols).map(|c| (h(7, c as u64) % 10) as f64).collect();
+            let mut y = vec![0.0; rows];
+            a.spmv(&x, &mut y);
+            for r in 0..rows {
+                let dense: f64 = lists[r].iter().map(|&(c, v)| v * x[c]).sum();
+                prop_assert_eq!(y[r], dense);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn matgen_geometry_consistent() {
+    forall(
+        "matgen_geometry_consistent",
+        32,
+        |g| (g.usize_in(1..6), g.usize_in(1..20)),
+        |&(levels, n0)| {
+            if levels == 0 || n0 == 0 {
+                return Ok(());
+            }
+            let p = MatGenParams::new(levels, n0);
+            // level_of is the inverse of the offsets.
+            for l in 0..levels {
+                prop_assert_eq!(p.level_of(p.offset(l)), l);
+                prop_assert_eq!(p.level_of(p.offset(l) + p.width(l) - 1), l);
+            }
+            prop_assert_eq!(p.offset(levels), p.n());
+            // read indices always in range
+            for m in 0..p.terms {
+                let l = levels - 1;
+                prop_assert!(matgen::read_idx(3, l, 1, m, p.width(l)) < p.width(l));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bbox_keys_are_grid_consistent() {
+    forall(
+        "bbox_keys_are_grid_consistent",
+        64,
+        |g| {
+            (
+                g.vec(1..50, |g| {
+                    (
+                        g.f64_in(-10.0..10.0),
+                        g.f64_in(-10.0..10.0),
+                        g.f64_in(-10.0..10.0),
+                    )
+                }),
+                g.usize_in(1..8),
+            )
+        },
+        |(pts, depth)| {
+            let depth = *depth;
+            if pts.is_empty() || depth == 0 || depth > 8 {
+                return Ok(());
+            }
+            let bodies: Vec<Body> = pts
+                .iter()
+                .map(|&(x, y, z)| Body {
+                    x,
+                    y,
+                    z,
+                    mass: 1.0,
+                    ..Body::default()
+                })
+                .collect();
+            let bb = BBox::of(&bodies);
+            for b in &bodies {
+                let k = bb.key_of(b.x, b.y, b.z, depth);
+                prop_assert!(k < 1u64 << (3 * depth));
+                // The ancestor relationship holds between depths.
+                if depth > 1 {
+                    let parent = bb.key_of(b.x, b.y, b.z, depth - 1);
+                    prop_assert_eq!(k >> 3, parent);
+                }
+            }
+            Ok(())
+        },
+    );
 }

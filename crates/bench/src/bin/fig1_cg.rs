@@ -44,8 +44,16 @@ fn main() {
         iters
     );
     header(&[
-        "nodes", "cores", "PPM ms", "PPM-hier ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs",
-        "PPM MB", "MPI MB",
+        "nodes",
+        "cores",
+        "PPM ms",
+        "PPM-hier ms",
+        "MPI ms",
+        "PPM/MPI",
+        "PPM msgs",
+        "MPI msgs",
+        "PPM MB",
+        "MPI MB",
     ]);
     for &n in &nodes {
         let p = params;

@@ -31,8 +31,7 @@ fn main() {
         params.nnz()
     );
     header(&[
-        "nodes", "cores", "PPM ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs", "PPM MB",
-        "MPI MB",
+        "nodes", "cores", "PPM ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs", "PPM MB", "MPI MB",
     ]);
     for &n in &nodes {
         let p = params;

@@ -51,7 +51,10 @@ fn main() {
     let group = |name: &str, records: Vec<&PhaseRecord>| {
         let count = records.len();
         let sum = |f: &dyn Fn(&PhaseRecord) -> SimTime| {
-            records.iter().map(|r| f(r)).fold(SimTime::ZERO, |a, b| a + b)
+            records
+                .iter()
+                .map(|r| f(r))
+                .fold(SimTime::ZERO, |a, b| a + b)
         };
         let waves: u64 = records.iter().map(|r| r.waves).sum();
         let bytes: u64 = records.iter().map(|r| r.bytes_out).sum();
@@ -68,10 +71,7 @@ fn main() {
 
     assert!(log.iter().all(|r| r.kind == PhaseKind::Global));
     group("init (r = p = b)", log.iter().take(1).collect());
-    group(
-        "A: ap = A·p, p·ap",
-        log.iter().skip(1).step_by(3).collect(),
-    );
+    group("A: ap = A·p, p·ap", log.iter().skip(1).step_by(3).collect());
     group(
         "B: x, r updates, r·r",
         log.iter().skip(2).step_by(3).collect(),

@@ -1,0 +1,488 @@
+//! Dynamic phase-semantics conformance checker.
+//!
+//! The Parallel Phase Model's contract is super-step semantics: inside a
+//! `PPM_global_phase`/`PPM_node_phase`, every read observes the phase-start
+//! snapshot and writes publish only at the end-of-phase barrier. The
+//! runtime *implements* that contract by buffering writes; this module
+//! *verifies the program against it*: with the checker enabled
+//! ([`crate::PpmConfig::with_checker`]; on by default in debug builds, so
+//! `cargo test` runs everything under it), every shared-variable access is
+//! recorded per phase and, at the phase barrier, suspicious access patterns
+//! are reported as [`PhaseViolation`]s with deterministic diagnostics:
+//!
+//! * **Write–write conflicts** — two *different* VPs `put` *different
+//!   values* to the same element in one phase without an `accumulate`
+//!   combiner. The runtime resolves this deterministically (last writer in
+//!   (global VP rank, program order) wins), but a program whose answer
+//!   depends on VP rank order is almost always wrong — the paper's model
+//!   provides `accumulate` for exactly this pattern. Idempotent concurrent
+//!   puts (every VP's last write to the element carries the same value,
+//!   e.g. many VPs clearing the same tree cell) are *not* flagged: the
+//!   outcome is value-deterministic regardless of rank order. Values are
+//!   compared by a fingerprint of their `Debug` rendering — the one
+//!   rendering every [`crate::elem::Elem`] already has — so the comparison
+//!   needs no extra trait bounds.
+//! * **Read-own-write hazards** — a VP reads an element it wrote earlier in
+//!   the same phase. Under snapshot semantics the read returns the
+//!   phase-*start* value, not the value just written; a program doing this
+//!   would behave differently on any runtime that didn't snapshot, so it is
+//!   either a bug or (rarely) a deliberate snapshot read that deserves a
+//!   comment and a checker suppression via a fresh phase.
+//! * **Phase-nesting / barrier-mismatch errors** — opening a phase inside a
+//!   phase, VPs disagreeing on the current phase kind, or VPs not all
+//!   arriving at the same barrier. These corrupt the super-step structure
+//!   itself, so they are reported *and* the runtime aborts (panics) with
+//!   the violation's rendering; tests assert on the message.
+//!
+//! Diagnostics are deterministic: the node runtime is single-threaded and
+//! polls VPs in ascending rank order, and the per-barrier flush sorts
+//! reports by (space, array, element, ranks) — the same program always
+//! yields the same violation list in the same order.
+//!
+//! Violations are drained per node with [`crate::NodeCtx::take_violations`]
+//! after a `ppm_do`; the app test suites assert the drain is empty.
+
+use std::collections::HashMap;
+
+use crate::state::PhaseKind;
+
+/// FNV-1a over a value's `Debug` rendering: a deterministic, std-only
+/// fingerprint usable for any `Elem` (which requires `Debug` but neither
+/// `PartialEq` nor a byte view). Distinct renderings → distinct writes;
+/// hash collisions can only *hide* a conflict, never invent one.
+pub(crate) fn fingerprint<T: std::fmt::Debug>(v: &T) -> u64 {
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for &b in s.as_bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    let _ = std::fmt::write(&mut h, format_args!("{v:?}"));
+    h.0
+}
+
+/// Which shared-variable space an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Space {
+    /// A `PPM_global_shared` array (cluster-distributed).
+    Global,
+    /// A `PPM_node_shared` array (one instance per node).
+    Node,
+}
+
+impl std::fmt::Display for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Space::Global => write!(f, "global"),
+            Space::Node => write!(f, "node"),
+        }
+    }
+}
+
+/// One conformance violation detected by the checker, reported at the
+/// phase's end barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseViolation {
+    /// Two different VPs assigned (`put`) different values to the same
+    /// element in one phase without an `accumulate` combiner.
+    WriteWriteConflict {
+        /// Shared-variable space of the array.
+        space: Space,
+        /// Array id (allocation order on the node).
+        array: u32,
+        /// Element index (global index for global arrays).
+        index: u64,
+        /// Lowest global VP rank that wrote the element.
+        first_vp: u64,
+        /// The first *other* global VP rank that also wrote it.
+        second_vp: u64,
+        /// Kind of the phase the conflict happened in.
+        phase: PhaseKind,
+    },
+    /// A VP read an element it had already written earlier in the same
+    /// phase (the read returns the phase-start snapshot, not the write).
+    ReadOwnWrite {
+        /// Shared-variable space of the array.
+        space: Space,
+        /// Array id.
+        array: u32,
+        /// Element index.
+        index: u64,
+        /// Global VP rank that wrote and then read.
+        vp: u64,
+        /// Kind of the phase.
+        phase: PhaseKind,
+    },
+    /// A phase was opened while the same VP was already inside one.
+    NestedPhase {
+        /// Node-relative rank of the offending VP.
+        vp: usize,
+        /// Node id.
+        node: usize,
+    },
+    /// Concurrent VPs disagree on the kind of the current phase.
+    PhaseKindMismatch {
+        /// Kind of the already-open phase.
+        open: PhaseKind,
+        /// Kind the late VP tried to enter.
+        entered: PhaseKind,
+    },
+    /// VPs did not all arrive at the same end-of-phase barrier.
+    BarrierMismatch {
+        /// Node id.
+        node: usize,
+        /// VPs still live in the `ppm_do`.
+        live: usize,
+        /// VPs waiting at the barrier.
+        arrived: usize,
+    },
+}
+
+impl std::fmt::Display for PhaseViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhaseViolation::WriteWriteConflict {
+                space,
+                array,
+                index,
+                first_vp,
+                second_vp,
+                phase,
+            } => write!(
+                f,
+                "write-write conflict: VPs {first_vp} and {second_vp} put different \
+                 values to {space} array {array} element {index} in one {phase:?} phase \
+                 without an accumulate combiner (resolution is deterministic but \
+                 rank-ordered; use accumulate or disjoint index sets)"
+            ),
+            PhaseViolation::ReadOwnWrite {
+                space,
+                array,
+                index,
+                vp,
+                phase,
+            } => write!(
+                f,
+                "read-own-write hazard: VP {vp} read {space} array {array} element \
+                 {index} after writing it in the same {phase:?} phase (the read sees \
+                 the phase-start snapshot, not the new value; split the phase if the \
+                 new value was intended)"
+            ),
+            PhaseViolation::NestedPhase { vp, node } => write!(
+                f,
+                "phases cannot be nested (VP {vp} on node {node} opened a phase while \
+                 already inside one)"
+            ),
+            PhaseViolation::PhaseKindMismatch { open, entered } => write!(
+                f,
+                "VPs disagree on the current phase kind: a {entered:?} phase was entered \
+                 while a {open:?} phase is open — the Parallel Phase Model requires all \
+                 of a node's VPs to execute the same phase sequence"
+            ),
+            PhaseViolation::BarrierMismatch {
+                node,
+                live,
+                arrived,
+            } => write!(
+                f,
+                "barrier mismatch on node {node}: {live} live VPs but only {arrived} \
+                 arrived at the phase barrier — VPs must all follow the same phase \
+                 sequence"
+            ),
+        }
+    }
+}
+
+/// Per-element access record for the currently open phase.
+#[derive(Debug)]
+struct ElemAccess {
+    /// Per assigning VP: (global rank, fingerprint of its *last* `put`),
+    /// sorted by rank. Only the last write per VP can win the phase's
+    /// last-writer-wins resolution, so only it matters for conflicts.
+    assigners: Vec<(u64, u64)>,
+    /// Global VP ranks that issued an `accumulate` (sorted, deduped).
+    accumulators: Vec<u64>,
+    /// Kind of the phase the element was assigned in.
+    kind: PhaseKind,
+    /// VPs whose read-own-write hazard was already recorded.
+    own_read_reported: Vec<u64>,
+}
+
+impl Default for ElemAccess {
+    fn default() -> Self {
+        ElemAccess {
+            assigners: Vec::new(),
+            accumulators: Vec::new(),
+            kind: PhaseKind::Global,
+            own_read_reported: Vec::new(),
+        }
+    }
+}
+
+fn insert_sorted(v: &mut Vec<u64>, x: u64) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+/// The per-node conformance checker. Lives in the runtime's `Inner` when
+/// enabled; all hooks are O(1) amortized per access.
+#[derive(Debug, Default)]
+pub(crate) struct Checker {
+    /// Access records of the currently open phase.
+    elems: HashMap<(Space, u32, u64), ElemAccess>,
+    /// Violations detected in the current phase (flushed at the barrier).
+    pending: Vec<PhaseViolation>,
+}
+
+impl Checker {
+    /// Record a `put` (plain assignment) of a value with the given
+    /// fingerprint. Conflicts are judged at [`Checker::end_phase`], once
+    /// every VP's last write is known.
+    pub fn record_put(
+        &mut self,
+        space: Space,
+        array: u32,
+        index: u64,
+        vp: u64,
+        fp: u64,
+        kind: PhaseKind,
+    ) {
+        let e = self.elems.entry((space, array, index)).or_default();
+        e.kind = kind;
+        match e.assigners.binary_search_by_key(&vp, |&(v, _)| v) {
+            Ok(pos) => e.assigners[pos].1 = fp, // later write supersedes
+            Err(pos) => e.assigners.insert(pos, (vp, fp)),
+        }
+    }
+
+    /// Record an `accumulate` (combining write — never a conflict with
+    /// other accumulates; mixing with `put` already aborts in the runtime).
+    pub fn record_accum(&mut self, space: Space, array: u32, index: u64, vp: u64) {
+        let e = self.elems.entry((space, array, index)).or_default();
+        insert_sorted(&mut e.accumulators, vp);
+    }
+
+    /// Record a read; flags a read-own-write hazard if this VP wrote the
+    /// element earlier in the phase.
+    pub fn record_get(&mut self, space: Space, array: u32, index: u64, vp: u64, kind: PhaseKind) {
+        let Some(e) = self.elems.get_mut(&(space, array, index)) else {
+            return;
+        };
+        let wrote = e.assigners.binary_search_by_key(&vp, |&(v, _)| v).is_ok()
+            || e.accumulators.binary_search(&vp).is_ok();
+        if wrote && e.own_read_reported.binary_search(&vp).is_err() {
+            insert_sorted(&mut e.own_read_reported, vp);
+            self.pending.push(PhaseViolation::ReadOwnWrite {
+                space,
+                array,
+                index,
+                vp,
+                phase: kind,
+            });
+        }
+    }
+
+    /// Close the phase: judge write-write conflicts now that every VP's
+    /// last write is known, clear access records, and return the phase's
+    /// violations in deterministic order.
+    pub fn end_phase(&mut self) -> Vec<PhaseViolation> {
+        for (&(space, array, index), e) in &self.elems {
+            // Rank order can only matter when at least two VPs assigned
+            // AND their last values differ; identical (idempotent) puts
+            // resolve to the same value no matter which writer wins.
+            if e.assigners.len() >= 2 {
+                let (first_vp, first_fp) = e.assigners[0];
+                if let Some(&(second_vp, _)) =
+                    e.assigners[1..].iter().find(|&&(_, fp)| fp != first_fp)
+                {
+                    self.pending.push(PhaseViolation::WriteWriteConflict {
+                        space,
+                        array,
+                        index,
+                        first_vp,
+                        second_vp,
+                        phase: e.kind,
+                    });
+                }
+            }
+        }
+        self.elems.clear();
+        let mut out = std::mem::take(&mut self.pending);
+        out.sort_by_key(violation_sort_key);
+        out
+    }
+}
+
+/// Deterministic report order: by space, array, element, then ranks.
+fn violation_sort_key(v: &PhaseViolation) -> (u8, Space, u32, u64, u64, u64) {
+    match *v {
+        PhaseViolation::WriteWriteConflict {
+            space,
+            array,
+            index,
+            first_vp,
+            second_vp,
+            ..
+        } => (0, space, array, index, first_vp, second_vp),
+        PhaseViolation::ReadOwnWrite {
+            space,
+            array,
+            index,
+            vp,
+            ..
+        } => (1, space, array, index, vp, 0),
+        PhaseViolation::NestedPhase { vp, node } => {
+            (2, Space::Global, 0, 0, vp as u64, node as u64)
+        }
+        PhaseViolation::PhaseKindMismatch { .. } => (3, Space::Global, 0, 0, 0, 0),
+        PhaseViolation::BarrierMismatch { node, .. } => (4, Space::Global, 0, 0, 0, node as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_put_writers_conflict_once() {
+        let mut c = Checker::default();
+        c.record_put(Space::Global, 0, 5, 1, 10, PhaseKind::Global);
+        c.record_put(Space::Global, 0, 5, 1, 11, PhaseKind::Global); // same VP: fine
+        c.record_put(Space::Global, 0, 5, 3, 30, PhaseKind::Global);
+        c.record_put(Space::Global, 0, 5, 7, 70, PhaseKind::Global); // one report per element
+        let v = c.end_phase();
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v[0],
+            PhaseViolation::WriteWriteConflict {
+                space: Space::Global,
+                array: 0,
+                index: 5,
+                first_vp: 1,
+                second_vp: 3,
+                phase: PhaseKind::Global,
+            }
+        );
+    }
+
+    #[test]
+    fn idempotent_identical_puts_are_clean() {
+        let mut c = Checker::default();
+        // Three VPs all put the same value: last-writer-wins is
+        // value-deterministic, no conflict.
+        for vp in [0, 4, 9] {
+            c.record_put(Space::Global, 2, 7, vp, 1234, PhaseKind::Global);
+        }
+        assert!(c.end_phase().is_empty());
+        // Only the *last* write per VP counts: VP 1 first disagrees, then
+        // converges to VP 0's value.
+        c.record_put(Space::Global, 2, 7, 0, 50, PhaseKind::Global);
+        c.record_put(Space::Global, 2, 7, 1, 99, PhaseKind::Global);
+        c.record_put(Space::Global, 2, 7, 1, 50, PhaseKind::Global);
+        assert!(c.end_phase().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_values() {
+        assert_eq!(fingerprint(&1.5f64), fingerprint(&1.5f64));
+        assert_ne!(fingerprint(&1.5f64), fingerprint(&2.5f64));
+        assert_ne!(fingerprint(&0.0f64), fingerprint(&-0.0f64));
+        assert_ne!(fingerprint(&(1u64, 2u64)), fingerprint(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn accumulates_never_conflict() {
+        let mut c = Checker::default();
+        for vp in 0..10 {
+            c.record_accum(Space::Global, 2, 0, vp);
+        }
+        assert!(c.end_phase().is_empty());
+    }
+
+    #[test]
+    fn read_own_write_detected_per_vp() {
+        let mut c = Checker::default();
+        c.record_put(Space::Node, 1, 4, 2, 77, PhaseKind::Node);
+        c.record_get(Space::Node, 1, 4, 9, PhaseKind::Node); // other VP: fine
+        c.record_get(Space::Node, 1, 4, 2, PhaseKind::Node); // own: hazard
+        c.record_get(Space::Node, 1, 4, 2, PhaseKind::Node); // deduped
+        let v = c.end_phase();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            PhaseViolation::ReadOwnWrite {
+                vp: 2,
+                index: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_before_write_is_clean() {
+        let mut c = Checker::default();
+        c.record_get(Space::Global, 0, 3, 5, PhaseKind::Global);
+        c.record_put(Space::Global, 0, 3, 5, 77, PhaseKind::Global);
+        assert!(c.end_phase().is_empty());
+    }
+
+    #[test]
+    fn end_phase_resets_state() {
+        let mut c = Checker::default();
+        c.record_put(Space::Global, 0, 1, 0, 10, PhaseKind::Global);
+        c.record_put(Space::Global, 0, 1, 1, 20, PhaseKind::Global);
+        assert_eq!(c.end_phase().len(), 1);
+        // Next phase: same element, one writer — clean.
+        c.record_put(Space::Global, 0, 1, 1, 30, PhaseKind::Global);
+        assert!(c.end_phase().is_empty());
+    }
+
+    #[test]
+    fn reports_sort_deterministically() {
+        let mut c = Checker::default();
+        c.record_put(Space::Node, 1, 9, 0, 1, PhaseKind::Node);
+        c.record_put(Space::Node, 1, 9, 1, 2, PhaseKind::Node);
+        c.record_put(Space::Global, 0, 2, 0, 1, PhaseKind::Global);
+        c.record_put(Space::Global, 0, 2, 1, 2, PhaseKind::Global);
+        let v = c.end_phase();
+        assert_eq!(v.len(), 2);
+        assert!(matches!(
+            v[0],
+            PhaseViolation::WriteWriteConflict {
+                space: Space::Global,
+                index: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            v[1],
+            PhaseViolation::WriteWriteConflict {
+                space: Space::Node,
+                index: 9,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let v = PhaseViolation::WriteWriteConflict {
+            space: Space::Global,
+            array: 3,
+            index: 17,
+            first_vp: 2,
+            second_vp: 5,
+            phase: PhaseKind::Global,
+        };
+        let s = v.to_string();
+        assert!(s.contains("write-write conflict"));
+        assert!(s.contains("element 17"));
+        assert!(s.contains("accumulate"));
+    }
+}

@@ -37,6 +37,13 @@ pub struct PpmConfig {
     /// (destination, wave) (§3.3). On by default; switching it off charges
     /// every element as its own message, the "naive runtime" ablation.
     pub bundling: bool,
+    /// Run the dynamic phase-semantics conformance checker
+    /// ([`crate::PhaseViolation`]): record every shared access per phase and
+    /// report write-write conflicts, read-own-write hazards, and phase
+    /// structure errors at each barrier. On by default in debug builds —
+    /// i.e. under `cargo test` — and off in release builds; override with
+    /// [`Self::with_checker`].
+    pub checker: bool,
 }
 
 impl PpmConfig {
@@ -52,6 +59,7 @@ impl PpmConfig {
             bundle_header_bytes: 16,
             overlap: true,
             bundling: true,
+            checker: cfg!(debug_assertions),
         }
     }
 
@@ -69,6 +77,12 @@ impl PpmConfig {
     /// Disable request bundling (ablation).
     pub fn without_bundling(mut self) -> Self {
         self.bundling = false;
+        self
+    }
+
+    /// Enable or disable the phase-semantics conformance checker.
+    pub fn with_checker(mut self, on: bool) -> Self {
+        self.checker = on;
         self
     }
 
@@ -103,5 +117,13 @@ mod tests {
         let c = PpmConfig::franklin(2).without_overlap().without_bundling();
         assert!(!c.overlap);
         assert!(!c.bundling);
+    }
+
+    #[test]
+    fn checker_defaults_on_in_tests_and_toggles() {
+        let c = PpmConfig::franklin(2);
+        assert_eq!(c.checker, cfg!(debug_assertions));
+        assert!(c.with_checker(true).checker);
+        assert!(!c.with_checker(true).with_checker(false).checker);
     }
 }

@@ -70,7 +70,10 @@ mod tests {
         assert_eq!(f64::combine(AccumOp::Add, 1.5, 2.0), 3.5);
         assert_eq!(u64::combine(AccumOp::Min, 7, 3), 3);
         assert_eq!(i64::combine(AccumOp::Max, -2, -9), -2);
-        assert_eq!(f64::combine(AccumOp::Min, f64::NAN, 1.0).to_bits(), f64::NAN.to_bits());
+        assert_eq!(
+            f64::combine(AccumOp::Min, f64::NAN, 1.0).to_bits(),
+            f64::NAN.to_bits()
+        );
     }
 
     #[test]

@@ -142,10 +142,14 @@ where
                 let mut inner = nc.inner.borrow_mut();
                 ready.append(&mut inner.barrier_waiters);
             }
-            _ => panic!(
-                "node {me}: runtime stuck with {live} live VPs, {arrived} at a barrier, \
-                 phase {open:?} — VPs must all follow the same phase sequence"
-            ),
+            _ => {
+                let v = crate::check::PhaseViolation::BarrierMismatch {
+                    node: me,
+                    live,
+                    arrived,
+                };
+                panic!("{v} (open phase: {open:?})");
+            }
         }
     }
 
@@ -157,7 +161,10 @@ where
             .iter()
             .copied()
             .fold(SimTime::ZERO, SimTime::max);
-        inner.core_compute.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        inner
+            .core_compute
+            .iter_mut()
+            .for_each(|c| *c = SimTime::ZERO);
         max
     };
     nc.ep.clock.advance_compute(leftover);
@@ -260,6 +267,10 @@ fn node_phase_end(nc: &mut NodeCtx<'_>) {
     let cfg = nc.config();
     let compute = {
         let mut inner = nc.inner.borrow_mut();
+        if let Some(c) = inner.checker.as_mut() {
+            let mut found = c.end_phase();
+            inner.violations.append(&mut found);
+        }
         for na in inner.narrays.iter_mut() {
             na.apply();
         }
@@ -272,7 +283,10 @@ fn node_phase_end(nc: &mut NodeCtx<'_>) {
             .iter()
             .copied()
             .fold(SimTime::ZERO, SimTime::max);
-        inner.core_compute.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        inner
+            .core_compute
+            .iter_mut()
+            .for_each(|c| *c = SimTime::ZERO);
         inner.phase.open = None;
         inner.phase.entered = 0;
         inner.phase.arrived = 0;
@@ -302,6 +316,16 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     let nodes = nc.num_nodes();
     let cfg = nc.config();
     let phase = nc.inner.borrow().phase.global_seq;
+
+    // 0. Flush the conformance checker: the phase body is over, so its
+    //    access record is complete.
+    {
+        let mut inner = nc.inner.borrow_mut();
+        if let Some(c) = inner.checker.as_mut() {
+            let mut found = c.end_phase();
+            inner.violations.append(&mut found);
+        }
+    }
 
     // 1. Drain write buffers into per-destination parcels.
     let mut per_dest: Vec<Vec<(u32, Box<dyn std::any::Any + Send>)>> =
@@ -383,7 +407,10 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     //    (own writes participate as source `me`).
     let mut by_array: ParcelsByArray = BTreeMap::new();
     for (array, payload) in std::mem::take(&mut per_dest[me]) {
-        by_array.entry(array).or_default().push((me as u32, payload));
+        by_array
+            .entry(array)
+            .or_default()
+            .push((me as u32, payload));
     }
     for (src, bundle) in incoming {
         for (array, payload) in bundle.parts {
@@ -435,7 +462,10 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
             .iter()
             .copied()
             .fold(SimTime::ZERO, SimTime::max);
-        inner.core_compute.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        inner
+            .core_compute
+            .iter_mut()
+            .for_each(|c| *c = SimTime::ZERO);
         let service = inner.service_time;
         inner.service_time = SimTime::ZERO;
         let t = inner.traffic;
@@ -473,21 +503,28 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
     let comm = if cfg.overlap {
         // Gap time hides under computation (§3.3 overlap); overheads and
         // wave round trips do not.
-        let exposed_gap = if gap > busy { gap - busy } else { SimTime::ZERO };
+        let exposed_gap = if gap > busy {
+            gap - busy
+        } else {
+            SimTime::ZERO
+        };
         exposed_gap + overhead + latency
     } else {
         gap + overhead + latency
     };
     nc.ep.clock.advance_comm(comm);
-    nc.inner.borrow_mut().phase_log.push(crate::state::PhaseRecord {
-        kind: PhaseKind::Global,
-        compute,
-        service,
-        comm,
-        waves: t.waves,
-        bytes_out,
-        bytes_in,
-    });
+    nc.inner
+        .borrow_mut()
+        .phase_log
+        .push(crate::state::PhaseRecord {
+            kind: PhaseKind::Global,
+            compute,
+            service,
+            comm,
+            waves: t.waves,
+            bytes_out,
+            bytes_in,
+        });
 }
 
 /// Dissemination barrier among nodes that also propagates the maximum

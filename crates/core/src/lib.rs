@@ -87,6 +87,7 @@
 //! }
 //! ```
 
+pub mod check;
 mod config;
 mod dist;
 mod elem;
@@ -96,9 +97,11 @@ mod nodecoll;
 mod nodectx;
 mod shared;
 mod state;
+pub mod testkit;
 pub mod util;
 mod vp;
 
+pub use check::{PhaseViolation, Space};
 pub use config::PpmConfig;
 pub use dist::{Dist, Layout};
 pub use elem::{AccumElem, AccumOp, Elem};

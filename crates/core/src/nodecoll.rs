@@ -37,7 +37,9 @@ impl NodeCtx<'_> {
         self.ep.counters.msgs_sent += 1;
         self.ep.counters.bytes_sent += bytes as u64;
         let me = self.node_id();
-        self.ep.net.send(Message::new(me, dst, tag, ts, bytes, value));
+        self.ep
+            .net
+            .send(Message::new(me, dst, tag, ts, bytes, value));
     }
 
     /// Receive the collective message `tag` from `src`, servicing runtime
@@ -199,7 +201,8 @@ impl NodeCtx<'_> {
             if me & mask == 0 {
                 let peer = me | mask;
                 if peer < p {
-                    let mut other: Vec<(u64, Vec<T>)> = self.recv_coll(peer, Self::coll_tag(seq, 0));
+                    let mut other: Vec<(u64, Vec<T>)> =
+                        self.recv_coll(peer, Self::coll_tag(seq, 0));
                     acc.append(&mut other);
                 }
             } else {

@@ -78,7 +78,9 @@ impl<'a> NodeCtx<'a> {
     /// Charge node-level (single-core) computation.
     pub fn charge_flops(&mut self, n: u64) {
         self.ep.counters.flops += n;
-        self.ep.clock.advance_compute(self.cfg.machine.core.flops(n));
+        self.ep
+            .clock
+            .advance_compute(self.cfg.machine.core.flops(n));
     }
 
     /// Event counters accumulated on this node so far (endpoint counters
@@ -94,10 +96,21 @@ impl<'a> NodeCtx<'a> {
         std::mem::take(&mut self.inner.borrow_mut().phase_log)
     }
 
+    /// Drain the conformance violations the phase-semantics checker has
+    /// reported on this node so far (see [`crate::PhaseViolation`]).
+    /// Violations are flushed at each phase's end barrier, in deterministic
+    /// order; the list is always empty when the checker is disabled
+    /// ([`PpmConfig::with_checker`]).
+    pub fn take_violations(&mut self) -> Vec<crate::check::PhaseViolation> {
+        std::mem::take(&mut self.inner.borrow_mut().violations)
+    }
+
     /// Charge node-level memory operations.
     pub fn charge_mem_ops(&mut self, n: u64) {
         self.ep.counters.mem_ops += n;
-        self.ep.clock.advance_compute(self.cfg.machine.core.mem_ops(n));
+        self.ep
+            .clock
+            .advance_compute(self.cfg.machine.core.mem_ops(n));
     }
 
     // -- allocation ---------------------------------------------------------
@@ -240,7 +253,8 @@ impl<'a> NodeCtx<'a> {
         // notes) — i.e. the phase we have completed exactly `phase`
         // exchanges for.
         debug_assert_eq!(
-            bundle.phase, inner.phase.global_seq,
+            bundle.phase,
+            inner.phase.global_seq,
             "read request for phase {} arrived while node {} holds phase {}",
             bundle.phase,
             self.ep.id(),

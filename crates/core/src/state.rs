@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use ppm_simnet::{Counters, SimTime, WireSize};
 
+use crate::check::{Checker, PhaseViolation, Space};
 use crate::config::PpmConfig;
 use crate::dist::Dist;
 use crate::elem::{AccumElem, AccumOp, Elem};
@@ -231,7 +232,12 @@ pub(crate) trait GArrayObj {
     /// Requester side: value `i` of the response fans out to every slot in
     /// `groups[i]` (request deduplication lets many VPs share one wire
     /// entry for the same remote element).
-    fn fulfill_multi(&self, values: Box<dyn Any + Send>, groups: &[Vec<u64>], table: &mut SlotTable);
+    fn fulfill_multi(
+        &self,
+        values: Box<dyn Any + Send>,
+        groups: &[Vec<u64>],
+        table: &mut SlotTable,
+    );
     /// Drain the write buffer into per-destination parcels (the destination
     /// may be this node itself).
     fn drain_writes(&mut self) -> Vec<WriteParcel>;
@@ -260,7 +266,12 @@ impl<T: Elem> GArrayObj for GArray<T> {
         (Box::new(values), bytes)
     }
 
-    fn fulfill_multi(&self, values: Box<dyn Any + Send>, groups: &[Vec<u64>], table: &mut SlotTable) {
+    fn fulfill_multi(
+        &self,
+        values: Box<dyn Any + Send>,
+        groups: &[Vec<u64>],
+        table: &mut SlotTable,
+    ) {
         let values = values
             .downcast::<Vec<T>>()
             .expect("response payload type mismatch");
@@ -574,6 +585,11 @@ pub(crate) struct Inner {
     pub(crate) do_mode: DoMode,
     /// Completed-phase records (drained by `NodeCtx::take_phase_log`).
     pub phase_log: Vec<PhaseRecord>,
+    /// Conformance checker (present iff `cfg.checker`).
+    pub(crate) checker: Option<Checker>,
+    /// Violations flushed at phase barriers (drained by
+    /// `NodeCtx::take_violations`).
+    pub violations: Vec<PhaseViolation>,
 }
 
 impl Inner {
@@ -596,7 +612,15 @@ impl Inner {
             barrier_waiters: Vec::new(),
             do_mode: DoMode::Collective,
             phase_log: Vec::new(),
+            checker: cfg.checker.then(Checker::default),
+            violations: Vec::new(),
         }
+    }
+
+    /// This VP's cluster-wide rank (checker diagnostics).
+    #[inline]
+    fn global_rank_of(&self, vp_node_rank: usize) -> u64 {
+        self.vp_base_global + vp_node_rank as u64
     }
 
     /// Core hosting a VP (round-robin, the paper's "VPs become loops over
@@ -638,6 +662,10 @@ impl Inner {
         let kind = self.assert_in_phase("global shared read");
         let sv = self.cfg.sv_overhead;
         self.charge_core(vp, sv);
+        let rank = self.global_rank_of(vp);
+        if let Some(c) = self.checker.as_mut() {
+            c.record_get(Space::Global, id, idx as u64, rank, kind);
+        }
         let node = self.node;
         let ga = self.garray::<T>(id);
         assert!(idx < ga.dist.len, "global read index {idx} out of bounds");
@@ -674,6 +702,17 @@ impl Inner {
         );
         let sv = self.cfg.sv_overhead;
         self.charge_core(vp, sv);
+        let rank = self.global_rank_of(vp);
+        if let Some(c) = self.checker.as_mut() {
+            c.record_put(
+                Space::Global,
+                id,
+                idx as u64,
+                rank,
+                crate::check::fingerprint(&val),
+                kind,
+            );
+        }
         let node = self.node;
         let ga = self.garray::<T>(id);
         assert!(idx < ga.dist.len, "global write index {idx} out of bounds");
@@ -702,6 +741,10 @@ impl Inner {
         );
         let sv = self.cfg.sv_overhead;
         self.charge_core(vp, sv);
+        let rank = self.global_rank_of(vp);
+        if let Some(c) = self.checker.as_mut() {
+            c.record_accum(Space::Global, id, idx as u64, rank);
+        }
         let node = self.node;
         let ga = self.garray::<T>(id);
         assert!(idx < ga.dist.len, "accumulate index {idx} out of bounds");
@@ -715,9 +758,13 @@ impl Inner {
 
     /// VP read of a node-shared element (physical shared memory: immediate).
     pub fn get_node_arr<T: Elem>(&mut self, id: u32, idx: usize, vp: usize) -> T {
-        self.assert_in_phase("node shared read");
+        let kind = self.assert_in_phase("node shared read");
         let sv = self.cfg.node_sv_overhead;
         self.charge_core(vp, sv);
+        let rank = self.global_rank_of(vp);
+        if let Some(c) = self.checker.as_mut() {
+            c.record_get(Space::Node, id, idx as u64, rank, kind);
+        }
         self.counters.local_accesses += 1;
         let na = self.narray::<T>(id);
         assert!(idx < na.data.len(), "node read index {idx} out of bounds");
@@ -726,9 +773,20 @@ impl Inner {
 
     /// VP write (assign) of a node-shared element.
     pub fn put_node_arr<T: Elem>(&mut self, id: u32, idx: usize, val: T, key: WriteKey, vp: usize) {
-        self.assert_in_phase("node shared write");
+        let kind = self.assert_in_phase("node shared write");
         let sv = self.cfg.node_sv_overhead;
         self.charge_core(vp, sv);
+        let rank = self.global_rank_of(vp);
+        if let Some(c) = self.checker.as_mut() {
+            c.record_put(
+                Space::Node,
+                id,
+                idx as u64,
+                rank,
+                crate::check::fingerprint(&val),
+                kind,
+            );
+        }
         self.counters.local_accesses += 1;
         let na = self.narray::<T>(id);
         assert!(idx < na.data.len(), "node write index {idx} out of bounds");
@@ -747,6 +805,10 @@ impl Inner {
         self.assert_in_phase("node shared accumulate");
         let sv = self.cfg.node_sv_overhead;
         self.charge_core(vp, sv);
+        let rank = self.global_rank_of(vp);
+        if let Some(c) = self.checker.as_mut() {
+            c.record_accum(Space::Node, id, idx as u64, rank);
+        }
         self.counters.local_accesses += 1;
         let na = self.narray::<T>(id);
         assert!(idx < na.data.len(), "accumulate index {idx} out of bounds");
@@ -766,11 +828,16 @@ impl Inner {
                 self.phase.entered = 1;
             }
             Some(k) => {
-                assert_eq!(
-                    k, kind,
-                    "VPs disagree on the current phase kind: the Parallel Phase Model \
-                     requires all of a node's VPs to execute the same phase sequence"
-                );
+                if k != kind {
+                    // Phase structure is corrupt: report as a conformance
+                    // violation and abort (the runtime cannot continue a
+                    // mismatched super-step).
+                    let v = PhaseViolation::PhaseKindMismatch {
+                        open: k,
+                        entered: kind,
+                    };
+                    panic!("{v}");
+                }
                 self.phase.entered += 1;
             }
         }
@@ -871,7 +938,11 @@ mod tests {
         ];
         let p1: Vec<(u64, WireWrite<f64>)> =
             vec![(2, WireWrite::Accum(AccumOp::Add, 2.0, f64::combine))];
-        let n = ga.apply_writes(vec![(2, Box::new(p2)), (0, Box::new(p0)), (1, Box::new(p1))]);
+        let n = ga.apply_writes(vec![
+            (2, Box::new(p2)),
+            (0, Box::new(p0)),
+            (1, Box::new(p1)),
+        ]);
         assert_eq!(n, 4);
         assert_eq!(ga.local[1], 20.0, "assign with highest WriteKey wins");
         assert_eq!(ga.local[2], 3.0, "accumulates sum across sources");

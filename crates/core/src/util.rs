@@ -91,7 +91,11 @@ where
     // block this node owns.
     let merged: Vec<T> = incoming.into_iter().flatten().collect();
     node.with_local_mut(g, |s| {
-        assert_eq!(s.len(), merged.len(), "rebalance must fill the block exactly");
+        assert_eq!(
+            s.len(),
+            merged.len(),
+            "rebalance must fill the block exactly"
+        );
         s.copy_from_slice(&merged);
     });
 }
@@ -201,7 +205,9 @@ mod tests {
 
     fn scrambled(n: usize) -> Vec<u64> {
         // Deterministic pseudo-random values (with duplicates).
-        (0..n as u64).map(|i| (i.wrapping_mul(2654435761)) % 1000).collect()
+        (0..n as u64)
+            .map(|i| (i.wrapping_mul(2654435761)) % 1000)
+            .collect()
     }
 
     #[test]
@@ -234,19 +240,22 @@ mod tests {
     fn reduce_global_matches_sequential_fold() {
         for nodes in [1u32, 2, 5] {
             for n in [0usize, 1, 13, 64] {
-                let report = run(PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)), move |node| {
-                    let g = node.alloc_global::<u64>(n);
-                    let r = node.local_range(&g);
-                    node.with_local_mut(&g, |s| {
-                        for (off, v) in s.iter_mut().enumerate() {
-                            *v = (r.start + off) as u64 + 1;
-                        }
-                    });
-                    (
-                        reduce_global(node, &g, 0, |a, b| a + b),
-                        reduce_global(node, &g, u64::MAX, u64::min),
-                    )
-                });
+                let report = run(
+                    PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)),
+                    move |node| {
+                        let g = node.alloc_global::<u64>(n);
+                        let r = node.local_range(&g);
+                        node.with_local_mut(&g, |s| {
+                            for (off, v) in s.iter_mut().enumerate() {
+                                *v = (r.start + off) as u64 + 1;
+                            }
+                        });
+                        (
+                            reduce_global(node, &g, 0, |a, b| a + b),
+                            reduce_global(node, &g, u64::MAX, u64::min),
+                        )
+                    },
+                );
                 let sum = (n as u64) * (n as u64 + 1) / 2;
                 let min = if n == 0 { u64::MAX } else { 1 };
                 for (s, m) in report.results {
@@ -261,17 +270,20 @@ mod tests {
     fn scan_global_is_inclusive_prefix() {
         for nodes in [1u32, 2, 3, 7] {
             for n in [0usize, 1, 9, 50] {
-                let report = run(PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)), move |node| {
-                    let g = node.alloc_global::<u64>(n);
-                    let r = node.local_range(&g);
-                    node.with_local_mut(&g, |s| {
-                        for (off, v) in s.iter_mut().enumerate() {
-                            *v = (r.start + off) as u64 + 1;
-                        }
-                    });
-                    scan_global(node, &g, |a, b| a + b);
-                    node.gather_global(&g)
-                });
+                let report = run(
+                    PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)),
+                    move |node| {
+                        let g = node.alloc_global::<u64>(n);
+                        let r = node.local_range(&g);
+                        node.with_local_mut(&g, |s| {
+                            for (off, v) in s.iter_mut().enumerate() {
+                                *v = (r.start + off) as u64 + 1;
+                            }
+                        });
+                        scan_global(node, &g, |a, b| a + b);
+                        node.gather_global(&g)
+                    },
+                );
                 let expect: Vec<u64> = (1..=n as u64).map(|i| i * (i + 1) / 2).collect();
                 for got in report.results {
                     assert_eq!(got, expect, "nodes={nodes} n={n}");

@@ -138,12 +138,16 @@ impl Vp {
     where
         Fut: Future<Output = R>,
     {
-        assert!(
-            !self.ident.in_phase.get(),
-            "phases cannot be nested (VP {} on node {})",
-            self.ident.id,
-            self.node_id()
-        );
+        if self.ident.in_phase.get() {
+            // Phase structure violation: report with the checker's rendering
+            // and abort (the runtime cannot give nested super-steps a
+            // meaning).
+            let v = crate::check::PhaseViolation::NestedPhase {
+                vp: self.ident.id,
+                node: self.node_id(),
+            };
+            panic!("{v}");
+        }
         self.ident.in_phase.set(true);
         self.inner.borrow_mut().enter_phase(kind);
         let ph = Phase {
@@ -248,7 +252,9 @@ impl Phase {
     /// Read a node-shared element (this node's physical shared memory;
     /// immediate).
     pub fn get_node<T: Elem>(&self, n: &NodeShared<T>, idx: usize) -> T {
-        self.inner.borrow_mut().get_node_arr(n.id, idx, self.ident.id)
+        self.inner
+            .borrow_mut()
+            .get_node_arr(n.id, idx, self.ident.id)
     }
 
     /// Write a node-shared element; takes effect at phase end.
@@ -260,7 +266,13 @@ impl Phase {
     }
 
     /// Combining write to a node-shared element.
-    pub fn accumulate_node<T: AccumElem>(&self, n: &NodeShared<T>, idx: usize, op: AccumOp, val: T) {
+    pub fn accumulate_node<T: AccumElem>(
+        &self,
+        n: &NodeShared<T>,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+    ) {
         self.inner
             .borrow_mut()
             .accum_node_arr(n.id, idx, op, val, self.ident.id);
@@ -337,13 +349,15 @@ impl<T: Elem> Future for GetManyFut<T> {
             let mut inner = this.inner.borrow_mut();
             this.state = idxs
                 .into_iter()
-                .map(|idx| match inner.get_global::<T>(this.array, idx, this.vp) {
-                    GetOutcome::Local(v) => ManySlot::Ready(v),
-                    GetOutcome::Remote(slot) => {
-                        this.remaining += 1;
-                        ManySlot::Waiting(slot)
-                    }
-                })
+                .map(
+                    |idx| match inner.get_global::<T>(this.array, idx, this.vp) {
+                        GetOutcome::Local(v) => ManySlot::Ready(v),
+                        GetOutcome::Remote(slot) => {
+                            this.remaining += 1;
+                            ManySlot::Waiting(slot)
+                        }
+                    },
+                )
                 .collect();
         } else {
             let mut inner = this.inner.borrow_mut();

@@ -10,7 +10,14 @@ fn cfg(nodes: u32, cores: u32) -> PpmConfig {
 
 /// Shapes exercised by most tests: single node, multi-node, odd counts.
 fn shapes() -> Vec<PpmConfig> {
-    vec![cfg(1, 1), cfg(1, 4), cfg(2, 2), cfg(3, 1), cfg(4, 4), cfg(5, 3)]
+    vec![
+        cfg(1, 1),
+        cfg(1, 4),
+        cfg(2, 2),
+        cfg(3, 1),
+        cfg(4, 4),
+        cfg(5, 3),
+    ]
 }
 
 #[test]
@@ -715,5 +722,9 @@ fn cyclic_layout_spreads_ownership() {
     // (g*5)%16 is a permutation, so every element receives exactly one
     // accumulate contribution of value 1 — and accumulate *replaces* the
     // element with the combined contributions (phase-start value excluded).
-    assert!(report.results.iter().all(|&s| s == 16), "{:?}", report.results);
+    assert!(
+        report.results.iter().all(|&s| s == 16),
+        "{:?}",
+        report.results
+    );
 }

@@ -374,9 +374,8 @@ mod tests {
             let report = run(cfg, |comm| {
                 let me = comm.rank();
                 // Send to rank d a list [me, d] of length (d % 3).
-                let sends: Vec<Vec<u64>> = (0..p)
-                    .map(|d| vec![(me * 100 + d) as u64; d % 3])
-                    .collect();
+                let sends: Vec<Vec<u64>> =
+                    (0..p).map(|d| vec![(me * 100 + d) as u64; d % 3]).collect();
                 comm.alltoallv(sends)
             });
             for (me, recvs) in report.results.into_iter().enumerate() {

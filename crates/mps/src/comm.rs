@@ -75,7 +75,9 @@ impl<'a> Comm<'a> {
     #[inline]
     pub fn charge_flops(&mut self, n: u64) {
         self.ctx.counters.flops += n;
-        self.ctx.clock.advance_compute(self.ctx.config.core.flops(n));
+        self.ctx
+            .clock
+            .advance_compute(self.ctx.config.core.flops(n));
     }
 
     /// Charge `n` memory operations to this rank.
@@ -106,9 +108,7 @@ impl<'a> Comm<'a> {
     }
 
     fn is_intra(&self, peer: usize) -> bool {
-        self.ctx
-            .config
-            .same_node(self.rank() as u32, peer as u32)
+        self.ctx.config.same_node(self.rank() as u32, peer as u32)
     }
 
     /// Send `value` to rank `dst` with a user `tag`. Buffered (MPI_Bsend

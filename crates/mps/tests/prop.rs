@@ -1,111 +1,190 @@
 //! Property-based tests of the MPI-like substrate's collectives against
-//! sequential references, across arbitrary machine shapes and data.
+//! sequential references, across arbitrary machine shapes and data
+//! (in-repo `testkit` harness from ppm-core).
 
-use proptest::prelude::*;
-
+use ppm_core::testkit::{forall, Gen};
+use ppm_core::{prop_assert, prop_assert_eq};
 use ppm_mps::run;
 use ppm_simnet::MachineConfig;
 
-fn shapes() -> impl Strategy<Value = MachineConfig> {
-    (1..5u32, 1..4u32).prop_map(|(n, c)| MachineConfig::new(n, c))
+/// Arbitrary small machine shape as (nodes, cores). Kept as a tuple so the
+/// harness can shrink it; shrink candidates with a zero component are
+/// rejected by [`shape`].
+fn gen_shape(g: &mut Gen) -> (u32, u32) {
+    (g.u32_in(1..5), g.u32_in(1..4))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn shape(s: &(u32, u32)) -> Option<MachineConfig> {
+    (s.0 >= 1 && s.1 >= 1).then(|| MachineConfig::new(s.0, s.1))
+}
 
-    #[test]
-    fn allreduce_sum_matches_reference(cfg in shapes(), vals in proptest::collection::vec(-1000i64..1000, 20)) {
-        let p = cfg.total_cores() as usize;
-        let expected: i64 = vals.iter().cycle().take(p).sum();
-        let report = run(cfg, move |comm| {
-            comm.allreduce(vals[comm.rank() % vals.len()], |a, b| a + b)
-        });
-        for r in report.results {
-            prop_assert_eq!(r, expected);
-        }
-    }
-
-    #[test]
-    fn scan_matches_prefix_sums(cfg in shapes(), seed in 0u64..1000) {
-        let p = cfg.total_cores() as usize;
-        let value = |r: usize| ((r as u64 + seed) % 17) as i64 - 8;
-        let report = run(cfg, move |comm| {
-            let inc = comm.scan(value(comm.rank()), |a, b| a + b);
-            let exc = comm.exscan(value(comm.rank()), |a, b| a + b);
-            (inc, exc)
-        });
-        let mut prefix = 0i64;
-        for r in 0..p {
-            let (inc, exc) = report.results[r];
-            prop_assert_eq!(exc, if r == 0 { None } else { Some(prefix) });
-            prefix += value(r);
-            prop_assert_eq!(inc, prefix);
-        }
-    }
-
-    #[test]
-    fn bcast_from_any_root(cfg in shapes(), root_pick in 0..64usize, payload in proptest::collection::vec(any::<u32>(), 0..8)) {
-        let p = cfg.total_cores() as usize;
-        let root = root_pick % p;
-        let expect = payload.clone();
-        let report = run(cfg, move |comm| {
-            let v = if comm.rank() == root { Some(payload.clone()) } else { None };
-            comm.bcast(root, v)
-        });
-        for r in report.results {
-            prop_assert_eq!(&r, &expect);
-        }
-    }
-
-    #[test]
-    fn alltoallv_is_a_permutation_of_payloads(cfg in shapes(), seed in 0u64..1000) {
-        let p = cfg.total_cores() as usize;
-        let payload = move |src: usize, dst: usize| -> Vec<u64> {
-            let len = (src * 31 + dst * 7 + seed as usize) % 4;
-            vec![(src * 1000 + dst) as u64; len]
-        };
-        let report = run(cfg, move |comm| {
-            let me = comm.rank();
-            let sends: Vec<Vec<u64>> = (0..p).map(|d| payload(me, d)).collect();
-            comm.alltoallv(sends)
-        });
-        for (me, recvs) in report.results.into_iter().enumerate() {
-            for (src, got) in recvs.into_iter().enumerate() {
-                prop_assert_eq!(got, payload(src, me));
+#[test]
+fn allreduce_sum_matches_reference() {
+    forall(
+        "allreduce_sum_matches_reference",
+        24,
+        |g| (gen_shape(g), g.vec(20..21, |g| g.i64_in(-1000..1000))),
+        |(s, vals)| {
+            let Some(cfg) = shape(s) else { return Ok(()) };
+            if vals.is_empty() {
+                return Ok(());
             }
-        }
-    }
-
-    #[test]
-    fn gather_collects_in_rank_order(cfg in shapes(), root_pick in 0..64usize) {
-        let p = cfg.total_cores() as usize;
-        let root = root_pick % p;
-        let report = run(cfg, move |comm| comm.gather(root, comm.rank() as u64 * 3 + 1));
-        let expect: Vec<u64> = (0..p as u64).map(|r| r * 3 + 1).collect();
-        for (r, got) in report.results.into_iter().enumerate() {
-            if r == root {
-                prop_assert_eq!(got, Some(expect.clone()));
-            } else {
-                prop_assert_eq!(got, None);
+            let p = cfg.total_cores() as usize;
+            let expected: i64 = vals.iter().cycle().take(p).sum();
+            let vals = vals.clone();
+            let report = run(cfg, move |comm| {
+                comm.allreduce(vals[comm.rank() % vals.len()], |a, b| a + b)
+            });
+            for r in report.results {
+                prop_assert_eq!(r, expected);
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Simulated makespan is monotone in payload size: moving more bytes
-    /// can never be faster on the same machine.
-    #[test]
-    fn cost_is_monotone_in_bytes(small in 1usize..100) {
-        let large = small * 10;
-        let t = |bytes: usize| {
-            run(MachineConfig::new(2, 1), move |comm| {
-                if comm.rank() == 0 {
-                    comm.send(1, 0, vec![0u8; bytes]);
+#[test]
+fn scan_matches_prefix_sums() {
+    forall(
+        "scan_matches_prefix_sums",
+        24,
+        |g| (gen_shape(g), g.u64_in(0..1000)),
+        |(s, seed)| {
+            let Some(cfg) = shape(s) else { return Ok(()) };
+            let seed = *seed;
+            let p = cfg.total_cores() as usize;
+            let value = move |r: usize| ((r as u64 + seed) % 17) as i64 - 8;
+            let report = run(cfg, move |comm| {
+                let inc = comm.scan(value(comm.rank()), |a, b| a + b);
+                let exc = comm.exscan(value(comm.rank()), |a, b| a + b);
+                (inc, exc)
+            });
+            let mut prefix = 0i64;
+            for r in 0..p {
+                let (inc, exc) = report.results[r];
+                prop_assert_eq!(exc, if r == 0 { None } else { Some(prefix) });
+                prefix += value(r);
+                prop_assert_eq!(inc, prefix);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bcast_from_any_root() {
+    forall(
+        "bcast_from_any_root",
+        24,
+        |g| {
+            (
+                gen_shape(g),
+                g.usize_in(0..64),
+                g.vec(0..8, |g| g.u32_in(0..u32::MAX)),
+            )
+        },
+        |(s, root_pick, payload)| {
+            let Some(cfg) = shape(s) else { return Ok(()) };
+            let p = cfg.total_cores() as usize;
+            let root = root_pick % p;
+            let expect = payload.clone();
+            let payload = payload.clone();
+            let report = run(cfg, move |comm| {
+                let v = if comm.rank() == root {
+                    Some(payload.clone())
                 } else {
-                    let _: Vec<u8> = comm.recv(0, 0);
+                    None
+                };
+                comm.bcast(root, v)
+            });
+            for r in report.results {
+                prop_assert_eq!(&r, &expect);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn alltoallv_is_a_permutation_of_payloads() {
+    forall(
+        "alltoallv_is_a_permutation_of_payloads",
+        24,
+        |g| (gen_shape(g), g.u64_in(0..1000)),
+        |(s, seed)| {
+            let Some(cfg) = shape(s) else { return Ok(()) };
+            let seed = *seed;
+            let p = cfg.total_cores() as usize;
+            let payload = move |src: usize, dst: usize| -> Vec<u64> {
+                let len = (src * 31 + dst * 7 + seed as usize) % 4;
+                vec![(src * 1000 + dst) as u64; len]
+            };
+            let report = run(cfg, move |comm| {
+                let me = comm.rank();
+                let sends: Vec<Vec<u64>> = (0..p).map(|d| payload(me, d)).collect();
+                comm.alltoallv(sends)
+            });
+            for (me, recvs) in report.results.into_iter().enumerate() {
+                for (src, got) in recvs.into_iter().enumerate() {
+                    prop_assert_eq!(got, payload(src, me));
                 }
-            })
-            .makespan()
-        };
-        prop_assert!(t(small) < t(large));
-    }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    forall(
+        "gather_collects_in_rank_order",
+        24,
+        |g| (gen_shape(g), g.usize_in(0..64)),
+        |(s, root_pick)| {
+            let Some(cfg) = shape(s) else { return Ok(()) };
+            let p = cfg.total_cores() as usize;
+            let root = root_pick % p;
+            let report = run(cfg, move |comm| {
+                comm.gather(root, comm.rank() as u64 * 3 + 1)
+            });
+            let expect: Vec<u64> = (0..p as u64).map(|r| r * 3 + 1).collect();
+            for (r, got) in report.results.into_iter().enumerate() {
+                if r == root {
+                    prop_assert_eq!(got, Some(expect.clone()));
+                } else {
+                    prop_assert_eq!(got, None);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Simulated makespan is monotone in payload size: moving more bytes can
+/// never be faster on the same machine.
+#[test]
+fn cost_is_monotone_in_bytes() {
+    forall(
+        "cost_is_monotone_in_bytes",
+        24,
+        |g| g.usize_in(1..100),
+        |&small| {
+            if small == 0 {
+                return Ok(());
+            }
+            let large = small * 10;
+            let t = |bytes: usize| {
+                run(MachineConfig::new(2, 1), move |comm| {
+                    if comm.rank() == 0 {
+                        comm.send(1, 0, vec![0u8; bytes]);
+                    } else {
+                        let _: Vec<u8> = comm.recv(0, 0);
+                    }
+                })
+                .makespan()
+            };
+            prop_assert!(t(small) < t(large));
+            Ok(())
+        },
+    );
 }

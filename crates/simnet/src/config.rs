@@ -61,7 +61,11 @@ impl NetParams {
         if intra {
             self.intra_gap_per_byte.scale(bytes as u64)
         } else {
-            self.latency + self.gap_per_byte.scale(bytes as u64).scale(nic_share as u64)
+            self.latency
+                + self
+                    .gap_per_byte
+                    .scale(bytes as u64)
+                    .scale(nic_share as u64)
         }
     }
 
@@ -81,7 +85,9 @@ impl NetParams {
         if intra {
             self.intra_gap_per_byte.scale(bytes as u64)
         } else {
-            self.gap_per_byte.scale(bytes as u64).scale(nic_share as u64)
+            self.gap_per_byte
+                .scale(bytes as u64)
+                .scale(nic_share as u64)
         }
     }
 }

@@ -5,7 +5,7 @@
 //! them), which the PPM phase protocol relies on: a node's read requests
 //! always precede its end-of-phase write bundle on the same channel.
 
-use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::message::Message;
 
@@ -67,7 +67,7 @@ impl Endpoint {
 /// Create the transport for `n` endpoints.
 pub fn make_router(n: usize) -> Vec<Endpoint> {
     assert!(n >= 1, "router needs at least one endpoint");
-    let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel::unbounded()).unzip();
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel()).unzip();
     receivers
         .into_iter()
         .enumerate()

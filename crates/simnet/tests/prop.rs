@@ -1,71 +1,130 @@
 //! Property-based tests of the simulator substrate: time algebra, wire
-//! sizing, cost-model monotonicity, and transport ordering.
+//! sizing, cost-model monotonicity, and transport ordering (in-repo
+//! `testkit` harness from ppm-core).
 
-use proptest::prelude::*;
-
+use ppm_core::testkit::forall;
+use ppm_core::{prop_assert, prop_assert_eq};
 use ppm_simnet::{Clock, Message, NetParams, SimTime, WireSize};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn simtime_addition_is_commutative_and_monotone() {
+    forall(
+        "simtime_addition_is_commutative_and_monotone",
+        64,
+        |g| (g.u64_in(0..1 << 40), g.u64_in(0..1 << 40)),
+        |&(a, b)| {
+            let (x, y) = (SimTime::from_ps(a), SimTime::from_ps(b));
+            prop_assert_eq!(x + y, y + x);
+            prop_assert!(x + y >= x.max(y));
+            prop_assert_eq!((x + y) - y, x);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn simtime_addition_is_commutative_and_monotone(a in 0u64..1 << 40, b in 0u64..1 << 40) {
-        let (x, y) = (SimTime::from_ps(a), SimTime::from_ps(b));
-        prop_assert_eq!(x + y, y + x);
-        prop_assert!(x + y >= x.max(y));
-        prop_assert_eq!((x + y) - y, x);
-    }
+#[test]
+fn simtime_scale_distributes() {
+    forall(
+        "simtime_scale_distributes",
+        64,
+        |g| (g.u64_in(0..1 << 20), g.u64_in(0..1000), g.u64_in(0..1000)),
+        |&(a, k, j)| {
+            let t = SimTime::from_ps(a);
+            prop_assert_eq!(t.scale(k) + t.scale(j), t.scale(k + j));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn simtime_scale_distributes(a in 0u64..1 << 20, k in 0u64..1000, j in 0u64..1000) {
-        let t = SimTime::from_ps(a);
-        prop_assert_eq!(t.scale(k) + t.scale(j), t.scale(k + j));
-    }
-
-    #[test]
-    fn clock_breakdown_always_sums_to_now(
-        steps in proptest::collection::vec((0u8..3, 0u64..1 << 30), 0..50)
-    ) {
-        let mut c = Clock::new();
-        for (kind, amount) in steps {
-            let d = SimTime::from_ps(amount);
-            match kind {
-                0 => c.advance_compute(d),
-                1 => c.advance_comm(d),
-                _ => c.wait_until(c.now() + d),
+#[test]
+fn clock_breakdown_always_sums_to_now() {
+    forall(
+        "clock_breakdown_always_sums_to_now",
+        64,
+        |g| g.vec(0..50, |g| (g.u32_in(0..3) as u8, g.u64_in(0..1 << 30))),
+        |steps| {
+            let mut c = Clock::new();
+            for &(kind, amount) in steps {
+                let d = SimTime::from_ps(amount);
+                match kind {
+                    0 => c.advance_compute(d),
+                    1 => c.advance_comm(d),
+                    _ => c.wait_until(c.now() + d),
+                }
             }
-        }
-        prop_assert_eq!(c.compute() + c.comm() + c.wait(), c.now());
-    }
+            prop_assert_eq!(c.compute() + c.comm() + c.wait(), c.now());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn wire_time_is_monotone_in_bytes(b1 in 0usize..1 << 20, extra in 1usize..1 << 20, share in 1u32..8) {
-        let net = NetParams::default();
-        for intra in [false, true] {
-            prop_assert!(
-                net.wire_time(b1, intra, share) <= net.wire_time(b1 + extra, intra, share)
-            );
-        }
-        // Sharing the NIC never speeds things up.
-        prop_assert!(net.wire_time(b1, false, share) >= net.wire_time(b1, false, 1));
-    }
+#[test]
+fn wire_time_is_monotone_in_bytes() {
+    forall(
+        "wire_time_is_monotone_in_bytes",
+        64,
+        |g| {
+            (
+                g.usize_in(0..1 << 20),
+                g.usize_in(1..1 << 20),
+                g.u32_in(1..8),
+            )
+        },
+        |&(b1, extra, share)| {
+            if extra == 0 || share == 0 {
+                return Ok(());
+            }
+            let net = NetParams::default();
+            for intra in [false, true] {
+                prop_assert!(
+                    net.wire_time(b1, intra, share) <= net.wire_time(b1 + extra, intra, share)
+                );
+            }
+            // Sharing the NIC never speeds things up.
+            prop_assert!(net.wire_time(b1, false, share) >= net.wire_time(b1, false, 1));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn vec_wire_size_is_additive(a in proptest::collection::vec(any::<f64>(), 0..50),
-                                  b in proptest::collection::vec(any::<f64>(), 0..50)) {
-        let joined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
-        // Two length prefixes vs one.
-        prop_assert_eq!(a.wire_size() + b.wire_size(), joined.wire_size() + 8);
-    }
+#[test]
+fn vec_wire_size_is_additive() {
+    forall(
+        "vec_wire_size_is_additive",
+        64,
+        |g| {
+            (
+                g.vec(0..50, |g| g.f64_in(-1e9..1e9)),
+                g.vec(0..50, |g| g.f64_in(-1e9..1e9)),
+            )
+        },
+        |(a, b)| {
+            let joined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            // Two length prefixes vs one.
+            prop_assert_eq!(a.wire_size() + b.wire_size(), joined.wire_size() + 8);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn router_preserves_per_sender_order(n in 1usize..100) {
-        let eps = ppm_simnet::make_router(2);
-        for i in 0..n as u64 {
-            eps[0].send(Message::new(0, 1, i % 3, SimTime::ZERO, 8, i));
-        }
-        for i in 0..n as u64 {
-            prop_assert_eq!(eps[1].recv().take::<u64>(), i);
-        }
-    }
+#[test]
+fn router_preserves_per_sender_order() {
+    forall(
+        "router_preserves_per_sender_order",
+        64,
+        |g| g.usize_in(1..100),
+        |&n| {
+            if n == 0 {
+                return Ok(());
+            }
+            let eps = ppm_simnet::make_router(2);
+            for i in 0..n as u64 {
+                eps[0].send(Message::new(0, 1, i % 3, SimTime::ZERO, 8, i));
+            }
+            for i in 0..n as u64 {
+                prop_assert_eq!(eps[1].recv().take::<u64>(), i);
+            }
+            Ok(())
+        },
+    );
 }

@@ -89,7 +89,11 @@ fn main() {
     println!("asynchronous tasks on 4 nodes (even: prefix sum, odd: histogram):");
     for (node, summaries) in report.results.iter().enumerate().take(1) {
         for (who, s) in summaries.iter().enumerate() {
-            let task = if who % 2 == 0 { "prefix-sum total" } else { "histogram mass " };
+            let task = if who % 2 == 0 {
+                "prefix-sum total"
+            } else {
+                "histogram mass "
+            };
             println!("  node {who} ({task}) -> {s}");
             let _ = node;
         }
@@ -99,5 +103,8 @@ fn main() {
         assert_eq!(summaries[1], n as u64);
         assert_eq!(summaries[3], n as u64);
     }
-    println!("histogram masses check out; simulated makespan {}", report.makespan());
+    println!(
+        "histogram masses check out; simulated makespan {}",
+        report.makespan()
+    );
 }

@@ -70,7 +70,11 @@ fn main() {
         (node.now(), sample)
     });
 
-    println!("binary search of {} keys in a {}-element global array", 4 * k, n);
+    println!(
+        "binary search of {} keys in a {}-element global array",
+        4 * k,
+        n
+    );
     for (node, (t, (key, rank))) in report.results.iter().enumerate() {
         println!("  node {node}: e.g. B[last]={key:8.1} -> rank {rank:5}   (local clock {t})");
     }

@@ -52,7 +52,11 @@ fn bundling_counters_tell_the_papers_story() {
         .counters
         .iter()
         .fold(ppm::simnet::Counters::default(), |a, b| a.merge(b));
-    assert!(c.remote_gets > 10_000, "fine-grained reads: {}", c.remote_gets);
+    assert!(
+        c.remote_gets > 10_000,
+        "fine-grained reads: {}",
+        c.remote_gets
+    );
     assert!(
         c.bundles_sent < c.remote_gets / 20,
         "bundling must compress: {} reads in {} bundles",
