@@ -1,6 +1,6 @@
 //! PPM runtime configuration.
 
-use ppm_simnet::{MachineConfig, SimTime};
+use ppm_simnet::{FaultConfig, MachineConfig, SimTime};
 
 /// Runtime knobs layered on top of the machine description.
 ///
@@ -44,6 +44,22 @@ pub struct PpmConfig {
     /// i.e. under `cargo test` — and off in release builds; override with
     /// [`Self::with_checker`].
     pub checker: bool,
+    /// Force the reliable-transport sublayer on even without faults
+    /// (overhead measurement). Reliability is always on when
+    /// `machine.faults` is enabled; see [`Self::reliability_enabled`].
+    pub reliable: bool,
+    /// Reliability: initial retransmission timeout (simulated time).
+    pub rto: SimTime,
+    /// Reliability: cap of the exponential retransmission backoff.
+    pub rto_max: SimTime,
+    /// Reliability: receivers send one cumulative ack per this many
+    /// envelopes on a link.
+    pub ack_every: u64,
+    /// Modeled wire bytes of a cumulative ack message.
+    pub ack_bytes: usize,
+    /// Crash recovery: modeled reboot time charged when a node recovers
+    /// from a seeded crash at a phase boundary.
+    pub crash_reboot: SimTime,
 }
 
 impl PpmConfig {
@@ -60,6 +76,12 @@ impl PpmConfig {
             overlap: true,
             bundling: true,
             checker: cfg!(debug_assertions),
+            reliable: false,
+            rto: SimTime::from_us(25),
+            rto_max: SimTime::from_us(200),
+            ack_every: 4,
+            ack_bytes: 12,
+            crash_reboot: SimTime::from_ms(1),
         }
     }
 
@@ -84,6 +106,28 @@ impl PpmConfig {
     pub fn with_checker(mut self, on: bool) -> Self {
         self.checker = on;
         self
+    }
+
+    /// Force the reliable-transport sublayer on or off regardless of the
+    /// fault configuration (overhead measurement / ablation). Faults still
+    /// require reliability: enabling faults overrides `false` here.
+    pub fn with_reliability(mut self, on: bool) -> Self {
+        self.reliable = on;
+        self
+    }
+
+    /// Inject seeded faults (convenience: sets `machine.faults`, which
+    /// also switches the reliable transport on).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.machine.faults = faults;
+        self
+    }
+
+    /// Whether the reliable-transport sublayer is active: explicitly
+    /// requested, or required because the machine injects faults.
+    #[inline]
+    pub fn reliability_enabled(&self) -> bool {
+        self.reliable || self.machine.faults.enabled()
     }
 
     /// Number of nodes.
@@ -117,6 +161,16 @@ mod tests {
         let c = PpmConfig::franklin(2).without_overlap().without_bundling();
         assert!(!c.overlap);
         assert!(!c.bundling);
+    }
+
+    #[test]
+    fn reliability_off_by_default_and_implied_by_faults() {
+        let c = PpmConfig::franklin(2);
+        assert!(!c.reliability_enabled());
+        assert!(c.with_reliability(true).reliability_enabled());
+        let f = c.with_faults(FaultConfig::seeded(7, 0.1, 0.0, 0.0));
+        assert!(f.reliability_enabled(), "faults imply reliability");
+        assert!(f.machine.faults.enabled());
     }
 
     #[test]

@@ -67,6 +67,13 @@ where
         inner.do_mode = mode;
     }
 
+    // Crash recovery line: direct mutation between `ppm_do`s
+    // (`with_local_mut`) may have changed the arrays since the last
+    // phase-end snapshot, so refresh it at construct entry.
+    if nc.snapshots_enabled() {
+        nc.take_snapshot();
+    }
+
     // Instantiate the VPs.
     let mut tasks: Vec<Option<VpTask>> = (0..k)
         .map(|rank| {
@@ -216,14 +223,17 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
             inner.counters.bundles_sent += 1;
         }
         let now = nc.ep.clock.now();
-        nc.ep.net.send(Message::new(
-            me,
-            dest,
-            msgs::tag(msgs::K_READ_REQ, phase),
-            now,
-            bytes,
-            ReqBundle { phase, entries },
-        ));
+        nc.send_msg(
+            Message::new(
+                me,
+                dest,
+                msgs::tag(msgs::K_READ_REQ, phase),
+                now,
+                bytes,
+                ReqBundle { phase, entries },
+            ),
+            msgs::K_READ_REQ,
+        );
         pending.insert(dest, tickets);
     }
 
@@ -317,6 +327,15 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     let cfg = nc.config();
     let phase = nc.inner.borrow().phase.global_seq;
 
+    // Seeded crash: the node "fails" here — after the phase body, before
+    // the exchange — and recovers from its super-step snapshot before
+    // rejoining. Peers never notice: the recovering node simply reaches
+    // the exchange later (reboot + restore + redo time), and the clock
+    // barrier propagates the delay.
+    if nc.rel.as_deref().is_some_and(|r| r.crash_at(phase)) {
+        recover_from_crash(nc, phase);
+    }
+
     // 0. Flush the conformance checker: the phase body is over, so its
     //    access record is complete.
     {
@@ -368,18 +387,21 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
             inner.counters.bytes_sent += bytes as u64;
         }
         let now = nc.ep.clock.now();
-        nc.ep.net.send(Message::new(
-            me,
-            dest,
-            msgs::tag(msgs::K_WRITE, phase),
-            now,
-            bytes,
-            WriteBundleMsg {
-                phase,
-                entries,
-                parts,
-            },
-        ));
+        nc.send_msg(
+            Message::new(
+                me,
+                dest,
+                msgs::tag(msgs::K_WRITE, phase),
+                now,
+                bytes,
+                WriteBundleMsg {
+                    phase,
+                    entries,
+                    parts,
+                },
+            ),
+            msgs::K_WRITE,
+        );
     }
 
     // 3. Collect the other nodes' bundles, servicing read requests from
@@ -436,6 +458,12 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         inner.phase.global_seq += 1;
     }
 
+    // 4b. Advance the crash-recovery line: the arrays now ARE the next
+    //     super-step's consistent state.
+    if nc.snapshots_enabled() {
+        nc.take_snapshot();
+    }
+
     // 5. Charge the phase's modeled time.
     charge_phase_time(nc);
 
@@ -475,7 +503,7 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
 
     let mut bytes_out = t.req_bytes_out + t.resp_bytes_out + t.write_bytes_out;
     let mut bytes_in = t.req_bytes_in + t.resp_bytes_in + t.write_bytes_in;
-    let (msgs_out, msgs_in) = if cfg.bundling {
+    let (mut msgs_out, msgs_in) = if cfg.bundling {
         (
             t.req_bundles_out + t.resp_bundles_out + t.write_bundles_out,
             t.req_bundles_in + t.resp_bundles_in + t.write_bundles_in,
@@ -492,6 +520,12 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
             t.req_entries_in + t.req_entries_out + t.write_entries_in,
         )
     };
+
+    // Reliability layer (zero when disabled): retransmitted/duplicate
+    // envelopes pay per-message overhead, and backoff/fault delay is
+    // exposed wait time. Cumulative acks are modeled as piggybacked and
+    // cost no simulated time (see `Traffic::rel_extra_msgs`).
+    msgs_out += t.rel_extra_msgs;
 
     // Node-level sender: the runtime owns the NIC (share factor 1).
     let gap = net.gap_per_byte.scale(bytes_out.max(bytes_in));
@@ -512,6 +546,7 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
     } else {
         gap + overhead + latency
     };
+    let comm = comm + t.rel_delay;
     nc.ep.clock.advance_comm(comm);
     nc.inner
         .borrow_mut()
@@ -545,16 +580,66 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64) {
         nc.ep.clock.advance_comm(net.overhead);
         let now = nc.ep.clock.now();
         let tag = msgs::tag(msgs::K_BARRIER, msgs::barrier_meta(phase, round));
-        nc.ep
-            .net
-            .send(Message::new(me, to, tag, now + net.latency, 0, now));
+        // `ts` is the arrival instant (send time + latency, plus any fault
+        // delay added by the reliability layer in send_msg).
+        nc.send_msg(
+            Message::new(me, to, tag, now + net.latency, 0, now),
+            msgs::K_BARRIER,
+        );
         let msg = nc.pump_recv(|m| m.tag == tag && m.src == from);
-        let peer_sent: SimTime = msg.take();
-        nc.ep.clock.wait_until(peer_sent + net.latency);
+        nc.ep.clock.wait_until(msg.ts);
         nc.ep.clock.advance_comm(net.overhead);
         d <<= 1;
         round += 1;
     }
+}
+
+/// Phase-boundary recovery from a seeded [`CrashFault`]: the node "fails"
+/// at the end of global phase `phase` (body done, exchange not started),
+/// reboots, restores its owned shared-array partitions and phase sequence
+/// from the last super-step snapshot, and re-executes the lost phase body.
+/// Re-execution is deterministic — the write buffers it would rebuild are
+/// exactly the ones already in hand — so the recovered node rejoins the
+/// exchange with bit-identical state, just later: reboot + restore copy +
+/// redo compute are charged to its clock and propagate through the clock
+/// barrier.
+///
+/// [`CrashFault`]: ppm_simnet::CrashFault
+fn recover_from_crash(nc: &mut NodeCtx<'_>, phase: u64) {
+    let cfg = nc.config();
+    let (redo, bytes) = {
+        let mut inner = nc.inner.borrow_mut();
+        let snaps = inner
+            .snapshots
+            .take()
+            .expect("crash fault fired with no snapshot (runtime bug)");
+        assert_eq!(
+            snaps.phase, phase,
+            "snapshot is not the crashed super-step's recovery line"
+        );
+        let mut bytes = 0u64;
+        for (ga, s) in inner.garrays.iter_mut().zip(&snaps.garrays) {
+            bytes += ga.restore_local(s.as_ref());
+        }
+        for (na, s) in inner.narrays.iter_mut().zip(&snaps.narrays) {
+            bytes += na.restore_local(s.as_ref());
+        }
+        inner.snapshots = Some(snaps);
+        inner.counters.crash_recoveries += 1;
+        // The phase body's compute still sits uncharged in the per-core
+        // accumulators; the redo costs that much again.
+        let redo = inner
+            .core_compute
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        (redo, bytes)
+    };
+    nc.ep.clock.advance_compute(cfg.crash_reboot);
+    nc.ep
+        .clock
+        .advance_compute(cfg.machine.core.mem_ops(bytes / 8));
+    nc.ep.clock.advance_compute(redo);
 }
 
 /// Fold the Inner counters accumulated during `ppm_do` into the endpoint's.

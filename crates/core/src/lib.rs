@@ -92,9 +92,10 @@ mod config;
 mod dist;
 mod elem;
 mod exec;
-mod msgs;
+pub mod msgs;
 mod nodecoll;
 mod nodectx;
+mod reliable;
 mod shared;
 mod state;
 pub mod testkit;

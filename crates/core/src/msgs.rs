@@ -1,15 +1,39 @@
 //! Runtime message kinds and tag layout for node-to-node traffic.
+//!
+//! The kind constants are public so that fault-injection plans
+//! ([`ppm_simnet::fault::TargetedFault`]) can target a specific protocol
+//! message — e.g. "drop the 3rd [`K_WRITE`] bundle from node 2 to node 0".
 
 use std::any::Any;
 
 use crate::state::ReqEntry;
 
-/// Message kinds (top byte of the 64-bit tag).
-pub(crate) const K_READ_REQ: u64 = 1;
-pub(crate) const K_READ_RESP: u64 = 2;
-pub(crate) const K_WRITE: u64 = 3;
-pub(crate) const K_BARRIER: u64 = 4;
-pub(crate) const K_COLL: u64 = 5;
+/// Read-request bundle (one per destination per wave). Kinds live in the
+/// top byte of the 64-bit tag.
+pub const K_READ_REQ: u64 = 1;
+/// Read-response bundle (one per request bundle).
+pub const K_READ_RESP: u64 = 2;
+/// End-of-phase write bundle.
+pub const K_WRITE: u64 = 3;
+/// Clock-synchronizing dissemination-barrier message.
+pub const K_BARRIER: u64 = 4;
+/// Node-level collective message.
+pub const K_COLL: u64 = 5;
+/// Reliability-layer cumulative acknowledgement (meta = acked watermark).
+pub const K_ACK: u64 = 6;
+
+/// Human-readable name of a message kind (watchdog / panic diagnostics).
+pub fn kind_name(kind: u64) -> &'static str {
+    match kind {
+        K_READ_REQ => "READ_REQ",
+        K_READ_RESP => "READ_RESP",
+        K_WRITE => "WRITE",
+        K_BARRIER => "BARRIER",
+        K_COLL => "COLL",
+        K_ACK => "ACK",
+        _ => "UNKNOWN",
+    }
+}
 
 const KIND_SHIFT: u32 = 56;
 const META_MASK: u64 = (1 << KIND_SHIFT) - 1;
@@ -69,8 +93,15 @@ mod tests {
     use super::*;
 
     #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::HashSet<_> = (1..=6).map(kind_name).collect();
+        assert_eq!(names.len(), 6);
+        assert_eq!(kind_name(99), "UNKNOWN");
+    }
+
+    #[test]
     fn tag_roundtrip() {
-        for kind in [K_READ_REQ, K_READ_RESP, K_WRITE, K_BARRIER, K_COLL] {
+        for kind in [K_READ_REQ, K_READ_RESP, K_WRITE, K_BARRIER, K_COLL, K_ACK] {
             for meta in [0u64, 1, 12345, META_MASK] {
                 assert_eq!(untag(tag(kind, meta)), (kind, meta));
             }

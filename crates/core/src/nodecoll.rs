@@ -37,9 +37,9 @@ impl NodeCtx<'_> {
         self.ep.counters.msgs_sent += 1;
         self.ep.counters.bytes_sent += bytes as u64;
         let me = self.node_id();
-        self.ep
-            .net
-            .send(Message::new(me, dst, tag, ts, bytes, value));
+        // Routed through the reliable transport (fault delay lands on
+        // `ts`, which recv_coll waits for).
+        self.send_msg(Message::new(me, dst, tag, ts, bytes, value), msgs::K_COLL);
     }
 
     /// Receive the collective message `tag` from `src`, servicing runtime

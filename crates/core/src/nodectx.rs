@@ -12,14 +12,15 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::rc::Rc;
 
-use ppm_simnet::{EndpointCtx, Message, SimTime};
+use ppm_simnet::{EndpointCtx, Message, RelMeta, SimTime};
 
 use crate::config::PpmConfig;
 use crate::dist::{Dist, Layout};
 use crate::elem::Elem;
 use crate::msgs::{self, RespBundle, RespPart};
+use crate::reliable::Reliability;
 use crate::shared::{GlobalShared, NodeShared};
-use crate::state::{GArray, Inner, NArray};
+use crate::state::{GArray, Inner, NArray, Snapshots};
 use crate::vp::Vp;
 
 /// Per-node handle passed to the SPMD closure of [`crate::run`].
@@ -30,6 +31,9 @@ pub struct NodeCtx<'a> {
     pub(crate) stash: VecDeque<Message>,
     /// Node-collective sequence number.
     pub(crate) coll_seq: u64,
+    /// Reliable-transport state machine; `None` keeps the fast paths
+    /// untouched (see `reliable.rs`).
+    pub(crate) rel: Option<Box<Reliability>>,
     cfg: PpmConfig,
 }
 
@@ -41,6 +45,9 @@ impl<'a> NodeCtx<'a> {
             inner: Rc::new(RefCell::new(Inner::new(cfg, node))),
             stash: VecDeque::new(),
             coll_seq: 0,
+            rel: cfg
+                .reliability_enabled()
+                .then(|| Box::new(Reliability::new(node, &cfg))),
             cfg,
         }
     }
@@ -220,17 +227,124 @@ impl<'a> NodeCtx<'a> {
         crate::exec::run_do(self, k, crate::state::DoMode::Local, f);
     }
 
-    // -- message pump ---------------------------------------------------------
+    // -- message transport ----------------------------------------------------
+
+    /// Central send for all runtime messages. With reliability off this is
+    /// exactly a raw [`Endpoint::try_send`](ppm_simnet::Endpoint::try_send);
+    /// with it on, the message becomes a sequence-numbered envelope, the
+    /// fault plan is consulted, and retransmission/duplicate/delay costs
+    /// are accounted (see `reliable.rs` for where each cost lands).
+    pub(crate) fn send_msg(&mut self, mut msg: Message, kind: u64) {
+        debug_assert_eq!(msgs::untag(msg.tag).0, kind, "tag/kind mismatch");
+        if let Some(rel) = self.rel.as_deref_mut() {
+            let out = rel.on_send(msg.dst, kind);
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.retries += out.meta.lost_attempts as u64;
+            inner.counters.faults_dropped += out.meta.lost_attempts as u64;
+            inner.counters.faults_duplicated += out.meta.duplicates as u64;
+            if out.wire_delay > SimTime::ZERO {
+                inner.counters.faults_delayed += 1;
+            }
+            inner.traffic.rel_extra_msgs += (out.meta.lost_attempts + out.meta.duplicates) as u64;
+            // Barrier/collective receivers honor `ts`, so their delay
+            // travels on the wire; data-plane delay is charged from the
+            // phase's traffic totals at `charge_phase_time`.
+            if matches!(kind, msgs::K_BARRIER | msgs::K_COLL) {
+                msg.ts += out.total_delay();
+            } else {
+                inner.traffic.rel_delay += out.total_delay();
+            }
+            drop(inner);
+            msg = msg.with_rel(out.meta);
+        }
+        if let Err(m) = self.ep.net.try_send(msg) {
+            let (kind, meta) = msgs::untag(m.tag);
+            panic!(
+                "node {} hung up (panicked?); in-flight {} message \
+                 (meta {meta:#x}) src={} dst={} bytes={}",
+                m.dst,
+                msgs::kind_name(kind),
+                m.src,
+                m.dst,
+                m.bytes
+            );
+        }
+    }
+
+    /// Raw blocking receive with the stall watchdog's protocol-state dump
+    /// attached.
+    fn recv_raw(&mut self) -> Message {
+        let node = self.ep.id();
+        let inner = &self.inner;
+        let stash = &self.stash;
+        let rel = self.rel.as_deref();
+        self.ep
+            .net
+            .recv_with_diag(|| protocol_dump(node, inner, stash, rel))
+    }
+
+    /// Reliability bookkeeping for a received envelope: duplicate
+    /// suppression and, when one falls due, the cumulative ack back to the
+    /// sender.
+    fn account_envelope(&mut self, src: usize, meta: RelMeta) {
+        let Some(rel) = self.rel.as_deref_mut() else {
+            return;
+        };
+        let out = rel.on_recv(src, meta);
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.dups_suppressed += u64::from(out.dups_suppressed);
+        let Some(upto) = out.ack_due else {
+            return;
+        };
+        // Acks are modeled as piggybacked: they appear in the counters but
+        // cost no simulated time (see `Traffic::rel_extra_msgs` for why
+        // charging them here would break clock determinism).
+        inner.counters.acks_sent += 1;
+        inner.counters.msgs_sent += 1;
+        inner.counters.bytes_sent += self.cfg.ack_bytes as u64;
+        drop(inner);
+        // Acks travel outside the fault plan: a lost cumulative ack is
+        // harmless (the next one covers it), so faulting acks would add
+        // schedule noise without new protocol behavior. Delivery is
+        // best-effort for the same reason — near job end the peer may have
+        // returned already (its last envelopes to us can fall due for an
+        // ack after it exits), and an ack to a finished sender means
+        // nothing. The counters above are charged either way, so totals
+        // stay deterministic no matter how the shutdown races.
+        let me = self.node_id();
+        let now = self.ep.clock.now();
+        let _ = self.ep.net.try_send(Message::new(
+            me,
+            src,
+            msgs::tag(msgs::K_ACK, upto),
+            now,
+            self.cfg.ack_bytes,
+            (),
+        ));
+    }
 
     /// Blocking receive of the first runtime message satisfying `want`,
-    /// servicing incoming read requests and stashing everything else.
+    /// servicing incoming read requests (and reliability-layer traffic)
+    /// and stashing everything else.
     pub(crate) fn pump_recv(&mut self, want: impl Fn(&Message) -> bool) -> Message {
         if let Some(pos) = self.stash.iter().position(&want) {
             return self.stash.remove(pos).expect("valid position");
         }
         loop {
-            let msg = self.ep.net.recv();
-            let (kind, _) = msgs::untag(msg.tag);
+            let msg = self.recv_raw();
+            let (kind, meta) = msgs::untag(msg.tag);
+            if kind == msgs::K_ACK {
+                // Ack receipt only advances the sender-side watermark — no
+                // counters or clock — so job totals stay deterministic
+                // even when trailing acks are never consumed.
+                if let Some(rel) = self.rel.as_deref_mut() {
+                    rel.on_ack(msg.src, meta);
+                }
+                continue;
+            }
+            if let Some(relmeta) = msg.rel {
+                self.account_envelope(msg.src, relmeta);
+            }
             if kind == msgs::K_READ_REQ {
                 self.service_read_req(msg);
                 continue;
@@ -240,6 +354,49 @@ impl<'a> NodeCtx<'a> {
             }
             self.stash.push_back(msg);
         }
+    }
+
+    // -- crash-recovery snapshots ---------------------------------------------
+
+    /// Whether super-step snapshots are being maintained (a crash fault is
+    /// configured).
+    pub(crate) fn snapshots_enabled(&self) -> bool {
+        self.rel
+            .as_deref()
+            .is_some_and(Reliability::snapshots_enabled)
+    }
+
+    /// Capture the super-step snapshot of every shared array, charging the
+    /// copy as owner-side service time.
+    pub(crate) fn take_snapshot(&mut self) {
+        let core = self.cfg.machine.core;
+        let mut inner = self.inner.borrow_mut();
+        let phase = inner.phase.global_seq;
+        let mut bytes = 0u64;
+        let garrays: Vec<_> = inner
+            .garrays
+            .iter()
+            .map(|g| {
+                let (p, b) = g.snapshot_local();
+                bytes += b;
+                p
+            })
+            .collect();
+        let narrays: Vec<_> = inner
+            .narrays
+            .iter()
+            .map(|n| {
+                let (p, b) = n.snapshot_local();
+                bytes += b;
+                p
+            })
+            .collect();
+        inner.snapshots = Some(Snapshots {
+            phase,
+            garrays,
+            narrays,
+        });
+        inner.service_time += core.mem_ops(bytes / 8);
     }
 
     /// Serve a bundle of read requests against this node's partitions.
@@ -300,15 +457,89 @@ impl<'a> NodeCtx<'a> {
         drop(inner);
 
         let now = self.ep.clock.now();
-        self.ep.net.send(Message::new(
-            self.node_id(),
-            src,
-            msgs::tag(msgs::K_READ_RESP, 0),
-            now,
-            bytes,
-            RespBundle { parts },
-        ));
+        let me = self.node_id();
+        self.send_msg(
+            Message::new(
+                me,
+                src,
+                msgs::tag(msgs::K_READ_RESP, 0),
+                now,
+                bytes,
+                RespBundle { parts },
+            ),
+            msgs::K_READ_RESP,
+        );
     }
+}
+
+impl Drop for NodeCtx<'_> {
+    /// Fold any counters still sitting in the runtime state into the
+    /// endpoint (e.g. reliability counters from collectives run after the
+    /// last `ppm_do`), so `JobReport::counters` is complete.
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.inner.try_borrow_mut() {
+            let c = std::mem::take(&mut inner.counters);
+            drop(inner);
+            self.ep.counters = self.ep.counters.merge(&c);
+        }
+    }
+}
+
+/// Render the node's protocol state for the stall watchdog: phase
+/// bookkeeping, parked reads, stashed messages, and (when reliability is
+/// on) per-link envelope/ack state — everything needed to see *why* a run
+/// wedged instead of a bare timeout.
+fn protocol_dump(
+    node: usize,
+    inner: &Rc<RefCell<Inner>>,
+    stash: &VecDeque<Message>,
+    rel: Option<&Reliability>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("node {node} protocol state:\n");
+    match inner.try_borrow() {
+        Ok(i) => {
+            let p = &i.phase;
+            let _ = writeln!(
+                out,
+                "  phase: open={:?} entered={} arrived={} epoch={} \
+                 global_seq={} node_seq={}",
+                p.open, p.entered, p.arrived, p.epoch, p.global_seq, p.node_seq
+            );
+            let _ = writeln!(
+                out,
+                "  vps: live={} | parked reads outstanding={} | queued req dests={}",
+                i.live_vps,
+                i.slots.outstanding(),
+                i.reqs.len()
+            );
+        }
+        Err(_) => {
+            let _ = writeln!(out, "  <runtime state borrowed at stall time>");
+        }
+    }
+    if stash.is_empty() {
+        let _ = writeln!(out, "  stash: empty");
+    } else {
+        let _ = writeln!(out, "  stash ({} messages):", stash.len());
+        for m in stash.iter().take(8) {
+            let (kind, meta) = msgs::untag(m.tag);
+            let _ = writeln!(
+                out,
+                "    {} from node {} (meta {meta:#x}, {} bytes)",
+                msgs::kind_name(kind),
+                m.src,
+                m.bytes
+            );
+        }
+        if stash.len() > 8 {
+            let _ = writeln!(out, "    … and {} more", stash.len() - 8);
+        }
+    }
+    if let Some(r) = rel {
+        out.push_str(&r.dump());
+    }
+    out
 }
 
 // Helpers to view typed arrays through the trait objects.

@@ -246,6 +246,12 @@ pub(crate) trait GArrayObj {
     fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> u64;
     /// Whether any writes are buffered (used to assert clean phase ends).
     fn has_pending_writes(&self) -> bool;
+    /// Copy the local partition for a super-step snapshot; returns the
+    /// payload (`Vec<T>`) and its modeled byte size.
+    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64);
+    /// Overwrite the local partition from a snapshot taken by
+    /// [`Self::snapshot_local`] (crash recovery); returns bytes restored.
+    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64;
 }
 
 impl<T: Elem> GArrayObj for GArray<T> {
@@ -347,6 +353,25 @@ impl<T: Elem> GArrayObj for GArray<T> {
 
     fn has_pending_writes(&self) -> bool {
         !self.wbuf.is_empty()
+    }
+
+    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64) {
+        let copy = self.local.clone();
+        let bytes = copy.wire_size() as u64;
+        (Box::new(copy), bytes)
+    }
+
+    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64 {
+        let snap = snap
+            .downcast_ref::<Vec<T>>()
+            .expect("snapshot payload type mismatch");
+        assert_eq!(
+            snap.len(),
+            self.local.len(),
+            "snapshot shape does not match the partition"
+        );
+        self.local.clone_from(snap);
+        snap.wire_size() as u64
     }
 }
 
@@ -452,6 +477,12 @@ pub(crate) trait NArrayObj {
     fn as_any_ref(&self) -> &dyn Any;
     /// Apply the buffered writes. Returns entries applied.
     fn apply(&mut self) -> u64;
+    /// Copy the node instance for a super-step snapshot (payload plus
+    /// modeled byte size).
+    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64);
+    /// Overwrite the node instance from a snapshot (crash recovery);
+    /// returns bytes restored.
+    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64;
 }
 
 impl<T: Elem> NArrayObj for NArray<T> {
@@ -474,6 +505,25 @@ impl<T: Elem> NArrayObj for NArray<T> {
             };
         }
         n
+    }
+
+    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64) {
+        let copy = self.data.clone();
+        let bytes = copy.wire_size() as u64;
+        (Box::new(copy), bytes)
+    }
+
+    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64 {
+        let snap = snap
+            .downcast_ref::<Vec<T>>()
+            .expect("snapshot payload type mismatch");
+        assert_eq!(
+            snap.len(),
+            self.data.len(),
+            "snapshot shape does not match the node array"
+        );
+        self.data.clone_from(snap);
+        snap.wire_size() as u64
     }
 }
 
@@ -541,11 +591,41 @@ pub(crate) struct Traffic {
     pub write_entries_in: u64,
     pub write_bytes_in: u64,
     pub waves: u64,
+    /// Reliability: extra virtual transmissions this phase (retransmitted
+    /// attempts + duplicate copies) — each pays per-message overhead.
+    /// Cumulative acks deliberately do *not* appear here: they are sent
+    /// from the receive pump, whose position relative to the phase-time
+    /// fold depends on real-time message interleaving, so charging them
+    /// would break clock determinism. They are modeled as piggybacked
+    /// (free in simulated time) and show up only in [`Counters`].
+    ///
+    /// [`Counters`]: ppm_simnet::Counters
+    pub rel_extra_msgs: u64,
+    /// Reliability: retransmission backoff plus injected wire delay
+    /// accumulated by data-plane sends this phase (barrier/collective
+    /// delay rides on `Message::ts` instead; see `reliable.rs`).
+    pub rel_delay: SimTime,
 }
 
 // ---------------------------------------------------------------------------
 // Inner: the per-node runtime state.
 // ---------------------------------------------------------------------------
+
+/// Super-step snapshot of this node's shared-array state, maintained while
+/// a crash fault is configured (see `exec.rs`). The BSP discipline makes
+/// this cheap to reason about: between phases the live arrays *are* the
+/// snapshot (writes are buffered during phase bodies), so a snapshot taken
+/// at each global phase end — plus redo of the crashed phase's (buffered,
+/// deterministic) work — is a complete recovery line.
+pub(crate) struct Snapshots {
+    /// `phase.global_seq` at capture time: the number of completed global
+    /// exchanges this state reflects.
+    pub phase: u64,
+    /// One `Vec<T>` payload per global array partition.
+    pub garrays: Vec<Box<dyn Any + Send>>,
+    /// One `Vec<T>` payload per node-shared array instance.
+    pub narrays: Vec<Box<dyn Any + Send>>,
+}
 
 /// Outcome of a shared read issued by a VP.
 pub(crate) enum GetOutcome<T> {
@@ -590,6 +670,9 @@ pub(crate) struct Inner {
     /// Violations flushed at phase barriers (drained by
     /// `NodeCtx::take_violations`).
     pub violations: Vec<PhaseViolation>,
+    /// Last super-step snapshot (crash recovery; `None` unless a crash
+    /// fault is configured).
+    pub snapshots: Option<Snapshots>,
 }
 
 impl Inner {
@@ -614,6 +697,7 @@ impl Inner {
             phase_log: Vec::new(),
             checker: cfg.checker.then(Checker::default),
             violations: Vec::new(),
+            snapshots: None,
         }
     }
 
@@ -970,6 +1054,24 @@ mod tests {
         assert_eq!(bytes, 8 + 3 * 8);
         let vals = payload.downcast::<Vec<u64>>().unwrap();
         assert_eq!(*vals, vec![100, 104, 102]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(8, 2), 0);
+        ga.local.copy_from_slice(&[1, 2, 3, 4]);
+        let (snap, bytes) = GArrayObj::snapshot_local(&ga);
+        assert_eq!(bytes, ga.local.wire_size() as u64);
+        ga.local[2] = 99;
+        assert_eq!(GArrayObj::restore_local(&mut ga, snap.as_ref()), bytes);
+        assert_eq!(ga.local, vec![1, 2, 3, 4]);
+
+        let mut na: NArray<f64> = NArray::new(2);
+        na.data[1] = 7.5;
+        let (snap, _) = NArrayObj::snapshot_local(&na);
+        na.data[1] = 0.0;
+        NArrayObj::restore_local(&mut na, snap.as_ref());
+        assert_eq!(na.data[1], 7.5);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Integration tests for the reliable-transport sublayer and fault
+//! injection: with faults disabled the runtime is byte-for-byte the fast
+//! path; with any seeded fault schedule the application results are
+//! bit-identical to the fault-free run; equal seeds give equal runs.
+
+use std::time::Duration;
+
+use ppm_core::{msgs, run, PpmConfig};
+use ppm_simnet::{Counters, FaultAction, FaultConfig, MachineConfig, SimTime, TargetedFault};
+
+const N: usize = 48;
+const PHASES: u64 = 4;
+const VPS_PER_NODE: usize = 4;
+
+/// Rotate a global array left by one element per global phase.
+///
+/// Every VP handles the indices congruent to its global rank; each phase
+/// it reads `a[(i + 1) % N]` (phase-start snapshot) and writes `a[i]`, so
+/// after `PHASES` phases `a[i] == (i + PHASES) % N`. The strided
+/// assignment generates remote reads and remote write bundles on every
+/// link each phase — exactly the traffic the reliability layer protects.
+fn ring_shift(cfg: PpmConfig) -> (Vec<Vec<u64>>, SimTime, Vec<Counters>, Counters) {
+    let report = run(cfg, |node| {
+        let a = node.alloc_global::<u64>(N);
+        let lo = node.local_range(&a).start;
+        node.with_local_mut(&a, |s| {
+            for (off, v) in s.iter_mut().enumerate() {
+                *v = (lo + off) as u64;
+            }
+        });
+        node.ppm_do(VPS_PER_NODE, move |vp| async move {
+            let rank = vp.global_rank();
+            let total = vp.global_vp_count();
+            for _ in 0..PHASES {
+                vp.global_phase(|ph| async move {
+                    let mut i = rank;
+                    while i < N {
+                        let next = ph.get(&a, (i + 1) % N).await;
+                        ph.put(&a, i, next);
+                        i += total;
+                    }
+                })
+                .await;
+            }
+        });
+        let violations = node.take_violations();
+        assert!(violations.is_empty(), "conformance: {violations:?}");
+        node.gather_global(&a)
+    });
+    let makespan = report.makespan();
+    let totals = report.total_counters();
+    (report.results, makespan, report.counters, totals)
+}
+
+fn base_cfg() -> PpmConfig {
+    PpmConfig::new(MachineConfig::new(3, 2))
+}
+
+fn check_results(results: &[Vec<u64>]) {
+    let expect: Vec<u64> = (0..N).map(|i| ((i as u64) + PHASES) % N as u64).collect();
+    for (node, r) in results.iter().enumerate() {
+        assert_eq!(r, &expect, "node {node} sees a wrong final array");
+    }
+}
+
+#[test]
+fn fault_free_fast_path_has_no_reliability_traffic() {
+    let (results, _, _, totals) = ring_shift(base_cfg());
+    check_results(&results);
+    assert_eq!(
+        totals.reliability_summary(),
+        (0, 0, 0, 0),
+        "reliability counters must be zero when the layer is off"
+    );
+    assert_eq!(totals.faults_dropped, 0);
+    assert_eq!(totals.faults_duplicated, 0);
+    assert_eq!(totals.faults_delayed, 0);
+}
+
+#[test]
+fn reliability_without_faults_is_invisible_and_cheap() {
+    let (base_res, base_t, _, base_c) = ring_shift(base_cfg());
+    let (rel_res, rel_t, _, rel_c) = ring_shift(base_cfg().with_reliability(true));
+
+    check_results(&rel_res);
+    assert_eq!(rel_res, base_res, "reliability changed application results");
+    assert_eq!(rel_c.retries, 0, "no faults, so nothing to retransmit");
+    assert_eq!(rel_c.dups_suppressed, 0);
+    assert_eq!(rel_c.crash_recoveries, 0);
+    assert!(rel_c.acks_sent > 0, "cumulative acks should flow");
+    assert!(
+        rel_c.msgs_sent > base_c.msgs_sent,
+        "acks are extra messages on the wire"
+    );
+
+    // Overhead requirement (< 5% of makespan) is met exactly: sequence
+    // numbers ride on envelope metadata and cumulative acks are modeled
+    // as piggybacked, so a fault-free reliable run costs zero extra
+    // simulated time.
+    assert!(rel_t >= base_t);
+    let overhead = rel_t - base_t;
+    assert!(
+        overhead.as_ps() * 20 < base_t.as_ps(),
+        "reliability overhead {overhead:?} is >= 5% of {base_t:?}"
+    );
+    assert_eq!(rel_t, base_t, "piggybacked control plane costs no time");
+}
+
+#[test]
+fn seeded_faults_never_change_results() {
+    let (base_res, base_t, _, _) = ring_shift(base_cfg());
+    let mut retries = 0;
+    let mut dups = 0;
+    let mut delays = 0;
+    for seed in [3u64, 17, 99] {
+        let cfg = base_cfg().with_faults(FaultConfig::seeded(seed, 0.08, 0.05, 0.05));
+        let (res, t, _, c) = ring_shift(cfg);
+        assert_eq!(res, base_res, "seed {seed} changed application results");
+        assert!(
+            t >= base_t,
+            "seed {seed}: faults cannot make the job faster"
+        );
+        retries += c.retries;
+        dups += c.dups_suppressed;
+        delays += c.faults_delayed;
+        assert_eq!(c.retries, c.faults_dropped);
+    }
+    assert!(retries > 0, "soak injected no drops across three seeds");
+    assert!(dups > 0, "soak injected no duplicates across three seeds");
+    assert!(delays > 0, "soak injected no delays across three seeds");
+}
+
+#[test]
+fn same_seed_is_the_same_run() {
+    let cfg = || base_cfg().with_faults(FaultConfig::seeded(42, 0.1, 0.05, 0.05));
+    let (res_a, t_a, per_node_a, tot_a) = ring_shift(cfg());
+    let (res_b, t_b, per_node_b, tot_b) = ring_shift(cfg());
+    assert_eq!(res_a, res_b);
+    assert_eq!(t_a, t_b, "same seed must give the same makespan");
+    assert_eq!(
+        per_node_a, per_node_b,
+        "same seed must give identical per-node counters"
+    );
+    assert_eq!(tot_a, tot_b);
+    assert!(
+        tot_a.retries > 0,
+        "this seed should actually drop something"
+    );
+}
+
+#[test]
+fn targeted_drop_is_retransmitted() {
+    let (base_res, _, _, _) = ring_shift(base_cfg());
+    let faults = FaultConfig::NONE.with_targeted(TargetedFault {
+        src: 1,
+        dst: 0,
+        kind: msgs::K_WRITE,
+        nth: 1,
+        action: FaultAction::Drop,
+    });
+    let (res, _, _, c) = ring_shift(base_cfg().with_faults(faults));
+    assert_eq!(res, base_res);
+    assert_eq!(c.faults_dropped, 1, "exactly the targeted write bundle");
+    assert_eq!(c.retries, 1);
+}
+
+#[test]
+fn crash_recovers_at_phase_boundary() {
+    let (base_res, base_t, _, _) = ring_shift(base_cfg());
+    let cfg = base_cfg().with_faults(FaultConfig::NONE.with_crash(1, 2));
+    let (res, t, per_node, totals) = ring_shift(cfg);
+    assert_eq!(res, base_res, "recovered run must match the clean run");
+    assert_eq!(totals.crash_recoveries, 1);
+    assert_eq!(
+        per_node[1].crash_recoveries, 1,
+        "node 1 is the one that died"
+    );
+    assert!(
+        t > base_t,
+        "reboot + redone compute must cost simulated time"
+    );
+}
+
+#[test]
+fn crash_composes_with_random_faults() {
+    let (base_res, _, _, _) = ring_shift(base_cfg());
+    let faults = FaultConfig::seeded(7, 0.06, 0.04, 0.04).with_crash(2, 1);
+    let (res, _, _, c) = ring_shift(base_cfg().with_faults(faults));
+    assert_eq!(res, base_res);
+    assert_eq!(c.crash_recoveries, 1);
+    assert!(c.retries > 0);
+}
+
+#[test]
+#[should_panic(expected = "protocol state")]
+fn stall_watchdog_dumps_protocol_state() {
+    // Node 1 skips the collective, so node 0 blocks in a receive that can
+    // never complete; the watchdog must fire with a protocol-state dump
+    // instead of hanging the test suite.
+    let machine = MachineConfig::new(2, 1).with_recv_stall(Duration::from_millis(200));
+    let cfg = PpmConfig::new(machine).with_reliability(true);
+    run(cfg, |node| {
+        if node.node_id() == 0 {
+            node.allreduce_nodes(1u64, |a, b| a + b);
+        }
+    });
+}

@@ -9,7 +9,7 @@
 
 use crate::clock::Clock;
 use crate::config::MachineConfig;
-use crate::router::{make_router, Endpoint};
+use crate::router::{make_router_with_stall, Endpoint};
 use crate::stats::Counters;
 use crate::time::SimTime;
 
@@ -74,7 +74,7 @@ where
     R: Send,
     F: Fn(&mut EndpointCtx) -> R + Send + Sync,
 {
-    let endpoints = make_router(n);
+    let endpoints = make_router_with_stall(n, config.recv_stall);
     let f = &f;
     let outcomes: Vec<(R, Clock, Counters)> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints

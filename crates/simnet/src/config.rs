@@ -13,6 +13,7 @@
 //! node-level sender that
 //! owns the NIC (the PPM runtime) sees the raw gap.
 
+use crate::fault::FaultConfig;
 use crate::time::SimTime;
 
 /// Network cost parameters. Defaults are calibrated to a 2009 Cray XT4
@@ -136,6 +137,14 @@ pub struct MachineConfig {
     pub net: NetParams,
     /// Core cost parameters.
     pub core: CoreParams,
+    /// Fault-injection model (defaults to no faults; see
+    /// [`crate::fault`]).
+    pub faults: FaultConfig,
+    /// Wall-clock watchdog for blocking receives: how long an endpoint may
+    /// sit in `recv` with nothing arriving before the simulation is
+    /// declared wedged. This is *host* time, not simulated time — it only
+    /// bounds hangs, it never shows up in results.
+    pub recv_stall: std::time::Duration,
 }
 
 impl MachineConfig {
@@ -149,7 +158,21 @@ impl MachineConfig {
             cores_per_node,
             net: NetParams::default(),
             core: CoreParams::default(),
+            faults: FaultConfig::NONE,
+            recv_stall: DEFAULT_RECV_STALL,
         }
+    }
+
+    /// Enable fault injection (see [`crate::fault::FaultConfig`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the blocking-receive stall watchdog.
+    pub fn with_recv_stall(mut self, stall: std::time::Duration) -> Self {
+        self.recv_stall = stall;
+        self
     }
 
     /// The paper's platform shape: quad-core nodes (§4.1).
@@ -176,6 +199,12 @@ impl MachineConfig {
         self.node_of_rank(a) == self.node_of_rank(b)
     }
 }
+
+/// Default blocking-receive watchdog (see [`MachineConfig::recv_stall`]).
+/// Applications in this workspace are deterministic and deadlock-free by
+/// construction, so hitting this is always a protocol bug; failing loudly
+/// beats hanging the test suite.
+pub const DEFAULT_RECV_STALL: std::time::Duration = std::time::Duration::from_secs(60);
 
 #[cfg(test)]
 mod tests {
@@ -231,6 +260,19 @@ mod tests {
         let net = NetParams::default();
         assert_eq!(net.wire_time(0, false, 1), net.latency);
         assert_eq!(net.copy_cost(0, false, 1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn faults_default_off_and_builders_set_them() {
+        let m = MachineConfig::new(2, 2);
+        assert!(!m.faults.enabled());
+        assert_eq!(m.recv_stall, DEFAULT_RECV_STALL);
+        let m = m
+            .with_faults(FaultConfig::seeded(1, 0.1, 0.0, 0.0))
+            .with_recv_stall(std::time::Duration::from_millis(200));
+        assert!(m.faults.enabled());
+        assert_eq!(m.faults.seed, 1);
+        assert_eq!(m.recv_stall, std::time::Duration::from_millis(200));
     }
 
     #[test]

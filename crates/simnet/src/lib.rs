@@ -26,6 +26,7 @@
 pub mod clock;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod message;
 pub mod router;
 pub mod stats;
@@ -35,7 +36,10 @@ pub mod wire;
 pub use clock::Clock;
 pub use cluster::{run, EndpointCtx, JobReport};
 pub use config::{CoreParams, MachineConfig, NetParams};
-pub use message::Message;
+pub use fault::{
+    CrashFault, FaultAction, FaultConfig, FaultEvent, FaultPlan, TargetedFault, KIND_ANY,
+};
+pub use message::{Message, RelMeta};
 pub use router::{make_router, Endpoint};
 pub use stats::Counters;
 pub use time::SimTime;

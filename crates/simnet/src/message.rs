@@ -4,6 +4,23 @@ use std::any::Any;
 
 use crate::time::SimTime;
 
+/// Reliability-envelope metadata riding on a [`Message`].
+///
+/// Attached by a reliable transport layer (the PPM runtime's); `None` for
+/// raw sends. `seq` numbers the link's envelopes for cumulative acks and
+/// duplicate suppression; `lost_attempts`/`duplicates` record the faults
+/// the fault plan injected into this transmission, so the receiver can
+/// account for them deterministically (see [`crate::fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelMeta {
+    /// Per-link envelope sequence number (starts at 0).
+    pub seq: u64,
+    /// Virtual transmission attempts lost before this copy got through.
+    pub lost_attempts: u32,
+    /// Extra copies the wire delivered (to be suppressed by the receiver).
+    pub duplicates: u32,
+}
+
 /// A message in flight between two endpoints.
 ///
 /// The payload is an arbitrary `Send` value — the simulator does not
@@ -25,6 +42,8 @@ pub struct Message {
     pub ts: SimTime,
     /// Modeled wire size in bytes.
     pub bytes: usize,
+    /// Reliability-envelope metadata (`None` for raw transports).
+    pub rel: Option<RelMeta>,
     payload: Box<dyn Any + Send>,
 }
 
@@ -44,8 +63,15 @@ impl Message {
             tag,
             ts,
             bytes,
+            rel: None,
             payload: Box::new(payload),
         }
+    }
+
+    /// Attach reliability-envelope metadata.
+    pub fn with_rel(mut self, rel: RelMeta) -> Self {
+        self.rel = Some(rel);
+        self
     }
 
     /// Recover the payload. Panics with a diagnostic if the stored type does
@@ -77,6 +103,7 @@ impl std::fmt::Debug for Message {
             .field("tag", &self.tag)
             .field("ts", &self.ts)
             .field("bytes", &self.bytes)
+            .field("rel", &self.rel)
             .finish_non_exhaustive()
     }
 }
@@ -94,6 +121,20 @@ mod tests {
         assert!(m.peek::<Vec<u32>>().is_none());
         let v: Vec<f64> = m.take();
         assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rel_meta_defaults_off_and_attaches() {
+        let m = Message::new(0, 1, 7, SimTime::ZERO, 8, 1u64);
+        assert!(m.rel.is_none());
+        let meta = RelMeta {
+            seq: 3,
+            lost_attempts: 2,
+            duplicates: 1,
+        };
+        let m = m.with_rel(meta);
+        assert_eq!(m.rel, Some(meta));
+        assert_eq!(m.take::<u64>(), 1);
     }
 
     #[test]

@@ -6,20 +6,19 @@
 //! always precede its end-of-phase write bundle on the same channel.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
 
+use crate::config::DEFAULT_RECV_STALL;
 use crate::message::Message;
-
-/// How long a blocking receive waits before declaring the simulation wedged.
-/// Applications in this workspace are deterministic and deadlock-free by
-/// construction, so hitting this is always a protocol bug; failing loudly
-/// beats hanging the test suite.
-const RECV_STALL: std::time::Duration = std::time::Duration::from_secs(60);
 
 /// Per-endpoint transport handle.
 pub struct Endpoint {
     id: usize,
     inbox: Receiver<Message>,
     outboxes: Vec<Sender<Message>>,
+    /// Wall-clock watchdog for blocking receives (see
+    /// [`crate::config::MachineConfig::recv_stall`]).
+    stall: Duration,
 }
 
 impl Endpoint {
@@ -35,26 +34,55 @@ impl Endpoint {
         self.outboxes.len()
     }
 
-    /// Always false — a router has at least one endpoint.
+    /// Whether the job has zero endpoints. [`make_router`] guarantees at
+    /// least one, so this is `false` for any endpoint it built — but it is
+    /// computed honestly from the peer table, not hard-coded.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.outboxes.is_empty()
     }
 
-    /// Deliver a message to its destination's inbox.
+    /// Deliver a message to its destination's inbox. Panics with the
+    /// in-flight message's coordinates if the destination hung up
+    /// (use [`Self::try_send`] to attach richer protocol context).
     pub fn send(&self, msg: Message) {
-        debug_assert_eq!(msg.src, self.id, "message src must be the sender");
-        let dst = msg.dst;
-        self.outboxes[dst]
-            .send(msg)
-            .unwrap_or_else(|_| panic!("endpoint {dst} hung up (panicked?)"));
+        if let Err(msg) = self.try_send(msg) {
+            panic!(
+                "endpoint {} hung up (panicked?); in-flight message: \
+                 src={} dst={} tag={:#018x} bytes={}",
+                msg.dst, msg.src, msg.dst, msg.tag, msg.bytes
+            );
+        }
     }
 
-    /// Block until a message arrives.
+    /// Deliver a message, returning it if the destination hung up so the
+    /// caller can report what was in flight in its own vocabulary.
+    pub fn try_send(&self, msg: Message) -> Result<(), Message> {
+        debug_assert_eq!(msg.src, self.id, "message src must be the sender");
+        self.outboxes[msg.dst].send(msg).map_err(|e| e.0)
+    }
+
+    /// Block until a message arrives. Panics (with no extra diagnostics)
+    /// if nothing arrives within the stall watchdog.
     pub fn recv(&self) -> Message {
-        match self.inbox.recv_timeout(RECV_STALL) {
+        self.recv_with_diag(String::new)
+    }
+
+    /// Block until a message arrives. If the stall watchdog fires, `diag`
+    /// is invoked to render the caller's protocol state (outstanding acks,
+    /// phase sequence, pending barriers, …) into the panic message, so a
+    /// wedged run fails with a usable dump instead of a bare timeout.
+    pub fn recv_with_diag(&self, diag: impl FnOnce() -> String) -> Message {
+        match self.inbox.recv_timeout(self.stall) {
             Ok(m) => m,
-            Err(e) => panic!("endpoint {} stalled waiting for a message: {e}", self.id),
+            Err(e) => {
+                let dump = diag();
+                let sep = if dump.is_empty() { "" } else { "\n" };
+                panic!(
+                    "endpoint {} stalled for {:?} waiting for a message: {e}{sep}{dump}",
+                    self.id, self.stall
+                )
+            }
         }
     }
 
@@ -64,8 +92,15 @@ impl Endpoint {
     }
 }
 
-/// Create the transport for `n` endpoints.
+/// Create the transport for `n` endpoints with the default stall watchdog.
 pub fn make_router(n: usize) -> Vec<Endpoint> {
+    make_router_with_stall(n, DEFAULT_RECV_STALL)
+}
+
+/// Create the transport for `n` endpoints with an explicit stall watchdog
+/// (wired from [`crate::config::MachineConfig::recv_stall`] by
+/// [`crate::cluster::run`]).
+pub fn make_router_with_stall(n: usize, stall: Duration) -> Vec<Endpoint> {
     assert!(n >= 1, "router needs at least one endpoint");
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel()).unzip();
     receivers
@@ -75,6 +110,7 @@ pub fn make_router(n: usize) -> Vec<Endpoint> {
             id,
             inbox,
             outboxes: senders.clone(),
+            stall,
         })
         .collect()
 }
@@ -138,5 +174,32 @@ mod tests {
         assert_eq!(eps[2].id(), 2);
         assert_eq!(eps[0].len(), 3);
         assert!(!eps[0].is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_hung_up_peer() {
+        let mut eps = make_router_with_stall(2, Duration::from_millis(50));
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        drop(e1); // peer "panicked"
+        let m = e0.try_send(msg(0, 1, 42, 7)).expect_err("peer is gone");
+        assert_eq!((m.src, m.dst, m.tag), (0, 1, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight message: src=0 dst=1 tag=0x000000000000002a")]
+    fn send_panic_names_the_message() {
+        let mut eps = make_router(2);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        drop(e1);
+        e0.send(msg(0, 1, 42, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol dump here")]
+    fn stall_watchdog_fires_with_diagnostics() {
+        let eps = make_router_with_stall(1, Duration::from_millis(20));
+        eps[0].recv_with_diag(|| "protocol dump here".to_string());
     }
 }

@@ -30,6 +30,21 @@ pub struct Counters {
     pub waves: u64,
     /// PPM: shared-variable accesses that resolved locally.
     pub local_accesses: u64,
+    /// Reliability layer: retransmissions performed (one per lost
+    /// transmission attempt injected by the fault plan).
+    pub retries: u64,
+    /// Reliability layer: transmission attempts the fault plan dropped.
+    pub faults_dropped: u64,
+    /// Reliability layer: duplicate copies the fault plan delivered.
+    pub faults_duplicated: u64,
+    /// Reliability layer: messages the fault plan held back on the wire.
+    pub faults_delayed: u64,
+    /// Reliability layer: duplicate envelopes suppressed on receive.
+    pub dups_suppressed: u64,
+    /// Reliability layer: cumulative ack messages sent.
+    pub acks_sent: u64,
+    /// Phase-boundary crash recoveries performed.
+    pub crash_recoveries: u64,
 }
 
 impl Counters {
@@ -48,7 +63,25 @@ impl Counters {
             bundles_sent: self.bundles_sent + other.bundles_sent,
             waves: self.waves + other.waves,
             local_accesses: self.local_accesses + other.local_accesses,
+            retries: self.retries + other.retries,
+            faults_dropped: self.faults_dropped + other.faults_dropped,
+            faults_duplicated: self.faults_duplicated + other.faults_duplicated,
+            faults_delayed: self.faults_delayed + other.faults_delayed,
+            dups_suppressed: self.dups_suppressed + other.dups_suppressed,
+            acks_sent: self.acks_sent + other.acks_sent,
+            crash_recoveries: self.crash_recoveries + other.crash_recoveries,
         }
+    }
+
+    /// Totals of the reliability/fault fields, for quick assertions:
+    /// `(retries, dups_suppressed, acks_sent, crash_recoveries)`.
+    pub fn reliability_summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.retries,
+            self.dups_suppressed,
+            self.acks_sent,
+            self.crash_recoveries,
+        )
     }
 }
 
@@ -68,6 +101,8 @@ mod tests {
             msgs_sent: 2,
             bytes_recv: 7,
             waves: 3,
+            retries: 4,
+            acks_sent: 2,
             ..Counters::default()
         };
         let m = a.merge(&b);
@@ -76,6 +111,7 @@ mod tests {
         assert_eq!(m.bytes_recv, 7);
         assert_eq!(m.flops, 5);
         assert_eq!(m.waves, 3);
+        assert_eq!(m.reliability_summary(), (4, 0, 2, 0));
     }
 
     #[test]
