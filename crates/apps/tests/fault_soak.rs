@@ -90,10 +90,10 @@ fn run_barnes_hut(cfg: PpmConfig) -> Run {
 /// suite as a whole must actually exercise the retry machinery.
 fn soak(name: &str, run: &dyn Fn(PpmConfig) -> Run) {
     let (clean, clean_t, clean_c) = run(base_cfg());
-    assert_eq!(
-        clean_c.reliability_summary(),
-        (0, 0, 0, 0),
-        "{name}: fault-free run must not touch the reliability layer"
+    assert!(
+        clean_c.reliability_summary().is_clean(),
+        "{name}: fault-free run must not touch the reliability layer: {:?}",
+        clean_c.reliability_summary()
     );
     let mut injected = 0;
     for seed in [5u64, 23, 71] {

@@ -13,16 +13,21 @@
 //! ```text
 //! cargo run --release -p ppm-bench --bin ablations [-- --nodes 8 --g 16]
 //! ```
+//!
+//! `--trace <path>` / `PPM_TRACE=<path>` records every ablation run as one
+//! process of a Chrome trace-event file — compare the wave counts and comm
+//! spans across configurations in Perfetto.
 
 use ppm_apps::barnes_hut::{self as bh, BhParams};
 use ppm_apps::cg::{self, CgParams};
 use ppm_apps::stencil27::Stencil27;
-use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_bench::{header, max_time, ms, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::SimTime;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace_path().map(|p| (TraceSink::new(), p));
     let nodes = args.usize("--nodes", 8) as u32;
     let g = args.usize("--g", 16);
 
@@ -36,21 +41,28 @@ fn main() {
     let mut bh_params = BhParams::new(args.usize("--n", 4096));
     bh_params.steps = 1;
 
-    let cg_time = |cfg: PpmConfig, p: CgParams| -> SimTime {
-        max_time(&ppm_core::run(cfg, move |node| cg::ppm::solve(node, &p).1))
+    let trace_ref = &trace;
+    let cg_time = move |label: &str, cfg: PpmConfig, p: CgParams| -> SimTime {
+        let body = move |node: &mut ppm_core::NodeCtx<'_>| cg::ppm::solve(node, &p).1;
+        max_time(&match trace_ref {
+            Some((sink, _)) => ppm_core::run_traced(cfg, sink, &format!("cg {label}"), body),
+            None => ppm_core::run(cfg, body),
+        })
     };
-    let bh_time = |cfg: PpmConfig, p: BhParams| -> SimTime {
-        max_time(&ppm_core::run(cfg, move |node| {
-            bh::ppm::simulate(node, &p).1
-        }))
+    let bh_time = move |label: &str, cfg: PpmConfig, p: BhParams| -> SimTime {
+        let body = move |node: &mut ppm_core::NodeCtx<'_>| bh::ppm::simulate(node, &p).1;
+        max_time(&match trace_ref {
+            Some((sink, _)) => ppm_core::run_traced(cfg, sink, &format!("bh {label}"), body),
+            None => ppm_core::run(cfg, body),
+        })
     };
 
     println!("# Runtime ablations on {nodes} nodes (4 cores each)\n");
     header(&["configuration", "CG ms", "Barnes–Hut ms"]);
 
     let base = PpmConfig::franklin(nodes);
-    let t_cg = cg_time(base, cg_params);
-    let t_bh = bh_time(base, bh_params);
+    let t_cg = cg_time("full", base, cg_params);
+    let t_bh = bh_time("full", base, bh_params);
     row(&[
         "full runtime (bundling + overlap)".into(),
         ms(t_cg),
@@ -60,15 +72,15 @@ fn main() {
     let no_bundle = base.without_bundling();
     row(&[
         "no bundling (per-element messages)".into(),
-        ms(cg_time(no_bundle, cg_params)),
-        ms(bh_time(no_bundle, bh_params)),
+        ms(cg_time("no-bundling", no_bundle, cg_params)),
+        ms(bh_time("no-bundling", no_bundle, bh_params)),
     ]);
 
     let no_overlap = base.without_overlap();
     row(&[
         "no comm/compute overlap".into(),
-        ms(cg_time(no_overlap, cg_params)),
-        ms(bh_time(no_overlap, bh_params)),
+        ms(cg_time("no-overlap", no_overlap, cg_params)),
+        ms(bh_time("no-overlap", no_overlap, bh_params)),
     ]);
 
     let hier = cg_params;
@@ -86,9 +98,12 @@ fn main() {
     fat_bh.bodies_per_vp = 4096;
     row(&[
         "coarse VPs (degree of parallelism ÷64)".into(),
-        ms(cg_time(base, fat)),
-        ms(bh_time(base, fat_bh)),
+        ms(cg_time("coarse-vps", base, fat)),
+        ms(bh_time("coarse-vps", base, fat_bh)),
     ]);
 
     println!("\n(the first row should be the fastest on every column)");
+    if let Some((sink, path)) = &trace {
+        write_trace(sink, path);
+    }
 }

@@ -13,15 +13,20 @@
 //! ```text
 //! cargo run --release -p ppm-bench --bin fig1_cg [-- --nodes 1,2,4,8 --g 16 --iters 20]
 //! ```
+//!
+//! `--trace <path>` (or `PPM_TRACE=<path>`) records every PPM run in the
+//! sweep as one process of a Chrome trace-event file (Perfetto-loadable),
+//! plus a `<path>.metrics.json` per-phase breakdown.
 
 use ppm_apps::cg::{self, CgParams};
 use ppm_apps::stencil27::Stencil27;
-use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_bench::{header, max_time, mb, ms, ratio, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::MachineConfig;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace_path().map(|p| (TraceSink::new(), p));
     let nodes = args.nodes(&[1, 2, 4, 8, 16, 32, 64]);
     let g = args.usize("--g", 20);
     let iters = args.usize("--iters", 25);
@@ -57,9 +62,16 @@ fn main() {
     ]);
     for &n in &nodes {
         let p = params;
-        let ppm_report = ppm_core::run(PpmConfig::franklin(n), move |node| {
-            cg::ppm::solve(node, &p).1
-        });
+        let ppm_report = match &trace {
+            Some((sink, _)) => {
+                ppm_core::run_traced(PpmConfig::franklin(n), sink, &format!("cg n={n}"), {
+                    move |node| cg::ppm::solve(node, &p).1
+                })
+            }
+            None => ppm_core::run(PpmConfig::franklin(n), move |node| {
+                cg::ppm::solve(node, &p).1
+            }),
+        };
         let hier_report = ppm_core::run(PpmConfig::franklin(n), move |node| {
             cg::ppm_hier::solve(node, &p).1
         });
@@ -78,12 +90,17 @@ fn main() {
             ms(tp),
             ms(th),
             ms(tm),
-            format!("{:.2}", tp.as_ns_f64() / tm.as_ns_f64()),
+            ratio(tp, tm),
             cp.msgs_sent.to_string(),
             cm.msgs_sent.to_string(),
-            format!("{:.2}", cp.bytes_sent as f64 / 1e6),
-            format!("{:.2}", cm.bytes_sent as f64 / 1e6),
+            mb(cp.bytes_sent),
+            mb(cm.bytes_sent),
         ]);
     }
-    println!("\n(simulated time; deterministic — see DESIGN.md §5 for the cost model)");
+    println!(
+        "\n(simulated time; deterministic — see DESIGN.md §5 for the cost model; MB = 1e6 bytes)"
+    );
+    if let Some((sink, path)) = &trace {
+        write_trace(sink, path);
+    }
 }

@@ -9,14 +9,18 @@
 //! ```text
 //! cargo run --release -p ppm-bench --bin fig2_matgen [-- --nodes 1,2,4 --levels 6 --n0 64]
 //! ```
+//!
+//! `--trace <path>` / `PPM_TRACE=<path>` records the PPM runs as a Chrome
+//! trace-event file plus a `<path>.metrics.json` per-phase report.
 
 use ppm_apps::matgen::{self, MatGenParams};
-use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_bench::{header, max_time, mb, ms, ratio, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::MachineConfig;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace_path().map(|p| (TraceSink::new(), p));
     let nodes = args.nodes(&[1, 2, 4, 8, 16, 32, 64]);
     let levels = args.usize("--levels", 7);
     let n0 = args.usize("--n0", 64);
@@ -35,9 +39,16 @@ fn main() {
     ]);
     for &n in &nodes {
         let p = params;
-        let ppm_report = ppm_core::run(PpmConfig::franklin(n), move |node| {
-            matgen::ppm::generate(node, &p).1
-        });
+        let ppm_report = match &trace {
+            Some((sink, _)) => {
+                ppm_core::run_traced(PpmConfig::franklin(n), sink, &format!("matgen n={n}"), {
+                    move |node| matgen::ppm::generate(node, &p).1
+                })
+            }
+            None => ppm_core::run(PpmConfig::franklin(n), move |node| {
+                matgen::ppm::generate(node, &p).1
+            }),
+        };
         let mpi_report = ppm_mps::run(MachineConfig::franklin(n), move |comm| {
             matgen::mpi::generate(comm, &p).1
         });
@@ -48,12 +59,17 @@ fn main() {
             (4 * n).to_string(),
             ms(tp),
             ms(tm),
-            format!("{:.2}", tp.as_ns_f64() / tm.as_ns_f64()),
+            ratio(tp, tm),
             cp.msgs_sent.to_string(),
             cm.msgs_sent.to_string(),
-            format!("{:.2}", cp.bytes_sent as f64 / 1e6),
-            format!("{:.2}", cm.bytes_sent as f64 / 1e6),
+            mb(cp.bytes_sent),
+            mb(cm.bytes_sent),
         ]);
     }
-    println!("\n(simulated time; deterministic — see DESIGN.md §5 for the cost model)");
+    println!(
+        "\n(simulated time; deterministic — see DESIGN.md §5 for the cost model; MB = 1e6 bytes)"
+    );
+    if let Some((sink, path)) = &trace {
+        write_trace(sink, path);
+    }
 }

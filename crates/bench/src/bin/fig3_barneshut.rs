@@ -10,14 +10,18 @@
 //! ```text
 //! cargo run --release -p ppm-bench --bin fig3_barneshut [-- --nodes 1,2,4,8 --n 4096 --steps 2]
 //! ```
+//!
+//! `--trace <path>` / `PPM_TRACE=<path>` records the PPM runs as a Chrome
+//! trace-event file plus a `<path>.metrics.json` per-phase report.
 
 use ppm_apps::barnes_hut::{self as bh, BhParams};
-use ppm_bench::{header, max_time, ms, row, Args};
+use ppm_bench::{header, max_time, mb, ms, ratio, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::MachineConfig;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace_path().map(|p| (TraceSink::new(), p));
     let nodes = args.nodes(&[1, 2, 4, 8, 16, 32, 64]);
     let n = args.usize("--n", 8192);
     let mut params = BhParams::new(n);
@@ -38,9 +42,17 @@ fn main() {
     ]);
     for &nn in &nodes {
         let p = params;
-        let ppm_report = ppm_core::run(PpmConfig::franklin(nn), move |node| {
-            bh::ppm::simulate(node, &p).1
-        });
+        let ppm_report = match &trace {
+            Some((sink, _)) => ppm_core::run_traced(
+                PpmConfig::franklin(nn),
+                sink,
+                &format!("barnes_hut n={nn}"),
+                move |node| bh::ppm::simulate(node, &p).1,
+            ),
+            None => ppm_core::run(PpmConfig::franklin(nn), move |node| {
+                bh::ppm::simulate(node, &p).1
+            }),
+        };
         let mpi_report = ppm_mps::run(MachineConfig::franklin(nn), move |comm| {
             bh::mpi::simulate(comm, &p).1
         });
@@ -51,10 +63,15 @@ fn main() {
             (4 * nn).to_string(),
             ms(tp),
             ms(tm),
-            format!("{:.2}", tp.as_ns_f64() / tm.as_ns_f64()),
-            format!("{:.2}", cp.bytes_sent as f64 / 1e6),
-            format!("{:.2}", cm.bytes_sent as f64 / 1e6),
+            ratio(tp, tm),
+            mb(cp.bytes_sent),
+            mb(cm.bytes_sent),
         ]);
     }
-    println!("\n(simulated time; deterministic — see DESIGN.md §5 for the cost model)");
+    println!(
+        "\n(simulated time; deterministic — see DESIGN.md §5 for the cost model; MB = 1e6 bytes)"
+    );
+    if let Some((sink, path)) = &trace {
+        write_trace(sink, path);
+    }
 }

@@ -8,15 +8,20 @@
 //! ```text
 //! cargo run --release -p ppm-bench --bin phase_breakdown [-- --nodes 8 --g 16]
 //! ```
+//!
+//! `--trace <path>` / `PPM_TRACE=<path>` additionally records the full
+//! per-node, per-phase trace (Chrome trace-event JSON + metrics report) —
+//! the same data as this table, but for every node and without grouping.
 
 use ppm_apps::cg::{self, CgParams};
 use ppm_apps::stencil27::Stencil27;
-use ppm_bench::{header, ms, row, Args};
+use ppm_bench::{header, mb, ms, row, write_trace, Args, TraceSink};
 use ppm_core::{PhaseKind, PhaseRecord, PpmConfig};
 use ppm_simnet::SimTime;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace_path().map(|p| (TraceSink::new(), p));
     let nodes = args.usize("--nodes", 8) as u32;
     let g = args.usize("--g", 16);
     let iters = args.usize("--iters", 20);
@@ -28,10 +33,14 @@ fn main() {
         tol: None,
     };
 
-    let report = ppm_core::run(PpmConfig::franklin(nodes), move |node| {
+    let body = move |node: &mut ppm_core::NodeCtx<'_>| {
         cg::ppm::solve(node, &params);
         node.take_phase_log()
-    });
+    };
+    let report = match &trace {
+        Some((sink, _)) => ppm_core::run_traced(PpmConfig::franklin(nodes), sink, "cg", body),
+        None => ppm_core::run(PpmConfig::franklin(nodes), body),
+    };
     let log: &Vec<PhaseRecord> = &report.results[0];
 
     println!(
@@ -65,7 +74,7 @@ fn main() {
             ms(sum(&|r| r.service)),
             ms(sum(&|r| r.comm)),
             waves.to_string(),
-            format!("{:.2}", bytes as f64 / 1e6),
+            mb(bytes),
         ]);
     };
 
@@ -82,5 +91,8 @@ fn main() {
         .iter()
         .map(|r| r.compute + r.service + r.comm)
         .fold(SimTime::ZERO, |a, b| a + b);
-    println!("\nnode-0 total across phases: {total}");
+    println!("\nnode-0 total across phases: {total} (MB = 1e6 bytes)");
+    if let Some((sink, path)) = &trace {
+        write_trace(sink, path);
+    }
 }

@@ -15,6 +15,7 @@
 //! substrate is the deterministic cluster model, see DESIGN.md), so runs
 //! are exactly reproducible.
 
+pub use ppm_simnet::TraceSink;
 use ppm_simnet::{JobReport, SimTime};
 
 /// Latest simulated completion instant across a job's endpoints, from a
@@ -77,11 +78,44 @@ impl Args {
             .map(|v| v.parse().expect("integer option"))
             .unwrap_or(default)
     }
+
+    /// Trace output path: `--trace <path>`, falling back to the
+    /// `PPM_TRACE` environment variable. `None` disables tracing.
+    pub fn trace_path(&self) -> Option<String> {
+        self.value("--trace")
+            .or_else(|| std::env::var("PPM_TRACE").ok())
+    }
 }
 
 /// Format a simulated time in milliseconds with fixed precision.
 pub fn ms(t: SimTime) -> String {
     format!("{:.3}", t.as_ms_f64())
+}
+
+/// Ratio column (`num/den`) for the figure tables. Smoke-sized problems
+/// can drive the baseline to `SimTime::ZERO`, where a bare float divide
+/// prints `NaN`/`inf`; print `n/a` instead of a non-number.
+pub fn ratio(num: SimTime, den: SimTime) -> String {
+    let r = num.as_ns_f64() / den.as_ns_f64();
+    if r.is_finite() {
+        format!("{r:.2}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// Byte column in megabytes. One convention everywhere: MB = 1e6 bytes
+/// (decimal, matching the figure labels), not 2^20.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+/// Flush a trace sink to `path` (Chrome trace-event JSON, plus the
+/// `<path>.metrics.json` per-phase report) and tell the user on stderr so
+/// the note never lands inside the stdout markdown tables.
+pub fn write_trace(sink: &TraceSink, path: &str) {
+    sink.write_files(path).expect("writing trace files");
+    eprintln!("trace written to {path} (+ {path}.metrics.json)");
 }
 
 /// Print a markdown table row.
@@ -128,5 +162,20 @@ mod tests {
     #[test]
     fn ms_formatting() {
         assert_eq!(ms(SimTime::from_us(1500)), "1.500");
+    }
+
+    #[test]
+    fn ratio_prints_na_on_zero_denominator() {
+        // Regression: smoke-sized baselines round to zero simulated time;
+        // the old inline divide printed "NaN" / "inf" in the tables.
+        assert_eq!(ratio(SimTime::from_us(3), SimTime::ZERO), "n/a");
+        assert_eq!(ratio(SimTime::ZERO, SimTime::ZERO), "n/a");
+        assert_eq!(ratio(SimTime::from_us(3), SimTime::from_us(2)), "1.50");
+    }
+
+    #[test]
+    fn mb_is_decimal_megabytes() {
+        assert_eq!(mb(2_500_000), "2.50");
+        assert_eq!(mb(0), "0.00");
     }
 }

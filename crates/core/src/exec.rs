@@ -21,12 +21,59 @@ use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
 
-use ppm_simnet::{Message, SimTime};
+use ppm_simnet::{ArgValue, Message, SimTime};
 
 use crate::msgs::{self, ReqBundle, RespBundle, WriteBundleMsg};
 use crate::nodectx::NodeCtx;
 use crate::state::{DoMode, PhaseKind, Traffic};
 use crate::vp::{Vp, VpIdent};
+
+/// Per-phase counter-delta argument names, aligned with
+/// [`ppm_simnet::Counters::named_fields`] (the `debug_assert` in
+/// [`emit_phase_summary`] keeps the two in lockstep).
+const DELTA_ARG_NAMES: [&str; 19] = [
+    "d_msgs_sent",
+    "d_bytes_sent",
+    "d_msgs_recv",
+    "d_bytes_recv",
+    "d_flops",
+    "d_mem_ops",
+    "d_barriers",
+    "d_remote_gets",
+    "d_remote_puts",
+    "d_bundles_sent",
+    "d_waves",
+    "d_local_accesses",
+    "d_retries",
+    "d_faults_dropped",
+    "d_faults_duplicated",
+    "d_faults_delayed",
+    "d_dups_suppressed",
+    "d_acks_sent",
+    "d_crash_recoveries",
+];
+
+/// Record a phase-summary span `[start, now]` carrying the phase's time
+/// breakdown plus the per-phase delta of every counter, and advance the
+/// delta baseline. Only called while tracing is enabled.
+fn emit_phase_summary(
+    nc: &mut NodeCtx<'_>,
+    name: &'static str,
+    start: SimTime,
+    idx: u64,
+    mut args: Vec<(&'static str, ArgValue)>,
+) {
+    let merged = nc.ep_counters();
+    let delta = merged.delta(&nc.inner.borrow().ctr_base);
+    args.insert(0, ("phase", ArgValue::U64(idx)));
+    for (dn, (n, v)) in DELTA_ARG_NAMES.iter().zip(delta.named_fields()) {
+        debug_assert_eq!(&dn[2..], n, "DELTA_ARG_NAMES out of sync with Counters");
+        args.push((dn, ArgValue::U64(v)));
+    }
+    let end = nc.ep.clock.now();
+    nc.ep.tracer.span(name, "phase", start, end, args);
+    nc.inner.borrow_mut().ctr_base = merged;
+}
 
 type VpTask = Pin<Box<dyn Future<Output = ()>>>;
 /// Write parcels grouped per array: `(source node, payload)` pairs.
@@ -65,6 +112,12 @@ where
         inner.total_vps_global = total;
         inner.live_vps = k;
         inner.do_mode = mode;
+    }
+    if nc.ep.tracer.enabled() {
+        // Per-phase counter deltas start from here, excluding the
+        // construct's collective prologue.
+        let merged = nc.ep_counters();
+        nc.inner.borrow_mut().ctr_base = merged;
     }
 
     // Crash recovery line: direct mutation between `ppm_do`s
@@ -200,6 +253,8 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
 
     // Per destination: the slot groups each request ticket fans out to.
     let mut pending: std::collections::HashMap<usize, Vec<Vec<u64>>> = Default::default();
+    let (mut wv_dests, mut wv_entries, mut wv_bytes_out, mut wv_bytes_in) =
+        (0u64, 0u64, 0u64, 0u64);
     for (dest, uniq) in per_dest {
         debug_assert_ne!(dest, me);
         let mut entries = Vec::with_capacity(uniq.len());
@@ -213,6 +268,9 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
             tickets.push(slots);
         }
         let bytes = cfg.bundle_header_bytes + entries.len() * cfg.req_entry_bytes;
+        wv_dests += 1;
+        wv_entries += entries.len() as u64;
+        wv_bytes_out += bytes as u64;
         {
             let mut inner = nc.inner.borrow_mut();
             inner.traffic.req_bundles_out += 1;
@@ -241,6 +299,7 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
         let msg = nc.pump_recv(|m| msgs::untag(m.tag).0 == msgs::K_READ_RESP);
         let src = msg.src;
         let bytes = msg.bytes as u64;
+        wv_bytes_in += bytes;
         let resp: RespBundle = msg.take();
         let mut tickets = pending
             .remove(&src)
@@ -269,12 +328,34 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
     let mut inner = nc.inner.borrow_mut();
     inner.traffic.waves += 1;
     inner.counters.waves += 1;
+    let wave_idx = inner.traffic.waves - 1;
+    drop(inner);
+
+    if nc.ep.tracer.enabled() {
+        // Simulated time is charged at phase end, so every wave of a phase
+        // stamps at the phase's start instant (see DESIGN.md §11); one
+        // bundle went to each destination — the paper's bundling invariant.
+        nc.ep.tracer.instant(
+            "wave",
+            "comm",
+            nc.ep.clock.now(),
+            vec![
+                ("wave", ArgValue::U64(wave_idx)),
+                ("dests", ArgValue::U64(wv_dests)),
+                ("bundles", ArgValue::U64(wv_dests)),
+                ("entries", ArgValue::U64(wv_entries)),
+                ("bytes_out", ArgValue::U64(wv_bytes_out)),
+                ("resp_bytes_in", ArgValue::U64(wv_bytes_in)),
+            ],
+        );
+    }
 }
 
 /// End a node phase: publish node-shared writes, charge the cores' max
 /// compute plus the node barrier, release the VPs.
 fn node_phase_end(nc: &mut NodeCtx<'_>) {
     let cfg = nc.config();
+    let t0 = nc.ep.clock.now();
     let compute = {
         let mut inner = nc.inner.borrow_mut();
         if let Some(c) = inner.checker.as_mut() {
@@ -316,6 +397,25 @@ fn node_phase_end(nc: &mut NodeCtx<'_>) {
     };
     nc.ep.clock.advance_compute(compute);
     nc.ep.clock.advance_comm(cfg.node_barrier);
+
+    if nc.ep.tracer.enabled() {
+        let idx = nc.inner.borrow().phase.node_seq - 1;
+        let t1 = t0 + compute;
+        nc.ep.tracer.span("compute", "phase", t0, t1, vec![]);
+        nc.ep
+            .tracer
+            .span("barrier", "phase", t1, nc.ep.clock.now(), vec![]);
+        emit_phase_summary(
+            nc,
+            "node_phase",
+            t0,
+            idx,
+            vec![
+                ("compute_ps", ArgValue::U64(compute.as_ps())),
+                ("barrier_ps", ArgValue::U64(cfg.node_barrier.as_ps())),
+            ],
+        );
+    }
 }
 
 /// End a global phase: ship write bundles, collect everyone's, apply
@@ -326,6 +426,7 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     let nodes = nc.num_nodes();
     let cfg = nc.config();
     let phase = nc.inner.borrow().phase.global_seq;
+    let t0 = nc.ep.clock.now();
 
     // Seeded crash: the node "fails" here — after the phase body, before
     // the exchange — and recovers from its super-step snapshot before
@@ -465,22 +566,65 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     }
 
     // 5. Charge the phase's modeled time.
-    charge_phase_time(nc);
+    let charge = charge_phase_time(nc);
 
     // 6. Clock-synchronizing dissemination barrier, then release the VPs.
+    let barrier_start = nc.ep.clock.now();
     clock_barrier(nc, phase);
 
-    let mut inner = nc.inner.borrow_mut();
-    inner.phase.open = None;
-    inner.phase.entered = 0;
-    inner.phase.arrived = 0;
-    inner.phase.epoch += 1;
-    inner.counters.barriers += 1;
+    {
+        let mut inner = nc.inner.borrow_mut();
+        inner.phase.open = None;
+        inner.phase.entered = 0;
+        inner.phase.arrived = 0;
+        inner.phase.epoch += 1;
+        inner.counters.barriers += 1;
+    }
+
+    if nc.ep.tracer.enabled() {
+        let barrier_end = nc.ep.clock.now();
+        nc.ep
+            .tracer
+            .span("barrier", "phase", barrier_start, barrier_end, vec![]);
+        let t = charge.traffic;
+        emit_phase_summary(
+            nc,
+            "global_phase",
+            t0,
+            phase,
+            vec![
+                ("compute_ps", ArgValue::U64(charge.compute.as_ps())),
+                ("service_ps", ArgValue::U64(charge.service.as_ps())),
+                ("comm_ps", ArgValue::U64(charge.comm.as_ps())),
+                (
+                    "barrier_ps",
+                    ArgValue::U64((barrier_end - barrier_start).as_ps()),
+                ),
+                ("waves", ArgValue::U64(t.waves)),
+                ("bytes_out", ArgValue::U64(charge.bytes_out)),
+                ("bytes_in", ArgValue::U64(charge.bytes_in)),
+                ("req_bundles_out", ArgValue::U64(t.req_bundles_out)),
+                ("write_bundles_out", ArgValue::U64(t.write_bundles_out)),
+                ("rel_delay_ps", ArgValue::U64(t.rel_delay.as_ps())),
+            ],
+        );
+    }
+}
+
+/// The modeled time charged for one global phase, plus the traffic totals
+/// it was computed from (kept for the tracer's phase summary).
+struct PhaseCharge {
+    compute: SimTime,
+    service: SimTime,
+    comm: SimTime,
+    bytes_out: u64,
+    bytes_in: u64,
+    traffic: Traffic,
 }
 
 /// Turn the phase's traffic totals and compute accumulators into simulated
 /// time on this node's clock.
-fn charge_phase_time(nc: &mut NodeCtx<'_>) {
+fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
     let cfg = nc.config();
     let net = cfg.machine.net;
     let (compute, service, t) = {
@@ -533,6 +677,7 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
     let latency = net.latency.scale(2 * t.waves);
 
     let busy = compute + service;
+    let busy_start = nc.ep.clock.now();
     nc.ep.clock.advance_compute(busy);
     let comm = if cfg.overlap {
         // Gap time hides under computation (§3.3 overlap); overheads and
@@ -560,6 +705,40 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) {
             bytes_out,
             bytes_in,
         });
+
+    if nc.ep.tracer.enabled() {
+        let busy_end = busy_start + busy;
+        nc.ep.tracer.span(
+            "compute",
+            "phase",
+            busy_start,
+            busy_end,
+            vec![
+                ("compute_ps", ArgValue::U64(compute.as_ps())),
+                ("service_ps", ArgValue::U64(service.as_ps())),
+            ],
+        );
+        nc.ep.tracer.span(
+            "comm",
+            "phase",
+            busy_end,
+            busy_end + comm,
+            vec![
+                ("waves", ArgValue::U64(t.waves)),
+                ("bytes_out", ArgValue::U64(bytes_out)),
+                ("bytes_in", ArgValue::U64(bytes_in)),
+            ],
+        );
+    }
+
+    PhaseCharge {
+        compute,
+        service,
+        comm,
+        bytes_out,
+        bytes_in,
+        traffic: t,
+    }
 }
 
 /// Dissemination barrier among nodes that also propagates the maximum
@@ -607,6 +786,7 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64) {
 /// [`CrashFault`]: ppm_simnet::CrashFault
 fn recover_from_crash(nc: &mut NodeCtx<'_>, phase: u64) {
     let cfg = nc.config();
+    let t0 = nc.ep.clock.now();
     let (redo, bytes) = {
         let mut inner = nc.inner.borrow_mut();
         let snaps = inner
@@ -640,6 +820,20 @@ fn recover_from_crash(nc: &mut NodeCtx<'_>, phase: u64) {
         .clock
         .advance_compute(cfg.machine.core.mem_ops(bytes / 8));
     nc.ep.clock.advance_compute(redo);
+
+    if nc.ep.tracer.enabled() {
+        nc.ep.tracer.span(
+            "crash_recovery",
+            "reliability",
+            t0,
+            nc.ep.clock.now(),
+            vec![
+                ("phase", ArgValue::U64(phase)),
+                ("restored_bytes", ArgValue::U64(bytes)),
+                ("redo_ps", ArgValue::U64(redo.as_ps())),
+            ],
+        );
+    }
 }
 
 /// Fold the Inner counters accumulated during `ppm_do` into the endpoint's.

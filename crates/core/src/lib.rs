@@ -112,6 +112,7 @@ pub use state::{PhaseKind, PhaseRecord};
 pub use vp::{GetFut, GetManyFut, Phase, Vp};
 
 use ppm_simnet::JobReport;
+pub use ppm_simnet::{TraceEvent, TraceSink, Tracer};
 
 /// Run an SPMD PPM job: one node runtime per cluster node.
 ///
@@ -123,7 +124,31 @@ where
     R: Send,
     F: for<'c> Fn(&mut NodeCtx<'c>) -> R + Send + Sync,
 {
-    ppm_simnet::run(cfg.nodes(), cfg.machine, move |ep| {
+    run_inner(cfg, None, f)
+}
+
+/// [`run`] with per-phase tracing: the job is registered on `sink` as one
+/// trace process named `label`, and every node records phase spans, wave
+/// events, barrier spans, reliability events, and per-phase counter deltas
+/// to its own track (see `ppm_simnet::trace` and DESIGN.md §11).
+///
+/// Tracing charges no simulated time and touches no counters: results,
+/// makespan, and `Counters` are bit-identical to the same job under
+/// [`run`] (asserted by tests).
+pub fn run_traced<R, F>(cfg: PpmConfig, sink: &TraceSink, label: &str, f: F) -> JobReport<R>
+where
+    R: Send,
+    F: for<'c> Fn(&mut NodeCtx<'c>) -> R + Send + Sync,
+{
+    run_inner(cfg, Some((sink, label)), f)
+}
+
+fn run_inner<R, F>(cfg: PpmConfig, trace: Option<(&TraceSink, &str)>, f: F) -> JobReport<R>
+where
+    R: Send,
+    F: for<'c> Fn(&mut NodeCtx<'c>) -> R + Send + Sync,
+{
+    ppm_simnet::run_traced(cfg.nodes(), cfg.machine, trace, move |ep| {
         let mut node = NodeCtx::new(ep, cfg);
         f(&mut node)
     })

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::rc::Rc;
 
-use ppm_simnet::{EndpointCtx, Message, RelMeta, SimTime};
+use ppm_simnet::{ArgValue, EndpointCtx, Message, RelMeta, SimTime};
 
 use crate::config::PpmConfig;
 use crate::dist::{Dist, Layout};
@@ -255,6 +255,20 @@ impl<'a> NodeCtx<'a> {
                 inner.traffic.rel_delay += out.total_delay();
             }
             drop(inner);
+            if out.meta.lost_attempts > 0 {
+                // A lost attempt is observed (and re-sent) by the sender;
+                // record it on the sender's track.
+                self.ep.tracer.instant(
+                    "retransmit",
+                    "reliability",
+                    self.ep.clock.now(),
+                    vec![
+                        ("dst", ArgValue::U64(msg.dst as u64)),
+                        ("attempts", ArgValue::U64(out.meta.lost_attempts as u64)),
+                        ("backoff_ps", ArgValue::U64(out.backoff.as_ps())),
+                    ],
+                );
+            }
             msg = msg.with_rel(out.meta);
         }
         if let Err(m) = self.ep.net.try_send(msg) {
@@ -278,9 +292,21 @@ impl<'a> NodeCtx<'a> {
         let inner = &self.inner;
         let stash = &self.stash;
         let rel = self.rel.as_deref();
-        self.ep
-            .net
-            .recv_with_diag(|| protocol_dump(node, inner, stash, rel))
+        let tracer = &self.ep.tracer;
+        let now = self.ep.clock.now();
+        self.ep.net.recv_with_diag(|| {
+            let dump = protocol_dump(node, inner, stash, rel);
+            // Publish the dump to the trace stream before the watchdog
+            // panic unwinds this endpoint: the shared sink outlives the
+            // thread, so a wedged run still leaves a readable trace.
+            tracer.instant(
+                "recv_stall",
+                "runtime",
+                now,
+                vec![("dump", ArgValue::Str(dump.clone()))],
+            );
+            dump
+        })
     }
 
     /// Reliability bookkeeping for a received envelope: duplicate
@@ -291,6 +317,17 @@ impl<'a> NodeCtx<'a> {
             return;
         };
         let out = rel.on_recv(src, meta);
+        if out.dups_suppressed > 0 {
+            self.ep.tracer.instant(
+                "dup_suppressed",
+                "reliability",
+                self.ep.clock.now(),
+                vec![
+                    ("src", ArgValue::U64(src as u64)),
+                    ("count", ArgValue::U64(out.dups_suppressed as u64)),
+                ],
+            );
+        }
         let mut inner = self.inner.borrow_mut();
         inner.counters.dups_suppressed += u64::from(out.dups_suppressed);
         let Some(upto) = out.ack_due else {

@@ -91,6 +91,27 @@ pub(crate) struct RecvOutcome {
     pub ack_due: Option<u64>,
 }
 
+/// Total capped-exponential retransmission backoff for `lost_attempts`
+/// consecutive losses: the i-th retransmission fires
+/// `min(rto · 2^(i-1), rto_max)` after the previous attempt, all in
+/// simulated time.
+///
+/// Saturating arithmetic throughout: the doubling step would overflow
+/// `u64` picoseconds within 64 attempts when `rto_max` leaves it
+/// effectively uncapped, and the accumulated sum can overflow for large
+/// attempt counts regardless — either way the schedule must clamp, not
+/// wrap (release) or panic (debug).
+pub(crate) fn backoff_schedule(lost_attempts: u32, rto: SimTime, rto_max: SimTime) -> SimTime {
+    let mut backoff = SimTime::ZERO;
+    let mut step = if rto < rto_max { rto } else { rto_max };
+    for _ in 0..lost_attempts {
+        backoff = backoff.saturating_add(step);
+        let doubled = step.saturating_add(step);
+        step = if doubled < rto_max { doubled } else { rto_max };
+    }
+    backoff
+}
+
 /// Per-node reliability state machine. Present on a [`crate::NodeCtx`]
 /// only when reliability is enabled ([`PpmConfig::reliability_enabled`]);
 /// with it absent the send/receive fast paths are untouched.
@@ -137,20 +158,7 @@ impl Reliability {
         let seq = link.next_seq;
         link.next_seq += 1;
 
-        // Capped exponential backoff, all in simulated time: the i-th
-        // retransmission fires min(rto·2^(i-1), rto_max) after the
-        // previous attempt.
-        let mut backoff = SimTime::ZERO;
-        let mut step = self.rto;
-        for _ in 0..ev.lost_attempts {
-            backoff += step;
-            let doubled = step + step;
-            step = if doubled < self.rto_max {
-                doubled
-            } else {
-                self.rto_max
-            };
-        }
+        let backoff = backoff_schedule(ev.lost_attempts, self.rto, self.rto_max);
 
         SendOutcome {
             meta: RelMeta {
@@ -297,6 +305,40 @@ mod tests {
         // 10 + 15 + 15 + 15 + 15 + 15 — every step after the first capped.
         assert_eq!(out2.backoff, SimTime::from_us(10 + 5 * 15));
         assert_eq!(out2.total_delay(), out2.backoff + out2.wire_delay);
+    }
+
+    #[test]
+    fn backoff_saturates_at_large_attempt_counts() {
+        // Regression: with rto_max effectively uncapped, the pre-fix
+        // doubling step (`step + step`) overflowed u64 picoseconds within
+        // 64 attempts — a debug panic / release wraparound to a tiny
+        // backoff. The schedule must clamp instead.
+        let rto = SimTime::from_us(25);
+        let uncapped = SimTime::from_ps(u64::MAX);
+        for attempts in [64u32, 65, 100, 200] {
+            let b = backoff_schedule(attempts, rto, uncapped);
+            // Reference schedule computed in u128 and clamped to u64.
+            let mut expect: u128 = 0;
+            let mut step: u128 = rto.as_ps() as u128;
+            for _ in 0..attempts {
+                expect += step.min(u64::MAX as u128);
+                step = (step * 2).min(u64::MAX as u128);
+            }
+            let expect = expect.min(u64::MAX as u128) as u64;
+            assert_eq!(b.as_ps(), expect, "attempts = {attempts}");
+        }
+        // Monotone in the attempt count, even at saturation.
+        let a = backoff_schedule(500, rto, uncapped);
+        let b = backoff_schedule(501, rto, uncapped);
+        assert!(b >= a);
+        assert_eq!(b.as_ps(), u64::MAX, "fully saturated");
+    }
+
+    #[test]
+    fn backoff_first_step_respects_the_cap() {
+        // An rto above rto_max must clamp from the very first retry.
+        let b = backoff_schedule(1, SimTime::from_us(300), SimTime::from_us(200));
+        assert_eq!(b, SimTime::from_us(200));
     }
 
     #[test]

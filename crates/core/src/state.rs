@@ -673,6 +673,10 @@ pub(crate) struct Inner {
     /// Last super-step snapshot (crash recovery; `None` unless a crash
     /// fault is configured).
     pub snapshots: Option<Snapshots>,
+    /// Merged-counter snapshot at the last phase boundary, used by the
+    /// tracer to attach per-phase [`Counters`] deltas to phase events.
+    /// Only maintained while tracing is enabled.
+    pub ctr_base: Counters,
 }
 
 impl Inner {
@@ -698,6 +702,7 @@ impl Inner {
             checker: cfg.checker.then(Checker::default),
             violations: Vec::new(),
             snapshots: None,
+            ctr_base: Counters::default(),
         }
     }
 

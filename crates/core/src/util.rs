@@ -7,9 +7,28 @@
 //! utilities used by the applications, most importantly a distributed
 //! sample sort.
 
+use crate::dist::Layout;
 use crate::elem::Elem;
 use crate::nodectx::NodeCtx;
 use crate::shared::GlobalShared;
+
+/// Guard for the combine-order contract of [`reduce_global`] and
+/// [`scan_global`]: both document ascending-global-index application of
+/// `op`, which the node-local storage order delivers only under a block
+/// distribution. A cyclic partition stores global indices
+/// `node, node + p, node + 2p, …` contiguously, so folding local runs and
+/// combining across nodes would silently apply `op` in a scrambled order —
+/// wrong for any non-commutative `op`. Reject loudly instead.
+fn require_block_layout<T: Elem>(node: &NodeCtx<'_>, g: &GlobalShared<T>, what: &str) {
+    let dist = node.dist_of(g);
+    assert!(
+        matches!(dist.layout, Layout::Block),
+        "{what} requires a block-distributed array: the documented \
+         ascending-global-index combine order cannot be recovered from a \
+         cyclic layout's local storage (allocate with Layout::Block, or \
+         gather and fold explicitly for cyclic data)"
+    );
+}
 
 /// Sort a block-distributed global `u64` array in place (ascending), using
 /// a node-level sample sort: sample local partitions, agree on splitters,
@@ -103,11 +122,16 @@ where
 /// Reduce a global array to a single value with `op` (applied in ascending
 /// index order per node, then across nodes in node order — deterministic).
 /// Collective; every node receives the result.
+///
+/// Requires a block distribution (panics otherwise): only block layout
+/// makes local storage order equal ascending global-index order, which the
+/// combine-order guarantee above depends on for non-commutative `op`.
 pub fn reduce_global<T, F>(node: &mut NodeCtx<'_>, g: &GlobalShared<T>, identity: T, op: F) -> T
 where
     T: Elem,
     F: Fn(T, T) -> T,
 {
+    require_block_layout(node, g, "reduce_global");
     let local = node.with_local(g, |s| s.iter().fold(identity, |a, &b| op(a, b)));
     node.charge_mem_ops(node.with_local(g, |s| s.len()) as u64);
     node.allreduce_nodes(local, op)
@@ -122,6 +146,11 @@ where
     T: Elem,
     F: Fn(T, T) -> T + Copy,
 {
+    // Block-distributed only (panics otherwise): the local-scan + carry
+    // scheme below is only a prefix combine in ascending global-index
+    // order when each node's storage is one contiguous global block.
+    require_block_layout(node, g, "scan_global");
+
     // 1. Local inclusive scan.
     let total = node.with_local_mut(g, |s| {
         let mut acc: Option<T> = None;
@@ -290,6 +319,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Non-commutative associative op for order tests: elements are affine
+    /// maps `x → αx + β` over wrapping `u32`, packed as `(α << 32) | β`.
+    /// `combine(f, g)` is "apply f, then g" — function composition, which
+    /// is associative but (for α ≠ 1) not commutative, so any deviation
+    /// from ascending-global-index order changes the result.
+    fn affine(alpha: u32, beta: u32) -> u64 {
+        ((alpha as u64) << 32) | beta as u64
+    }
+
+    fn affine_combine(f: u64, g: u64) -> u64 {
+        let (fa, fb) = ((f >> 32) as u32, f as u32);
+        let (ga, gb) = ((g >> 32) as u32, g as u32);
+        affine(ga.wrapping_mul(fa), ga.wrapping_mul(fb).wrapping_add(gb))
+    }
+
+    const AFFINE_ID: u64 = 1 << 32;
+
+    fn affine_elem(i: usize) -> u64 {
+        affine(2 * i as u32 + 3, i as u32)
+    }
+
+    #[test]
+    fn reduce_global_applies_non_commutative_op_in_index_order() {
+        for nodes in [1u32, 2, 3, 5] {
+            for n in [0usize, 1, 13, 64] {
+                let report = run(
+                    PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)),
+                    move |node| {
+                        let g = node.alloc_global::<u64>(n);
+                        let r = node.local_range(&g);
+                        node.with_local_mut(&g, |s| {
+                            for (off, v) in s.iter_mut().enumerate() {
+                                *v = affine_elem(r.start + off);
+                            }
+                        });
+                        reduce_global(node, &g, AFFINE_ID, affine_combine)
+                    },
+                );
+                let expect = (0..n).map(affine_elem).fold(AFFINE_ID, affine_combine);
+                for got in report.results {
+                    assert_eq!(got, expect, "nodes={nodes} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_global_applies_non_commutative_op_in_index_order() {
+        for nodes in [1u32, 2, 3, 7] {
+            for n in [0usize, 1, 9, 50] {
+                let report = run(
+                    PpmConfig::new(ppm_simnet::MachineConfig::new(nodes, 1)),
+                    move |node| {
+                        let g = node.alloc_global::<u64>(n);
+                        let r = node.local_range(&g);
+                        node.with_local_mut(&g, |s| {
+                            for (off, v) in s.iter_mut().enumerate() {
+                                *v = affine_elem(r.start + off);
+                            }
+                        });
+                        scan_global(node, &g, affine_combine);
+                        node.gather_global(&g)
+                    },
+                );
+                let mut expect = Vec::with_capacity(n);
+                let mut acc = AFFINE_ID;
+                for i in 0..n {
+                    acc = affine_combine(acc, affine_elem(i));
+                    expect.push(acc);
+                }
+                for got in report.results {
+                    assert_eq!(got, expect, "nodes={nodes} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block-distributed")]
+    fn reduce_global_rejects_cyclic_layout() {
+        // Regression: a cyclic layout used to fold local storage order —
+        // global indices `node, node+p, …` — silently producing an
+        // order-dependent result for non-commutative ops.
+        run(
+            PpmConfig::new(ppm_simnet::MachineConfig::new(2, 1)),
+            move |node| {
+                let g = node.alloc_global_with::<u64>(8, crate::dist::Layout::Cyclic);
+                reduce_global(node, &g, AFFINE_ID, affine_combine)
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block-distributed")]
+    fn scan_global_rejects_cyclic_layout() {
+        run(
+            PpmConfig::new(ppm_simnet::MachineConfig::new(2, 1)),
+            move |node| {
+                let g = node.alloc_global_with::<u64>(8, crate::dist::Layout::Cyclic);
+                scan_global(node, &g, affine_combine);
+            },
+        );
     }
 
     #[test]

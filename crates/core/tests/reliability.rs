@@ -67,14 +67,11 @@ fn check_results(results: &[Vec<u64>]) {
 fn fault_free_fast_path_has_no_reliability_traffic() {
     let (results, _, _, totals) = ring_shift(base_cfg());
     check_results(&results);
-    assert_eq!(
-        totals.reliability_summary(),
-        (0, 0, 0, 0),
-        "reliability counters must be zero when the layer is off"
+    assert!(
+        totals.reliability_summary().is_clean(),
+        "reliability counters must be zero when the layer is off: {:?}",
+        totals.reliability_summary()
     );
-    assert_eq!(totals.faults_dropped, 0);
-    assert_eq!(totals.faults_duplicated, 0);
-    assert_eq!(totals.faults_delayed, 0);
 }
 
 #[test]

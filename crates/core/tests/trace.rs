@@ -1,0 +1,211 @@
+//! Integration tests for the per-phase tracing layer: the trace must be a
+//! faithful, deterministic record of the §5 binary-search example — one
+//! request bundle per (destination, wave), per-phase counter deltas that
+//! reconcile with the phase traffic — and tracing must never perturb the
+//! simulation (bit-identical results, makespan, and counters).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use ppm_core::{run, run_traced, NodeCtx, PpmConfig, TraceSink};
+use ppm_simnet::{validate_json, EventKind, MachineConfig, TraceEvent};
+
+const N: usize = 64;
+const K: usize = 16;
+
+/// The paper's §5 binary search (see `ppm_core` crate docs): one VP per
+/// element of `B`, each running a loop of dependent remote reads against
+/// the phase-start snapshot of the sorted global array `A`.
+fn binary_search(node: &mut NodeCtx<'_>) -> Vec<u64> {
+    let a = node.alloc_global::<f64>(N);
+    let b = node.alloc_node::<f64>(K);
+    let rank_in_a = node.alloc_node::<u64>(K);
+    let lo = node.local_range(&a).start;
+    node.with_local_mut(&a, |s| {
+        for (off, v) in s.iter_mut().enumerate() {
+            *v = (lo + off) as f64 * 2.0;
+        }
+    });
+    node.with_node_mut(&b, |s| {
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as f64 * 7.3;
+        }
+    });
+    node.ppm_do(K, move |vp| async move {
+        let me = vp.node_rank();
+        vp.global_phase(|ph| async move {
+            let key = ph.get_node(&b, me);
+            let (mut left, mut right) = (0usize, N);
+            while left < right {
+                let mid = (left + right) / 2;
+                if ph.get(&a, mid).await < key {
+                    left = mid + 1;
+                } else {
+                    right = mid;
+                }
+            }
+            ph.put_node(&rank_in_a, me, right as u64);
+        })
+        .await;
+    });
+    node.with_node(&rank_in_a, |s| s.to_vec())
+}
+
+fn cfg() -> PpmConfig {
+    PpmConfig::franklin(2)
+}
+
+#[test]
+fn tracing_does_not_perturb_results_makespan_or_counters() {
+    let plain = run(cfg(), binary_search);
+    let sink = TraceSink::new();
+    let traced = run_traced(cfg(), &sink, "bsearch", binary_search);
+
+    assert!(!sink.is_empty(), "traced run recorded no events");
+    assert_eq!(traced.results, plain.results, "tracing changed results");
+    assert_eq!(
+        traced.makespan(),
+        plain.makespan(),
+        "tracing changed the simulated makespan"
+    );
+    assert_eq!(
+        traced.counters, plain.counters,
+        "tracing changed per-node counters"
+    );
+    assert_eq!(traced.total_counters(), plain.total_counters());
+}
+
+#[test]
+fn trace_is_deterministic_across_runs() {
+    let record = || {
+        let sink = TraceSink::new();
+        run_traced(cfg(), &sink, "bsearch", binary_search);
+        sink.chrome_trace_json()
+    };
+    assert_eq!(record(), record(), "same job must give the same trace");
+}
+
+/// Walk one node's events in emission order, checking each communication
+/// wave against the phase summary that closes it. Returns the number of
+/// phase summaries seen.
+fn check_node_track(events: &[&TraceEvent]) -> usize {
+    let mut wave_bundles = 0u64;
+    let mut phases = 0usize;
+    let mut next_phase = 0u64;
+    for ev in events {
+        match ev.name {
+            "wave" => {
+                let dests = ev.arg_u64("dests").expect("wave dests");
+                let bundles = ev.arg_u64("bundles").expect("wave bundles");
+                assert_eq!(
+                    bundles, dests,
+                    "§3.3 bundling: exactly one request bundle per \
+                     (destination, wave)"
+                );
+                wave_bundles += bundles;
+            }
+            "global_phase" => {
+                assert!(matches!(ev.kind, EventKind::Span { .. }));
+                assert_eq!(ev.arg_u64("phase"), Some(next_phase));
+                next_phase += 1;
+                phases += 1;
+                let req = ev.arg_u64("req_bundles_out").expect("req_bundles_out");
+                let wr = ev.arg_u64("write_bundles_out").expect("write_bundles_out");
+                let d_bundles = ev.arg_u64("d_bundles_sent").expect("d_bundles_sent");
+                assert_eq!(
+                    req, wave_bundles,
+                    "phase request bundles must equal the sum of its wave \
+                     events' bundle counts"
+                );
+                assert_eq!(
+                    d_bundles,
+                    req + wr,
+                    "per-phase bundles_sent delta must reconcile with the \
+                     phase traffic"
+                );
+                wave_bundles = 0;
+            }
+            _ => {}
+        }
+    }
+    phases
+}
+
+#[test]
+fn binary_search_trace_has_per_node_tracks_waves_and_counter_deltas() {
+    let sink = TraceSink::new();
+    run_traced(cfg(), &sink, "bsearch", binary_search);
+    let events = sink.events();
+
+    for tid in [0u32, 1] {
+        let track: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.pid == 0 && e.tid == tid)
+            .collect();
+        assert!(!track.is_empty(), "node {tid} recorded nothing");
+        let phases = check_node_track(&track);
+        assert_eq!(phases, 1, "node {tid}: the example runs one global phase");
+        assert!(
+            track.iter().any(|e| e.name == "wave"),
+            "node {tid}: dependent gets must produce communication waves"
+        );
+        // The searched element count shrinks by half per wave: the dependent
+        // gets need ~log2(N) waves, not one per get.
+        let waves = track.iter().filter(|e| e.name == "wave").count();
+        assert!(
+            waves <= N.ilog2() as usize + 2,
+            "node {tid}: {waves} waves for a log2({N}) search"
+        );
+    }
+
+    // Exactly one traced job, with a track per node.
+    assert_eq!(sink.jobs(), vec![("bsearch".to_string(), 2)]);
+    assert!(events.iter().all(|e| e.pid == 0 && e.tid < 2));
+}
+
+#[test]
+fn chrome_and_metrics_exports_are_valid_json() {
+    let sink = TraceSink::new();
+    run_traced(cfg(), &sink, "bsearch", binary_search);
+
+    let chrome = sink.chrome_trace_json();
+    validate_json(&chrome).expect("chrome trace JSON is well-formed");
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("node 0") && chrome.contains("node 1"));
+    assert!(chrome.contains("bsearch"), "process is named after the job");
+
+    let metrics = sink.metrics_json();
+    validate_json(&metrics).expect("metrics JSON is well-formed");
+    assert!(metrics.contains("\"kind\":\"global\""));
+    assert!(metrics.contains("\"makespan_ps\""));
+}
+
+#[test]
+fn watchdog_stall_dump_is_recorded_in_the_trace() {
+    // Node 1 skips the collective, so node 0 blocks in a receive that can
+    // never complete. The watchdog panic must still leave a `recv_stall`
+    // event carrying the protocol-state dump on the shared sink.
+    let machine = MachineConfig::new(2, 1).with_recv_stall(Duration::from_millis(200));
+    let cfg = PpmConfig::new(machine).with_reliability(true);
+    let sink = TraceSink::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_traced(cfg, &sink, "stall", |node| {
+            if node.node_id() == 0 {
+                node.allreduce_nodes(1u64, |a, b| a + b);
+            }
+        });
+    }));
+    assert!(outcome.is_err(), "the stalled run must panic");
+
+    let events = sink.events();
+    let stall = events
+        .iter()
+        .find(|e| e.name == "recv_stall")
+        .expect("watchdog must record a recv_stall event before panicking");
+    assert_eq!(stall.tid, 0, "node 0 is the one that stalled");
+    let dump = stall.arg_str("dump").expect("recv_stall carries the dump");
+    assert!(
+        dump.contains("protocol state"),
+        "dump should be the protocol-state report, got: {dump}"
+    );
+}

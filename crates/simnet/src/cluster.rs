@@ -12,6 +12,7 @@ use crate::config::MachineConfig;
 use crate::router::{make_router_with_stall, Endpoint};
 use crate::stats::Counters;
 use crate::time::SimTime;
+use crate::trace::{TraceSink, Tracer};
 
 /// Mutable per-endpoint state handed to the job closure.
 pub struct EndpointCtx {
@@ -23,6 +24,10 @@ pub struct EndpointCtx {
     pub counters: Counters,
     /// Machine description.
     pub config: MachineConfig,
+    /// Trace event recorder (a no-op unless the job was started through
+    /// [`run_traced`]). Recording charges no simulated time and touches no
+    /// counters, so traced and untraced runs are bit-identical.
+    pub tracer: Tracer,
 }
 
 impl EndpointCtx {
@@ -74,18 +79,43 @@ where
     R: Send,
     F: Fn(&mut EndpointCtx) -> R + Send + Sync,
 {
+    run_traced(n, config, None, f)
+}
+
+/// [`run`], optionally recording trace events. When `trace` is
+/// `Some((sink, label))` the job is registered on the sink as one trace
+/// process (`pid`) named `label`, and every endpoint gets an enabled
+/// [`Tracer`] publishing to its own per-node track. Multiple jobs may share
+/// one sink (e.g. a bench sweep) and render as separate process groups.
+pub fn run_traced<R, F>(
+    n: usize,
+    config: MachineConfig,
+    trace: Option<(&TraceSink, &str)>,
+    f: F,
+) -> JobReport<R>
+where
+    R: Send,
+    F: Fn(&mut EndpointCtx) -> R + Send + Sync,
+{
+    let job = trace.map(|(sink, label)| (sink.clone(), sink.begin_job(label, n as u32)));
     let endpoints = make_router_with_stall(n, config.recv_stall);
     let f = &f;
+    let job = &job;
     let outcomes: Vec<(R, Clock, Counters)> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
             .map(|net| {
+                let tracer = match job {
+                    Some((sink, pid)) => sink.tracer(*pid, net.id() as u32),
+                    None => Tracer::disabled(),
+                };
                 scope.spawn(move || {
                     let mut ctx = EndpointCtx {
                         net,
                         clock: Clock::new(),
                         counters: Counters::default(),
                         config,
+                        tracer,
                     };
                     let r = f(&mut ctx);
                     (r, ctx.clock, ctx.counters)

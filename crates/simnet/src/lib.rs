@@ -31,16 +31,18 @@ pub mod message;
 pub mod router;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod wire;
 
 pub use clock::Clock;
-pub use cluster::{run, EndpointCtx, JobReport};
+pub use cluster::{run, run_traced, EndpointCtx, JobReport};
 pub use config::{CoreParams, MachineConfig, NetParams};
 pub use fault::{
     CrashFault, FaultAction, FaultConfig, FaultEvent, FaultPlan, TargetedFault, KIND_ANY,
 };
 pub use message::{Message, RelMeta};
 pub use router::{make_router, Endpoint};
-pub use stats::Counters;
+pub use stats::{Counters, ReliabilitySummary};
 pub use time::SimTime;
+pub use trace::{validate_json, ArgValue, EventKind, TraceEvent, TraceSink, Tracer};
 pub use wire::WireSize;

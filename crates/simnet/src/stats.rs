@@ -73,15 +73,115 @@ impl Counters {
         }
     }
 
-    /// Totals of the reliability/fault fields, for quick assertions:
-    /// `(retries, dups_suppressed, acks_sent, crash_recoveries)`.
-    pub fn reliability_summary(&self) -> (u64, u64, u64, u64) {
-        (
-            self.retries,
-            self.dups_suppressed,
-            self.acks_sent,
-            self.crash_recoveries,
-        )
+    /// Snapshot of every reliability/fault-injection field as a named
+    /// struct. A named struct (rather than a positional tuple) means adding
+    /// a reliability counter without extending the summary is a compile
+    /// error at the struct, not a silently dropped field at the call sites.
+    pub fn reliability_summary(&self) -> ReliabilitySummary {
+        ReliabilitySummary {
+            retries: self.retries,
+            faults_dropped: self.faults_dropped,
+            faults_duplicated: self.faults_duplicated,
+            faults_delayed: self.faults_delayed,
+            dups_suppressed: self.dups_suppressed,
+            acks_sent: self.acks_sent,
+            crash_recoveries: self.crash_recoveries,
+        }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order. The
+    /// single source of truth for exporters (e.g. per-phase deltas in the
+    /// trace layer); a test pins its length to the struct size so a new
+    /// field cannot be forgotten here.
+    pub fn named_fields(&self) -> [(&'static str, u64); 19] {
+        [
+            ("msgs_sent", self.msgs_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("msgs_recv", self.msgs_recv),
+            ("bytes_recv", self.bytes_recv),
+            ("flops", self.flops),
+            ("mem_ops", self.mem_ops),
+            ("barriers", self.barriers),
+            ("remote_gets", self.remote_gets),
+            ("remote_puts", self.remote_puts),
+            ("bundles_sent", self.bundles_sent),
+            ("waves", self.waves),
+            ("local_accesses", self.local_accesses),
+            ("retries", self.retries),
+            ("faults_dropped", self.faults_dropped),
+            ("faults_duplicated", self.faults_duplicated),
+            ("faults_delayed", self.faults_delayed),
+            ("dups_suppressed", self.dups_suppressed),
+            ("acks_sent", self.acks_sent),
+            ("crash_recoveries", self.crash_recoveries),
+        ]
+    }
+
+    /// Element-wise difference from an earlier snapshot of the same
+    /// (monotonically increasing) counters. Panics in debug builds if
+    /// `base` is not actually earlier.
+    pub fn delta(&self, base: &Counters) -> Counters {
+        let cur = self.named_fields();
+        let old = base.named_fields();
+        let mut out = Counters::default();
+        for (i, (name, slot)) in out.named_fields_mut().into_iter().enumerate() {
+            debug_assert_eq!(name, cur[i].0);
+            debug_assert!(cur[i].1 >= old[i].1, "counter {name} went backwards");
+            *slot = cur[i].1 - old[i].1;
+        }
+        out
+    }
+
+    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 19] {
+        [
+            ("msgs_sent", &mut self.msgs_sent),
+            ("bytes_sent", &mut self.bytes_sent),
+            ("msgs_recv", &mut self.msgs_recv),
+            ("bytes_recv", &mut self.bytes_recv),
+            ("flops", &mut self.flops),
+            ("mem_ops", &mut self.mem_ops),
+            ("barriers", &mut self.barriers),
+            ("remote_gets", &mut self.remote_gets),
+            ("remote_puts", &mut self.remote_puts),
+            ("bundles_sent", &mut self.bundles_sent),
+            ("waves", &mut self.waves),
+            ("local_accesses", &mut self.local_accesses),
+            ("retries", &mut self.retries),
+            ("faults_dropped", &mut self.faults_dropped),
+            ("faults_duplicated", &mut self.faults_duplicated),
+            ("faults_delayed", &mut self.faults_delayed),
+            ("dups_suppressed", &mut self.dups_suppressed),
+            ("acks_sent", &mut self.acks_sent),
+            ("crash_recoveries", &mut self.crash_recoveries),
+        ]
+    }
+}
+
+/// All reliability-layer and fault-injection counters, by name. Returned by
+/// [`Counters::reliability_summary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilitySummary {
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Transmission attempts the fault plan dropped.
+    pub faults_dropped: u64,
+    /// Duplicate copies the fault plan delivered.
+    pub faults_duplicated: u64,
+    /// Messages the fault plan held back on the wire.
+    pub faults_delayed: u64,
+    /// Duplicate envelopes suppressed on receive.
+    pub dups_suppressed: u64,
+    /// Cumulative ack messages sent.
+    pub acks_sent: u64,
+    /// Phase-boundary crash recoveries performed.
+    pub crash_recoveries: u64,
+}
+
+impl ReliabilitySummary {
+    /// True when every reliability and fault counter is zero — the
+    /// fault-free fast path left no trace.
+    pub fn is_clean(&self) -> bool {
+        *self == ReliabilitySummary::default()
     }
 }
 
@@ -111,12 +211,60 @@ mod tests {
         assert_eq!(m.bytes_recv, 7);
         assert_eq!(m.flops, 5);
         assert_eq!(m.waves, 3);
-        assert_eq!(m.reliability_summary(), (4, 0, 2, 0));
+        assert_eq!(
+            m.reliability_summary(),
+            ReliabilitySummary {
+                retries: 4,
+                acks_sent: 2,
+                ..ReliabilitySummary::default()
+            }
+        );
+        assert!(!m.reliability_summary().is_clean());
+        assert!(a.reliability_summary().is_clean());
     }
 
     #[test]
     fn default_is_zero() {
         let c = Counters::default();
         assert_eq!(c, Counters::default().merge(&Counters::default()));
+    }
+
+    #[test]
+    fn named_fields_cover_every_counter() {
+        // Counters is all-u64; if a field is added without extending
+        // named_fields(), the length no longer matches the struct size.
+        let c = Counters::default();
+        assert_eq!(
+            c.named_fields().len() * std::mem::size_of::<u64>(),
+            std::mem::size_of::<Counters>(),
+            "named_fields() must enumerate every Counters field"
+        );
+        // Same guard for the reliability summary.
+        assert_eq!(
+            7 * std::mem::size_of::<u64>(),
+            std::mem::size_of::<ReliabilitySummary>(),
+            "ReliabilitySummary must cover every reliability field"
+        );
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let mut later = Counters {
+            msgs_sent: 5,
+            waves: 9,
+            retries: 2,
+            ..Counters::default()
+        };
+        let base = Counters {
+            msgs_sent: 3,
+            waves: 4,
+            ..Counters::default()
+        };
+        later = later.merge(&base); // make strictly later
+        let d = later.delta(&base);
+        assert_eq!(d.msgs_sent, 5);
+        assert_eq!(d.waves, 9);
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.bytes_sent, 0);
     }
 }

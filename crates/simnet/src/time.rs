@@ -105,6 +105,14 @@ impl SimTime {
     pub fn scale(self, count: u64) -> SimTime {
         SimTime(self.0.saturating_mul(count))
     }
+
+    /// Sum that clamps at the representable maximum instead of overflowing.
+    /// Used where a modeled duration can grow without bound (e.g. doubling
+    /// retransmission backoff) and the cap is applied separately.
+    #[inline]
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl Add for SimTime {

@@ -8,22 +8,32 @@
 //!
 //!     cargo run --release --example faults
 //!     cargo run --release --example faults -- --fault-seed 7
+//!     cargo run --release --example faults -- --trace faults.trace.json
+//!
+//! With `--trace <path>` (or `PPM_TRACE=<path>`), every scenario is
+//! recorded as one process in a Chrome trace-event file — load it in
+//! Perfetto to see the retransmission and crash-recovery events on each
+//! node's track. A `<path>.metrics.json` per-phase report rides along.
 //!
 //! Equal seeds give equal runs: same retransmission counts, same makespan.
 
 use ppm::apps::cg::{self, CgParams};
-use ppm::core::{msgs, run, PpmConfig};
+use ppm::core::{msgs, run, run_traced, PpmConfig, TraceSink};
 use ppm::simnet::{Counters, FaultAction, FaultConfig, MachineConfig, SimTime, TargetedFault};
 
-fn solve(cfg: PpmConfig) -> (Vec<u64>, SimTime, Counters) {
+fn solve(cfg: PpmConfig, trace: Option<(&TraceSink, &str)>) -> (Vec<u64>, SimTime, Counters) {
     let mut p = CgParams::cube(8, 15);
     p.rows_per_vp = 16;
-    let report = run(cfg, move |node| {
+    let body = move |node: &mut ppm::core::NodeCtx<'_>| {
         let (out, _) = cg::ppm::solve(node, &p);
         let mut bits = vec![out.rr.to_bits()];
         bits.extend(out.x.iter().map(|v| v.to_bits()));
         bits
-    });
+    };
+    let report = match trace {
+        Some((sink, label)) => run_traced(cfg, sink, label, body),
+        None => run(cfg, body),
+    };
     let makespan = report.makespan();
     let totals = report.total_counters();
     (
@@ -34,13 +44,16 @@ fn solve(cfg: PpmConfig) -> (Vec<u64>, SimTime, Counters) {
 }
 
 fn report(label: &str, clean: &[u64], bits: &[u64], t: SimTime, c: &Counters) {
-    let (retries, dups, acks, recoveries) = c.reliability_summary();
+    let rel = c.reliability_summary();
     println!("{label}");
     println!("  makespan          {:>12.3} us", t.as_us_f64());
-    println!("  retransmissions   {retries:>12}");
-    println!("  dups suppressed   {dups:>12}");
-    println!("  acks sent         {acks:>12}");
-    println!("  crash recoveries  {recoveries:>12}");
+    println!("  retransmissions   {:>12}", rel.retries);
+    println!("  faults dropped    {:>12}", rel.faults_dropped);
+    println!("  faults duplicated {:>12}", rel.faults_duplicated);
+    println!("  faults delayed    {:>12}", rel.faults_delayed);
+    println!("  dups suppressed   {:>12}", rel.dups_suppressed);
+    println!("  acks sent         {:>12}", rel.acks_sent);
+    println!("  crash recoveries  {:>12}", rel.crash_recoveries);
     println!(
         "  solution          {}",
         if bits == clean {
@@ -53,6 +66,7 @@ fn report(label: &str, clean: &[u64], bits: &[u64], t: SimTime, c: &Counters) {
 
 fn main() {
     let mut seed = 42u64;
+    let mut trace_path = std::env::var("PPM_TRACE").ok();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -63,18 +77,26 @@ fn main() {
                     .parse()
                     .expect("--fault-seed must be an integer");
             }
-            other => panic!("unknown argument {other} (supported: --fault-seed <u64>)"),
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace needs a path"));
+            }
+            other => {
+                panic!("unknown argument {other} (supported: --fault-seed <u64>, --trace <path>)")
+            }
         }
     }
 
+    let sink = trace_path.as_ref().map(|_| TraceSink::new());
+    let traced = |label: &'static str| sink.as_ref().map(|s| (s, label));
+
     let base = || PpmConfig::new(MachineConfig::new(3, 2));
 
-    let (clean, clean_t, _) = solve(base());
+    let (clean, clean_t, _) = solve(base(), traced("clean"));
     println!("clean run");
     println!("  makespan          {:>12.3} us", clean_t.as_us_f64());
 
     let faults = FaultConfig::seeded(seed, 0.05, 0.03, 0.03);
-    let (bits, t, c) = solve(base().with_faults(faults));
+    let (bits, t, c) = solve(base().with_faults(faults), traced("seeded"));
     println!();
     report(
         &format!("seeded faults (seed {seed}: 5% drop, 3% dup, 3% delay)"),
@@ -91,7 +113,7 @@ fn main() {
         nth: 1,
         action: FaultAction::Drop,
     });
-    let (bits, t, c) = solve(base().with_faults(targeted));
+    let (bits, t, c) = solve(base().with_faults(targeted), traced("targeted"));
     println!();
     report(
         "targeted fault (drop the 1st write bundle from node 1 to node 0)",
@@ -102,7 +124,7 @@ fn main() {
     );
 
     let crash = FaultConfig::NONE.with_crash(1, 3);
-    let (bits, t, c) = solve(base().with_faults(crash));
+    let (bits, t, c) = solve(base().with_faults(crash), traced("crash"));
     println!();
     report(
         "node crash (node 1 dies at the end of global phase 3)",
@@ -111,4 +133,10 @@ fn main() {
         t,
         &c,
     );
+
+    if let (Some(sink), Some(path)) = (&sink, &trace_path) {
+        sink.write_files(path).expect("writing trace files");
+        println!();
+        println!("trace written to {path} (+ {path}.metrics.json)");
+    }
 }
