@@ -17,7 +17,7 @@
 //!    to "the tree and the particles" the paper highlights — and finally
 //!    the kick-drift update and clearing of the occupied cells.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ppm_core::util::{scatter_global, sort_global_by_key};
 use ppm_core::{AccumOp, GlobalShared, NodeCtx};
@@ -42,7 +42,7 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
     let sorted = node.alloc_global::<SortedBody>(n);
     let leaf_start = node.alloc_global::<u64>(cells);
     let leaf_count = node.alloc_global::<u64>(cells);
-    let levels: Rc<Vec<GlobalShared<Com>>> = Rc::new(
+    let levels: Arc<Vec<GlobalShared<Com>>> = Arc::new(
         (0..=depth)
             .map(|d| node.alloc_global::<Com>(1usize << (3 * d)))
             .collect(),

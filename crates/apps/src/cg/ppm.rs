@@ -9,7 +9,7 @@
 //! code appears anywhere below.
 
 use std::ops::Range;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ppm_core::{AccumOp, GlobalShared, NodeCtx, Phase, Vp};
 use ppm_simnet::SimTime;
@@ -73,7 +73,7 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
     let range = node.local_range(&x);
     let lo = range.start;
     let nrows = range.len();
-    let a = Rc::new(prob.csr_block(range));
+    let a = Arc::new(prob.csr_block(range));
     let rpv = params.rows_per_vp.max(1);
     let k = nrows.div_ceil(rpv).max(1);
 

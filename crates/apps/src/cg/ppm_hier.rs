@@ -10,7 +10,7 @@
 //! can save overhead in global communication and synchronization" — while
 //! the phase structure stays identical.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ppm_core::{AccumOp, NodeCtx};
 use ppm_simnet::SimTime;
@@ -47,7 +47,7 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
     let r = node.alloc_node::<f64>(nrows);
     let ap = node.alloc_node::<f64>(nrows);
 
-    let a = Rc::new(prob.csr_block(range));
+    let a = Arc::new(prob.csr_block(range));
     let rpv = params.rows_per_vp.max(1);
     let k = nrows.div_ceil(rpv).max(1);
 

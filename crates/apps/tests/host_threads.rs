@@ -1,0 +1,191 @@
+//! Host-parallel determinism soak (DESIGN.md §12): the intra-node VP
+//! scheduler distributes VP polls over a pool of host worker threads, but
+//! merges all VP effects in ascending rank order — so every observable of
+//! a job (result bits, simulated makespan, counters, and the full trace
+//! JSON) must be bit-identical at any thread count. This suite pins that
+//! for all four applications under seeded fault schedules, and for CG
+//! crash recovery.
+
+use ppm_apps::barnes_hut::{self as bh, BhParams};
+use ppm_apps::cg::{self, CgParams};
+use ppm_apps::matgen::{self, MatGenParams};
+use ppm_apps::pagerank::{self, PrParams};
+use ppm_core::{PpmConfig, TraceSink};
+use ppm_simnet::{Counters, FaultConfig, MachineConfig, SimTime};
+
+/// Every observable of one traced run: result bits, simulated makespan,
+/// job-total counters, and the exported Chrome trace JSON.
+struct Observables {
+    bits: Vec<u64>,
+    makespan: SimTime,
+    counters: Counters,
+    trace: String,
+}
+
+const HOST_THREADS: [usize; 3] = [1, 2, 8];
+const FAULT_SEEDS: [u64; 3] = [5, 23, 71];
+
+fn base_cfg() -> PpmConfig {
+    PpmConfig::new(MachineConfig::new(3, 2))
+}
+
+fn run_app<F>(cfg: PpmConfig, label: &str, body: F) -> Observables
+where
+    F: Fn(&mut ppm_core::NodeCtx<'_>) -> Vec<u64> + Send + Sync,
+{
+    let sink = TraceSink::new();
+    let report = ppm_core::run_traced(cfg, &sink, label, move |node| {
+        let bits = body(node);
+        let violations = node.take_violations();
+        assert!(violations.is_empty(), "conformance: {violations:?}");
+        bits
+    });
+    let first = report.results[0].clone();
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r, &first, "node {i} disagrees with node 0");
+    }
+    Observables {
+        bits: first,
+        makespan: report.makespan(),
+        counters: report.total_counters(),
+        trace: sink.chrome_trace_json(),
+    }
+}
+
+/// Run the app at every thread count in `HOST_THREADS` for each config in
+/// `cfgs`, asserting that thread count 1 (the reference sequential
+/// schedule) and every pooled schedule agree on all observables.
+///
+/// The full trace JSON is compared only for fault-free configs: under the
+/// reliability layer, ack counters and duplicate-suppression instants are
+/// attributed at real-time envelope-arrival moments, so per-phase trace
+/// deltas legitimately vary with host scheduling there. Results, makespan,
+/// and job-total counters stay bit-identical regardless.
+fn assert_thread_count_invariant(
+    name: &str,
+    cfgs: &[(String, PpmConfig)],
+    run: &(dyn Fn(PpmConfig, &str) -> Observables + Sync),
+) {
+    for (desc, cfg) in cfgs {
+        let compare_trace = !cfg.machine.faults.enabled();
+        let base = run(cfg.with_host_threads(1), name);
+        for threads in &HOST_THREADS[1..] {
+            let got = run(cfg.with_host_threads(*threads), name);
+            assert_eq!(
+                got.bits, base.bits,
+                "{name} [{desc}]: {threads} host threads changed the results"
+            );
+            assert_eq!(
+                got.makespan, base.makespan,
+                "{name} [{desc}]: {threads} host threads changed the makespan"
+            );
+            assert_eq!(
+                got.counters, base.counters,
+                "{name} [{desc}]: {threads} host threads changed the counters"
+            );
+            if compare_trace {
+                assert_eq!(
+                    got.trace, base.trace,
+                    "{name} [{desc}]: {threads} host threads changed the trace JSON"
+                );
+            }
+        }
+    }
+}
+
+/// A clean config plus one seeded fault schedule per `FAULT_SEEDS` entry.
+fn soak_cfgs() -> Vec<(String, PpmConfig)> {
+    let mut cfgs = vec![("clean".to_string(), base_cfg())];
+    for seed in FAULT_SEEDS {
+        cfgs.push((
+            format!("faults seed {seed}"),
+            base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03)),
+        ));
+    }
+    cfgs
+}
+
+#[test]
+fn cg_is_bit_identical_across_host_thread_counts() {
+    let mut p = CgParams::cube(8, 15);
+    p.rows_per_vp = 16;
+    assert_thread_count_invariant("cg", &soak_cfgs(), &move |cfg, label| {
+        run_app(cfg, label, move |node| {
+            let (out, _) = cg::ppm::solve(node, &p);
+            let mut bits = vec![out.rr.to_bits()];
+            bits.extend(out.x.iter().map(|v| v.to_bits()));
+            bits
+        })
+    });
+}
+
+#[test]
+fn matgen_is_bit_identical_across_host_thread_counts() {
+    let p = MatGenParams::new(4, 8);
+    assert_thread_count_invariant("matgen", &soak_cfgs(), &move |cfg, label| {
+        run_app(cfg, label, move |node| {
+            let (m, _) = matgen::ppm::generate(node, &p);
+            m.iter().map(|v| v.to_bits()).collect()
+        })
+    });
+}
+
+#[test]
+fn pagerank_is_bit_identical_across_host_thread_counts() {
+    let p = PrParams::new(200);
+    assert_thread_count_invariant("pagerank", &soak_cfgs(), &move |cfg, label| {
+        run_app(cfg, label, move |node| {
+            let (ranks, _) = pagerank::ppm::rank(node, &p);
+            ranks.iter().map(|v| v.to_bits()).collect()
+        })
+    });
+}
+
+#[test]
+fn barnes_hut_is_bit_identical_across_host_thread_counts() {
+    let mut p = BhParams::new(128);
+    p.steps = 2;
+    assert_thread_count_invariant("barnes_hut", &soak_cfgs(), &move |cfg, label| {
+        run_app(cfg, label, move |node| {
+            let (bodies, _) = bh::ppm::simulate(node, &p);
+            bodies
+                .iter()
+                .flat_map(|b| {
+                    [
+                        b.x.to_bits(),
+                        b.y.to_bits(),
+                        b.z.to_bits(),
+                        b.vx.to_bits(),
+                        b.vy.to_bits(),
+                        b.vz.to_bits(),
+                    ]
+                })
+                .collect()
+        })
+    });
+}
+
+/// Phase-boundary crash recovery must itself be thread-count-independent:
+/// the same crash schedule replays to the same recovered solution, redo
+/// cost, and recovery count at every host thread count.
+#[test]
+fn cg_crash_recovery_is_host_thread_count_independent() {
+    let mut p = CgParams::cube(8, 15);
+    p.rows_per_vp = 16;
+    let run = move |cfg: PpmConfig, label: &str| {
+        run_app(cfg, label, move |node| {
+            let (out, _) = cg::ppm::solve(node, &p);
+            let mut bits = vec![out.rr.to_bits()];
+            bits.extend(out.x.iter().map(|v| v.to_bits()));
+            bits
+        })
+    };
+    let cfgs = vec![(
+        "crash node 1 at phase 3".to_string(),
+        base_cfg().with_faults(FaultConfig::NONE.with_crash(1, 3)),
+    )];
+    assert_thread_count_invariant("cg-crash", &cfgs, &run);
+    // And the recovery really happened (at the pooled count too).
+    let got = run(cfgs[0].1.with_host_threads(8), "cg-crash");
+    assert_eq!(got.counters.crash_recoveries, 1);
+}

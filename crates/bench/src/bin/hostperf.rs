@@ -1,0 +1,144 @@
+//! Host-parallelism benchmark: wall-clock (NOT simulated) runtime of the
+//! fig1/fig3 smoke problems as the intra-node VP worker pool widens
+//! (DESIGN.md §12).
+//!
+//! Every other binary in this crate reports *simulated* time, which is
+//! bit-identical at any `host_threads` setting — that is the §12
+//! determinism contract. This one times the simulator itself with
+//! `std::time::Instant` to show the contract is not paid for with host
+//! serialization: on a multi-core host the pooled scheduler should beat
+//! `--threads 1` by ≥1.5× at 4 workers on the fig1 smoke.
+//!
+//! ```text
+//! cargo run --release -p ppm-bench --bin hostperf [-- --threads 1,2,4,8 --reps 3 --app all]
+//! ```
+//!
+//! `--app fig1|fig3|all` picks the workload; `--reps` runs each cell that
+//! many times and keeps the fastest (wall-clock is noisy, simulated
+//! results are checked identical across every rep and thread count).
+
+use std::time::Instant;
+
+use ppm_apps::barnes_hut::{self as bh, BhParams};
+use ppm_apps::cg::{self, CgParams};
+use ppm_apps::stencil27::Stencil27;
+use ppm_bench::{header, row, Args};
+use ppm_core::PpmConfig;
+use ppm_simnet::SimTime;
+
+/// Wall-clock best-of-`reps` for one (workload, thread-count) cell, plus
+/// the simulated makespan so the caller can pin determinism.
+fn time_cell<F>(reps: usize, run: F) -> (f64, SimTime)
+where
+    F: Fn() -> SimTime,
+{
+    let mut best = f64::INFINITY;
+    let mut makespan = SimTime::ZERO;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let m = run();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        if rep == 0 {
+            makespan = m;
+        } else {
+            assert_eq!(m, makespan, "simulated makespan changed between reps");
+        }
+        best = best.min(wall);
+    }
+    (best, makespan)
+}
+
+fn sweep(name: &str, threads: &[usize], reps: usize, run: &dyn Fn(usize) -> SimTime) {
+    let mut base_wall = None;
+    let mut base_makespan = None;
+    for &t in threads {
+        let (wall, makespan) = time_cell(reps, || run(t));
+        match base_makespan {
+            None => base_makespan = Some(makespan),
+            Some(m) => assert_eq!(
+                makespan, m,
+                "{name}: {t} host threads changed the simulated makespan — \
+                 determinism contract broken (see DESIGN.md §12)"
+            ),
+        }
+        let base = *base_wall.get_or_insert(wall);
+        row(&[
+            name.to_string(),
+            t.to_string(),
+            format!("{wall:.1}"),
+            format!("{:.2}", base / wall),
+            format!("{:.3}", makespan.as_ms_f64()),
+        ]);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads: Vec<usize> = match args.value("--threads") {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("--threads wants integers"))
+            .collect(),
+        None => vec![1, 2, 4, 8],
+    };
+    let reps = args.usize("--reps", 3);
+    let app = args.value("--app").unwrap_or_else(|| "all".to_string());
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!("# Host-parallel VP scheduler — wall-clock sweep ({host} host cores)\n");
+    if host < 4 {
+        println!(
+            "> note: this host exposes {host} core(s); worker pools wider than \
+             that time-slice and cannot show real speedup.\n"
+        );
+    }
+    header(&[
+        "workload",
+        "host threads",
+        "wall ms",
+        "speedup",
+        "simulated ms",
+    ]);
+
+    if app == "fig1" || app == "all" {
+        // The fig1 smoke: CG on the 27-point chimney, 4 Franklin nodes.
+        let g = args.usize("--g", 8);
+        let iters = args.usize("--iters", 10);
+        let params = CgParams {
+            problem: Stencil27::chimney(g),
+            iters,
+            rows_per_vp: 64,
+            collect_x: false,
+            tol: None,
+        };
+        sweep("fig1 cg smoke", &threads, reps, &move |t| {
+            let p = params;
+            let report = ppm_core::run(PpmConfig::franklin(4).with_host_threads(t), move |node| {
+                cg::ppm::solve(node, &p).1
+            });
+            report.makespan()
+        });
+    }
+
+    if app == "fig3" || app == "all" {
+        // The fig3 smoke: Barnes–Hut, data-driven tree reads.
+        let n = args.usize("--n", 1024);
+        let mut params = BhParams::new(n);
+        params.steps = args.usize("--steps", 2);
+        sweep("fig3 barnes-hut smoke", &threads, reps, &move |t| {
+            let p = params;
+            let report = ppm_core::run(PpmConfig::franklin(4).with_host_threads(t), move |node| {
+                bh::ppm::simulate(node, &p).1
+            });
+            report.makespan()
+        });
+    }
+
+    println!(
+        "\n(wall ms = fastest of {reps} reps, std::time::Instant; \
+         \"simulated ms\" is asserted identical across all cells of a \
+         workload — DESIGN.md §12)"
+    );
+}

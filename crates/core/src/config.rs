@@ -60,6 +60,13 @@ pub struct PpmConfig {
     /// Crash recovery: modeled reboot time charged when a node recovers
     /// from a seeded crash at a phase boundary.
     pub crash_reboot: SimTime,
+    /// Host worker threads polling VPs inside each simulated node. `0`
+    /// (the default) resolves at `ppm_do` time: the `PPM_HOST_THREADS`
+    /// environment variable if set, else
+    /// `min(host parallelism, cores_per_node)`. Results are bit-identical
+    /// at any value — the scheduler merges VP effects in ascending rank
+    /// order (see DESIGN.md §12).
+    pub host_threads: usize,
 }
 
 impl PpmConfig {
@@ -82,6 +89,7 @@ impl PpmConfig {
             ack_every: 4,
             ack_bytes: 12,
             crash_reboot: SimTime::from_ms(1),
+            host_threads: 0,
         }
     }
 
@@ -120,6 +128,15 @@ impl PpmConfig {
     /// also switches the reliable transport on).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.machine.faults = faults;
+        self
+    }
+
+    /// Pin the number of host worker threads used to poll VPs (`0` =
+    /// auto: `PPM_HOST_THREADS`, else `min(host cores, cores_per_node)`).
+    /// Deterministic at any value; this knob exists so tests can compare
+    /// thread counts without racing on the process environment.
+    pub fn with_host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n;
         self
     }
 

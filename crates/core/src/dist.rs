@@ -77,7 +77,11 @@ impl Dist {
         match self.layout {
             Layout::Block => {
                 let bs = self.block_size();
-                self.len.saturating_sub(node * bs).min(bs)
+                // `node * bs` can exceed `usize::MAX` for near-`usize::MAX`
+                // lengths on high nodes; saturating keeps the partition math
+                // total (any saturated product is >= len, so the sub clamps
+                // to 0 either way).
+                self.len.saturating_sub(node.saturating_mul(bs)).min(bs)
             }
             Layout::Cyclic => {
                 let full = self.len / self.nodes;
@@ -87,12 +91,21 @@ impl Dist {
     }
 
     /// Global index of local offset `off` on `node`.
+    ///
+    /// Panics (rather than wrapping) if the product/sum overflows `usize`:
+    /// a wrapped index would silently alias another element.
     #[inline]
     pub fn global_index(&self, node: usize, off: usize) -> usize {
         debug_assert!(off < self.local_len(node));
         match self.layout {
-            Layout::Block => node * self.block_size() + off,
-            Layout::Cyclic => off * self.nodes + node,
+            Layout::Block => node
+                .checked_mul(self.block_size())
+                .and_then(|base| base.checked_add(off))
+                .expect("global index overflows usize (block layout)"),
+            Layout::Cyclic => off
+                .checked_mul(self.nodes)
+                .and_then(|base| base.checked_add(node))
+                .expect("global index overflows usize (cyclic layout)"),
         }
     }
 
@@ -100,8 +113,11 @@ impl Dist {
     pub fn block_range(&self, node: usize) -> std::ops::Range<usize> {
         assert_eq!(self.layout, Layout::Block, "block_range needs Block layout");
         let bs = self.block_size();
-        let start = (node * bs).min(self.len);
-        let end = ((node + 1) * bs).min(self.len);
+        // Saturating products: `(node + 1) * bs` overflows for lengths near
+        // `usize::MAX`; both bounds clamp to `len`, giving the correct
+        // (possibly empty) tail range instead of a wrapped one.
+        let start = node.saturating_mul(bs).min(self.len);
+        let end = node.saturating_add(1).saturating_mul(bs).min(self.len);
         start..end
     }
 }
@@ -167,6 +183,52 @@ mod tests {
         assert_eq!(d.owner(1), 1);
         assert_eq!(d.owner(5), 1);
         assert_eq!(d.local_offset(5), 1);
+    }
+
+    /// Regression: partition math at near-`usize::MAX` lengths used to
+    /// overflow in `block_range` (`(node + 1) * bs`) and `local_len`
+    /// (`node * bs`). No storage is allocated — `Dist` is pure index math.
+    #[test]
+    fn block_partition_math_survives_huge_lengths() {
+        let d = Dist::block(usize::MAX, 3);
+        let bs = usize::MAX.div_ceil(3);
+        assert_eq!(d.block_range(0), 0..bs);
+        assert_eq!(d.block_range(1), bs..2 * bs);
+        // Last block: `end` saturates/clamps to len instead of wrapping.
+        assert_eq!(d.block_range(2), 2 * bs..usize::MAX);
+        assert_eq!(d.local_len(2), usize::MAX - 2 * bs);
+        assert_eq!(d.owner(usize::MAX - 1), 2);
+        assert_eq!(d.local_offset(usize::MAX - 1), usize::MAX - 1 - 2 * bs);
+        assert_eq!(d.global_index(2, usize::MAX - 1 - 2 * bs), usize::MAX - 1);
+    }
+
+    /// Regression: a huge single-node block distribution must report the
+    /// whole range without overflow, and out-of-range nodes clamp empty.
+    #[test]
+    fn block_range_clamps_instead_of_wrapping() {
+        let d = Dist::block(usize::MAX, 1);
+        assert_eq!(d.block_range(0), 0..usize::MAX);
+        assert_eq!(d.local_len(0), usize::MAX);
+        // A node index beyond the data yields an empty tail, not a wrap.
+        let d2 = Dist::block(10, 4);
+        assert_eq!(d2.block_range(3), 9..10);
+        assert!(d2.local_len(3) == 1);
+    }
+
+    /// Regression: cyclic index math at near-`usize::MAX` lengths stays
+    /// exact at the top of the range (valid inputs never overflow; the
+    /// checked arithmetic in `global_index` guards invalid release-mode
+    /// inputs from wrapping into an aliased index).
+    #[test]
+    fn cyclic_partition_math_survives_huge_lengths() {
+        let d = Dist::cyclic(usize::MAX, 4);
+        let last = usize::MAX - 1;
+        let n = d.owner(last);
+        let off = d.local_offset(last);
+        assert_eq!(n, last % 4);
+        assert_eq!(off, last / 4);
+        assert!(off < d.local_len(n));
+        assert_eq!(d.global_index(n, off), last);
     }
 
     #[test]

@@ -6,10 +6,12 @@ use ppm_simnet::WireSize;
 ///
 /// Elements are plain copyable data: they cross node boundaries inside read
 /// responses and write bundles, and arrays are allocated zero-initialized
-/// (via `Default`), matching the paper's C-style shared arrays.
-pub trait Elem: Copy + Send + Default + WireSize + std::fmt::Debug + 'static {}
+/// (via `Default`), matching the paper's C-style shared arrays. `Sync` is
+/// required because array partitions are read concurrently by the
+/// host-parallel VP scheduler (see `exec.rs`).
+pub trait Elem: Copy + Send + Sync + Default + WireSize + std::fmt::Debug + 'static {}
 
-impl<T> Elem for T where T: Copy + Send + Default + WireSize + std::fmt::Debug + 'static {}
+impl<T> Elem for T where T: Copy + Send + Sync + Default + WireSize + std::fmt::Debug + 'static {}
 
 /// Combining operators for `accumulate` writes.
 ///

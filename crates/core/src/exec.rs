@@ -10,23 +10,30 @@
 //!
 //! ## Determinism
 //!
-//! Scheduling is deterministic regardless of host thread timing: runnable
-//! VPs are always polled in ascending rank order, a wave blocks until *all*
-//! of its responses arrived before any VP resumes, and write bundles are
-//! applied in ascending source-node order. Simulated clocks are computed
-//! from per-phase totals, never from message interleaving.
+//! Scheduling is deterministic regardless of host thread timing or worker
+//! count: each poll round's runnable set is fixed up front, VPs record
+//! every effect into their private [`VpScratch`](crate::state::VpScratch),
+//! and the driver merges scratches into [`Inner`](crate::state::Inner) in
+//! ascending rank order after the round — so the merged effect sequence
+//! equals a sequential ascending-rank schedule's no matter which host
+//! thread polled what. A wave blocks until *all* of its responses arrived
+//! before any VP resumes, and write bundles are applied in ascending
+//! source-node order. Simulated clocks are computed from per-phase totals,
+//! never from message interleaving. See DESIGN.md §12.
 
 use std::collections::BTreeMap;
 use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::task::{Context, Poll, Waker};
 
 use ppm_simnet::{ArgValue, Message, SimTime};
 
 use crate::msgs::{self, ReqBundle, RespBundle, WriteBundleMsg};
 use crate::nodectx::NodeCtx;
-use crate::state::{DoMode, PhaseKind, Traffic};
-use crate::vp::{Vp, VpIdent};
+use crate::state::{merge_vp, DoMode, PhaseKind, Traffic, VpCell};
+use crate::vp::Vp;
 
 /// Per-phase counter-delta argument names, aligned with
 /// [`ppm_simnet::Counters::named_fields`] (the `debug_assert` in
@@ -75,14 +82,63 @@ fn emit_phase_summary(
     nc.inner.borrow_mut().ctr_base = merged;
 }
 
-type VpTask = Pin<Box<dyn Future<Output = ()>>>;
+type VpTask = Pin<Box<dyn Future<Output = ()> + Send>>;
 /// Write parcels grouped per array: `(source node, payload)` pairs.
 type ParcelsByArray = BTreeMap<u32, Vec<(u32, Box<dyn std::any::Any + Send>)>>;
+
+/// Outcome of polling one VP once (possibly on a host worker thread).
+enum PollOut {
+    Done,
+    Pending,
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Poll one VP future once. Panics are caught so the driver can merge the
+/// lower-rank VPs' effects first and then re-raise — reproducing a
+/// sequential schedule's panic behavior from any worker thread.
+fn poll_vp(tasks: &[Mutex<Option<VpTask>>], vp: usize) -> PollOut {
+    let mut guard = tasks[vp].lock().unwrap_or_else(PoisonError::into_inner);
+    let task = guard.as_mut().expect("ready VP must be live");
+    let mut cx = Context::from_waker(Waker::noop());
+    match catch_unwind(AssertUnwindSafe(|| task.as_mut().poll(&mut cx))) {
+        Ok(Poll::Ready(())) => {
+            *guard = None;
+            PollOut::Done
+        }
+        Ok(Poll::Pending) => PollOut::Pending,
+        Err(payload) => {
+            *guard = None;
+            PollOut::Panicked(payload)
+        }
+    }
+}
+
+/// Resolve the host worker-thread count for a `ppm_do`:
+/// `cfg.host_threads` if nonzero, else `PPM_HOST_THREADS`, else
+/// `min(host parallelism, cores_per_node)`. Purely a wall-clock knob —
+/// results are bit-identical at any value (DESIGN.md §12).
+fn host_workers(cfg: &crate::config::PpmConfig) -> usize {
+    let n = if cfg.host_threads > 0 {
+        cfg.host_threads
+    } else {
+        std::env::var("PPM_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    };
+    if n > 0 {
+        return n;
+    }
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    host.min(cfg.cores_per_node()).max(1)
+}
 
 /// Run one `PPM_do(k) f` construct to completion.
 pub(crate) fn run_do<Fut>(nc: &mut NodeCtx<'_>, k: usize, mode: DoMode, f: impl Fn(Vp) -> Fut)
 where
-    Fut: Future<Output = ()> + 'static,
+    Fut: Future<Output = ()> + Send + 'static,
 {
     let me = nc.node_id();
     if mode == DoMode::Collective {
@@ -127,46 +183,163 @@ where
         nc.take_snapshot();
     }
 
-    // Instantiate the VPs.
-    let mut tasks: Vec<Option<VpTask>> = (0..k)
+    // Instantiate the VPs: a shared identity/scratch cell per VP, plus its
+    // future behind a `Mutex` so host workers can poll it.
+    let cfg = nc.config();
+    let cells: Vec<Arc<VpCell>> = (0..k)
         .map(|rank| {
-            let ident = std::rc::Rc::new(VpIdent {
-                id: rank,
-                global_rank: base + rank as u64,
-                write_seq: std::cell::Cell::new(0),
-                in_phase: std::cell::Cell::new(false),
-            });
+            Arc::new(VpCell::new(
+                rank,
+                base + rank as u64,
+                me,
+                cfg,
+                mode,
+                k,
+                total,
+            ))
+        })
+        .collect();
+    let tasks: Vec<Mutex<Option<VpTask>>> = cells
+        .iter()
+        .map(|cell| {
             let vp = Vp {
                 inner: nc.inner.clone(),
-                ident,
-                node_vp_count: k,
+                cell: cell.clone(),
             };
-            Some(Box::pin(f(vp)) as VpTask)
+            Mutex::new(Some(Box::pin(f(vp)) as VpTask))
         })
         .collect();
 
-    let waker = Waker::noop();
-    let mut cx = Context::from_waker(waker);
+    let workers = host_workers(&cfg).min(k.max(1));
+    let cores = cfg.cores_per_node();
+    if workers <= 1 {
+        // Inline: the identical record-to-scratch + rank-ordered-merge path
+        // minus the thread handoff, so one code path defines the semantics
+        // at every worker count.
+        drive(nc, &cells, k, |batch| {
+            batch.iter().map(|&vp| (vp, poll_vp(&tasks, vp))).collect()
+        });
+    } else {
+        // Persistent worker pool for the whole construct. Workers only ever
+        // poll futures (short `Inner` read locks + private scratches); the
+        // driver thread owns every ordered effect.
+        std::thread::scope(|s| {
+            let (res_tx, res_rx) = mpsc::channel::<Vec<(usize, PollOut)>>();
+            let cmd_txs: Vec<mpsc::Sender<Vec<usize>>> = (0..workers)
+                .map(|_| {
+                    let (tx, rx) = mpsc::channel::<Vec<usize>>();
+                    let res_tx = res_tx.clone();
+                    let tasks = &tasks;
+                    s.spawn(move || {
+                        while let Ok(batch) = rx.recv() {
+                            let out: Vec<(usize, PollOut)> = batch
+                                .into_iter()
+                                .map(|vp| (vp, poll_vp(tasks, vp)))
+                                .collect();
+                            if res_tx.send(out).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    tx
+                })
+                .collect();
+            drop(res_tx);
+            let mut batches: Vec<Vec<usize>> = vec![Vec::new(); workers];
+            drive(nc, &cells, k, move |batch| {
+                // Partition by simulated core (the clock-accounting mapping)
+                // and fan cores out across workers; results are re-sorted by
+                // rank before merging, so arrival order never matters.
+                for &vp in batch {
+                    batches[(vp % cores) % workers].push(vp);
+                }
+                let mut in_flight = 0;
+                for (w, b) in batches.iter_mut().enumerate() {
+                    if !b.is_empty() {
+                        cmd_txs[w]
+                            .send(std::mem::take(b))
+                            .expect("host worker exited early");
+                        in_flight += 1;
+                    }
+                }
+                let mut out = Vec::with_capacity(batch.len());
+                for _ in 0..in_flight {
+                    out.extend(res_rx.recv().expect("host worker exited early"));
+                }
+                out
+            });
+        });
+    }
+
+    // Epilogue: charge compute done after the last phase and merge counters.
+    let leftover = {
+        let mut inner = nc.inner.borrow_mut();
+        let max = inner
+            .core_compute
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        inner
+            .core_compute
+            .iter_mut()
+            .for_each(|c| *c = SimTime::ZERO);
+        max
+    };
+    nc.ep.clock.advance_compute(leftover);
+    merge_counters(nc);
+}
+
+/// The construct's main loop: poll rounds (delegated to `poll_round`, which
+/// may fan out to host workers), rank-ordered effect merges, waves, and
+/// phase ends. One code path serves every worker count.
+fn drive(
+    nc: &mut NodeCtx<'_>,
+    cells: &[Arc<VpCell>],
+    k: usize,
+    mut poll_round: impl FnMut(&[usize]) -> Vec<(usize, PollOut)>,
+) {
+    let me = nc.node_id();
     let mut live = k;
     let mut ready: Vec<usize> = (0..k).collect();
+    let mut bufs = WaveBufs::default();
 
     loop {
-        // Poll runnable VPs in deterministic (ascending-rank) order.
+        // Poll runnable VPs; effects land in private scratches.
         while !ready.is_empty() {
             ready.sort_unstable();
             ready.dedup();
             let batch = std::mem::take(&mut ready);
-            for vp in batch {
-                let task = tasks[vp].as_mut().expect("ready VP must be live");
-                if let Poll::Ready(()) = task.as_mut().poll(&mut cx) {
-                    tasks[vp] = None;
-                    live -= 1;
-                    nc.inner.borrow_mut().live_vps = live;
+            let mut results = poll_round(&batch);
+            debug_assert_eq!(results.len(), batch.len());
+            results.sort_by_key(|&(vp, _)| vp);
+            // Merge every polled VP's effects in ascending rank order: the
+            // determinism keystone (DESIGN.md §12). The merged effect
+            // sequence — including floating-point accumulate fold order and
+            // checker event order — equals a sequential ascending-rank
+            // schedule's regardless of which host thread polled what. A
+            // panicking VP behaves like its sequential self: lower ranks
+            // merge, its own effects are discarded, the payload re-raises.
+            let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+            {
+                let mut inner = nc.inner.borrow_mut();
+                for (vp, out) in results {
+                    match out {
+                        PollOut::Panicked(p) => {
+                            panicked = Some(p);
+                            break;
+                        }
+                        PollOut::Done => {
+                            merge_vp(&mut inner, &cells[vp]);
+                            live -= 1;
+                            inner.live_vps = live;
+                        }
+                        PollOut::Pending => merge_vp(&mut inner, &cells[vp]),
+                    }
                 }
             }
-            // Slot fills produced while polling (none today, but harmless)
-            // plus barrier releases land in the wake lists.
-            ready.append(&mut nc.inner.borrow_mut().slots.wake);
+            if let Some(p) = panicked {
+                std::panic::resume_unwind(p);
+            }
         }
 
         if live == 0 {
@@ -177,16 +350,16 @@ where
         let (has_reqs, outstanding, arrived, open) = {
             let inner = nc.inner.borrow();
             (
-                !inner.reqs.is_empty(),
-                inner.slots.outstanding(),
+                inner.reqs.values().any(|v| !v.is_empty()),
+                inner.outstanding_reads,
                 inner.phase.arrived,
                 inner.phase.open,
             )
         };
 
         if has_reqs {
-            run_wave(nc);
-            ready.append(&mut nc.inner.borrow_mut().slots.wake);
+            let mut woken = run_wave(nc, cells, &mut bufs);
+            ready.append(&mut woken);
             continue;
         }
         assert_eq!(
@@ -212,60 +385,70 @@ where
             }
         }
     }
+}
 
-    // Epilogue: charge compute done after the last phase and merge counters.
-    let leftover = {
-        let mut inner = nc.inner.borrow_mut();
-        let max = inner
-            .core_compute
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max);
-        inner
-            .core_compute
-            .iter_mut()
-            .for_each(|c| *c = SimTime::ZERO);
-        max
-    };
-    nc.ep.clock.advance_compute(leftover);
-    merge_counters(nc);
+/// Reusable wave-construction buffer (bundle-path allocation diet): the
+/// former per-wave `BTreeMap`-of-`BTreeMap` dedup is one flat stable sort
+/// in a buffer that keeps its capacity across waves.
+#[derive(Default)]
+struct WaveBufs {
+    /// `(dest, array, idx, vp, slot)` per queued request.
+    flat: Vec<(usize, u32, u64, usize, u64)>,
 }
 
 /// Flush the queued read requests as one bundle per destination — with
 /// duplicate (array, index) requests from different VPs merged into a
 /// single entry — then block until every response arrived (servicing peers
-/// meanwhile). One wave.
-fn run_wave(nc: &mut NodeCtx<'_>) {
+/// meanwhile). One wave. Returns the VPs whose reads were answered.
+fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) -> Vec<usize> {
     let me = nc.node_id();
     let cfg = nc.config();
-    let (per_dest, phase) = {
+    let phase = {
         let mut inner = nc.inner.borrow_mut();
-        // BTreeMaps keep destination and entry order deterministic.
-        let mut per_dest: BTreeMap<usize, BTreeMap<(u32, u64), Vec<u64>>> = BTreeMap::new();
-        for (dest, entries) in inner.reqs.drain() {
-            let uniq = per_dest.entry(dest).or_default();
-            for e in entries {
-                uniq.entry((e.array, e.idx)).or_default().push(e.slot);
+        bufs.flat.clear();
+        for (&dest, entries) in inner.reqs.iter_mut() {
+            // drain() keeps each destination Vec's capacity for later waves.
+            for e in entries.drain(..) {
+                bufs.flat.push((dest, e.array, e.idx, e.vp, e.slot));
             }
         }
-        (per_dest, inner.phase.global_seq)
+        inner.phase.global_seq
     };
+    // Stable sort: requests for the same (dest, array, idx) keep their
+    // ascending-VP-rank queue order, so wire bundles and ticket groups are
+    // deterministic (the map's iteration order never shows through — dest
+    // is the leading key).
+    bufs.flat
+        .sort_by_key(|&(dest, array, idx, _, _)| (dest, array, idx));
 
-    // Per destination: the slot groups each request ticket fans out to.
-    let mut pending: std::collections::HashMap<usize, Vec<Vec<u64>>> = Default::default();
+    // Per destination: the `(vp, slot)` groups each request ticket fans
+    // out to.
+    let mut pending: std::collections::HashMap<usize, Vec<Vec<(usize, u64)>>> = Default::default();
     let (mut wv_dests, mut wv_entries, mut wv_bytes_out, mut wv_bytes_in) =
         (0u64, 0u64, 0u64, 0u64);
-    for (dest, uniq) in per_dest {
+    let mut i = 0;
+    while i < bufs.flat.len() {
+        let dest = bufs.flat[i].0;
         debug_assert_ne!(dest, me);
-        let mut entries = Vec::with_capacity(uniq.len());
-        let mut tickets: Vec<Vec<u64>> = Vec::with_capacity(uniq.len());
-        for ((array, idx), slots) in uniq {
-            entries.push(crate::state::ReqEntry {
+        let mut entries = Vec::new();
+        let mut tickets: Vec<Vec<(usize, u64)>> = Vec::new();
+        while i < bufs.flat.len() && bufs.flat[i].0 == dest {
+            let (_, array, idx, _, _) = bufs.flat[i];
+            let mut group = Vec::new();
+            while i < bufs.flat.len() {
+                let (d, a, x, vp, slot) = bufs.flat[i];
+                if d != dest || a != array || x != idx {
+                    break;
+                }
+                group.push((vp, slot));
+                i += 1;
+            }
+            entries.push(msgs::ReqEntry {
                 array,
                 idx,
                 slot: tickets.len() as u64,
             });
-            tickets.push(slots);
+            tickets.push(group);
         }
         let bytes = cfg.bundle_header_bytes + entries.len() * cfg.req_entry_bytes;
         wv_dests += 1;
@@ -295,6 +478,7 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
         pending.insert(dest, tickets);
     }
 
+    let mut woken: Vec<usize> = Vec::new();
     while !pending.is_empty() {
         let msg = nc.pump_recv(|m| msgs::untag(m.tag).0 == msgs::K_READ_RESP);
         let src = msg.src;
@@ -309,36 +493,53 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
         inner.traffic.resp_bytes_in += bytes;
         inner.counters.msgs_recv += 1;
         inner.counters.bytes_recv += bytes;
+        let mut filled = 0usize;
         for part in resp.parts {
             // The echoed "slots" are our tickets; expand each back to the
-            // VPs waiting on that element.
-            let groups: Vec<Vec<u64>> = part
+            // (vp, slot) waiters parked on that element.
+            let groups: Vec<Vec<(usize, u64)>> = part
                 .slots
                 .iter()
                 .map(|&t| std::mem::take(&mut tickets[t as usize]))
                 .collect();
-            // fulfill touches the slot table while the array is borrowed;
-            // take the table out for the call and put it back.
-            let mut table = std::mem::take(&mut inner.slots);
-            inner.garrays[part.array as usize].fulfill_multi(part.values, &groups, &mut table);
-            inner.slots = table;
+            inner.garrays[part.array as usize].fulfill_multi(
+                part.values,
+                &groups,
+                &mut |vp, slot, value| {
+                    cells[vp].scratch().slots.fill(slot, value);
+                    woken.push(vp);
+                    filled += 1;
+                },
+            );
         }
+        inner.outstanding_reads -= filled;
     }
 
     let mut inner = nc.inner.borrow_mut();
     inner.traffic.waves += 1;
     inner.counters.waves += 1;
     let wave_idx = inner.traffic.waves - 1;
-    drop(inner);
 
     if nc.ep.tracer.enabled() {
-        // Simulated time is charged at phase end, so every wave of a phase
-        // stamps at the phase's start instant (see DESIGN.md §11); one
-        // bundle went to each destination — the paper's bundling invariant.
+        // Simulated time is charged at phase end, so the clock still reads
+        // the phase-start instant here. Place the instant at the wave's
+        // cumulative completion offset within the phase — round-trip
+        // latency, per-bundle overheads both ways, serialization of the
+        // larger direction — so Perfetto shows a real comm timeline
+        // (DESIGN.md §11). Estimated elapsed only; never feeds the charged
+        // phase time. One bundle went to each destination — the paper's
+        // bundling invariant.
+        let net = cfg.machine.net;
+        let wave_cost = net.latency.scale(2)
+            + net.overhead.scale(2 * wv_dests)
+            + net.gap_per_byte.scale(wv_bytes_out.max(wv_bytes_in));
+        inner.traffic.wave_elapsed += wave_cost;
+        let ts = nc.ep.clock.now() + inner.traffic.wave_elapsed;
+        drop(inner);
         nc.ep.tracer.instant(
             "wave",
             "comm",
-            nc.ep.clock.now(),
+            ts,
             vec![
                 ("wave", ArgValue::U64(wave_idx)),
                 ("dests", ArgValue::U64(wv_dests)),
@@ -349,6 +550,7 @@ fn run_wave(nc: &mut NodeCtx<'_>) {
             ],
         );
     }
+    woken
 }
 
 /// End a node phase: publish node-shared writes, charge the cores' max
@@ -543,6 +745,14 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     let mut applied_remote = 0u64;
     {
         let mut inner = nc.inner.borrow_mut();
+        // Every phase-`phase` read request has been serviced by now (per-link
+        // FIFO: a peer's requests precede its K_WRITE bundle, and step 3 has
+        // all bundles), and no phase+1 request can have been serviced yet
+        // (`global_seq` still gates them). Folding the parked service
+        // counters here attributes them to this phase deterministically,
+        // whatever real-time moment the requests actually arrived at.
+        let deferred = std::mem::take(&mut inner.deferred_service_ctrs);
+        inner.counters = inner.counters.merge(&deferred);
         for (array, mut parcels) in by_array {
             parcels.sort_by_key(|(src, _)| *src);
             let n = inner.garrays[array as usize].apply_writes(parcels);

@@ -6,8 +6,6 @@
 
 use std::any::Any;
 
-use crate::state::ReqEntry;
-
 /// Read-request bundle (one per destination per wave). Kinds live in the
 /// top byte of the 64-bit tag.
 pub const K_READ_REQ: u64 = 1;
@@ -56,6 +54,16 @@ pub(crate) fn untag(t: u64) -> (u64, u64) {
 pub(crate) fn barrier_meta(phase: u64, round: u32) -> u64 {
     debug_assert!(round < 64);
     (phase << 6) | round as u64
+}
+
+/// One entry of an outgoing read-request bundle. `slot` is a
+/// requester-side ticket: the responder echoes it back, and the requester
+/// fans the value out to every VP waiting on that (array, index).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqEntry {
+    pub array: u32,
+    pub idx: u64,
+    pub slot: u64,
 }
 
 /// A bundle of read requests for elements owned by the destination node.

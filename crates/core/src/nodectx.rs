@@ -6,11 +6,8 @@
 //! data (initialization and result extraction), node-level collectives, and
 //! [`NodeCtx::ppm_do`], the `PPM_do(K) func(...)` construct.
 
-use std::any::Any;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
-use std::rc::Rc;
 
 use ppm_simnet::{ArgValue, EndpointCtx, Message, RelMeta, SimTime};
 
@@ -20,13 +17,15 @@ use crate::elem::Elem;
 use crate::msgs::{self, RespBundle, RespPart};
 use crate::reliable::Reliability;
 use crate::shared::{GlobalShared, NodeShared};
-use crate::state::{GArray, Inner, NArray, Snapshots};
+use crate::state::{
+    garray_mut, garray_ref, narray_mut, narray_ref, GArray, Inner, NArray, SharedInner, Snapshots,
+};
 use crate::vp::Vp;
 
 /// Per-node handle passed to the SPMD closure of [`crate::run`].
 pub struct NodeCtx<'a> {
     pub(crate) ep: &'a mut EndpointCtx,
-    pub(crate) inner: Rc<RefCell<Inner>>,
+    pub(crate) inner: SharedInner,
     /// Received-but-not-yet-wanted runtime messages.
     pub(crate) stash: VecDeque<Message>,
     /// Node-collective sequence number.
@@ -42,7 +41,7 @@ impl<'a> NodeCtx<'a> {
         let node = ep.id();
         NodeCtx {
             ep,
-            inner: Rc::new(RefCell::new(Inner::new(cfg, node))),
+            inner: SharedInner::new(Inner::new(cfg, node)),
             stash: VecDeque::new(),
             coll_seq: 0,
             rel: cfg
@@ -136,7 +135,7 @@ impl<'a> NodeCtx<'a> {
             Layout::Block => Dist::block(len, self.cfg.nodes()),
             Layout::Cyclic => Dist::cyclic(len, self.cfg.nodes()),
         };
-        let id = inner.garrays.len() as u32;
+        let id = u32::try_from(inner.garrays.len()).expect("too many global shared arrays");
         inner
             .garrays
             .push(Box::new(GArray::<T>::new(dist, self.node_id())));
@@ -147,7 +146,7 @@ impl<'a> NodeCtx<'a> {
     /// (`PPM_node_shared T a[len]`): one instance per node.
     pub fn alloc_node<T: Elem>(&mut self, len: usize) -> NodeShared<T> {
         let mut inner = self.inner.borrow_mut();
-        let id = inner.narrays.len() as u32;
+        let id = u32::try_from(inner.narrays.len()).expect("too many node shared arrays");
         inner.narrays.push(Box::new(NArray::<T>::new(len)));
         NodeShared::new(id, len)
     }
@@ -209,7 +208,7 @@ impl<'a> NodeCtx<'a> {
     /// synchronize per the model (§3.1–3.2).
     pub fn ppm_do<Fut>(&mut self, k: usize, f: impl Fn(Vp) -> Fut)
     where
-        Fut: Future<Output = ()> + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
     {
         crate::exec::run_do(self, k, crate::state::DoMode::Collective, f);
     }
@@ -222,7 +221,7 @@ impl<'a> NodeCtx<'a> {
     /// used inside; a global phase panics.
     pub fn ppm_do_local<Fut>(&mut self, k: usize, f: impl Fn(Vp) -> Fut)
     where
-        Fut: Future<Output = ()> + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
     {
         crate::exec::run_do(self, k, crate::state::DoMode::Local, f);
     }
@@ -458,8 +457,13 @@ impl<'a> NodeCtx<'a> {
         inner.traffic.req_bundles_in += 1;
         inner.traffic.req_entries_in += n_entries;
         inner.traffic.req_bytes_in += req_bytes as u64;
-        inner.counters.msgs_recv += 1;
-        inner.counters.bytes_recv += req_bytes as u64;
+        // Counters go to the deferred bucket: WHEN a peer's request reaches
+        // us (during a wave, our clock barrier, or a prologue collective)
+        // is a real-time accident, and crediting `counters` here would leak
+        // that accident into the per-phase trace deltas. The bucket folds
+        // in at the serviced phase's end (see `Inner::deferred_service_ctrs`).
+        inner.deferred_service_ctrs.msgs_recv += 1;
+        inner.deferred_service_ctrs.bytes_recv += req_bytes as u64;
 
         // Group by array, preserving request order within each array.
         let mut order: Vec<u32> = Vec::new();
@@ -489,8 +493,8 @@ impl<'a> NodeCtx<'a> {
         inner.service_time += self.cfg.service_overhead.scale(n_entries);
         inner.traffic.resp_bundles_out += 1;
         inner.traffic.resp_bytes_out += bytes as u64;
-        inner.counters.msgs_sent += 1;
-        inner.counters.bytes_sent += bytes as u64;
+        inner.deferred_service_ctrs.msgs_sent += 1;
+        inner.deferred_service_ctrs.bytes_sent += bytes as u64;
         drop(inner);
 
         let now = self.ep.clock.now();
@@ -514,8 +518,11 @@ impl Drop for NodeCtx<'_> {
     /// endpoint (e.g. reliability counters from collectives run after the
     /// last `ppm_do`), so `JobReport::counters` is complete.
     fn drop(&mut self) {
-        if let Ok(mut inner) = self.inner.try_borrow_mut() {
-            let c = std::mem::take(&mut inner.counters);
+        if let Some(mut inner) = self.inner.try_borrow_mut() {
+            // Any still-parked service counters drain here so job totals
+            // are complete (see `Inner::deferred_service_ctrs`).
+            let deferred = std::mem::take(&mut inner.deferred_service_ctrs);
+            let c = std::mem::take(&mut inner.counters).merge(&deferred);
             drop(inner);
             self.ep.counters = self.ep.counters.merge(&c);
         }
@@ -528,14 +535,14 @@ impl Drop for NodeCtx<'_> {
 /// wedged instead of a bare timeout.
 fn protocol_dump(
     node: usize,
-    inner: &Rc<RefCell<Inner>>,
+    inner: &SharedInner,
     stash: &VecDeque<Message>,
     rel: Option<&Reliability>,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = format!("node {node} protocol state:\n");
     match inner.try_borrow() {
-        Ok(i) => {
+        Some(i) => {
             let p = &i.phase;
             let _ = writeln!(
                 out,
@@ -547,11 +554,11 @@ fn protocol_dump(
                 out,
                 "  vps: live={} | parked reads outstanding={} | queued req dests={}",
                 i.live_vps,
-                i.slots.outstanding(),
-                i.reqs.len()
+                i.outstanding_reads,
+                i.reqs.values().filter(|v| !v.is_empty()).count()
             );
         }
-        Err(_) => {
+        None => {
             let _ = writeln!(out, "  <runtime state borrowed at stall time>");
         }
     }
@@ -578,36 +585,3 @@ fn protocol_dump(
     }
     out
 }
-
-// Helpers to view typed arrays through the trait objects.
-fn garray_ref<T: Elem>(inner: &Inner, id: u32) -> &GArray<T> {
-    inner.garrays[id as usize]
-        .as_any_ref()
-        .downcast_ref::<GArray<T>>()
-        .expect("global array handle type mismatch")
-}
-
-fn garray_mut<T: Elem>(inner: &mut Inner, id: u32) -> &mut GArray<T> {
-    inner.garrays[id as usize]
-        .as_any()
-        .downcast_mut::<GArray<T>>()
-        .expect("global array handle type mismatch")
-}
-
-fn narray_ref<T: Elem>(inner: &Inner, id: u32) -> &NArray<T> {
-    inner.narrays[id as usize]
-        .as_any_ref()
-        .downcast_ref::<NArray<T>>()
-        .expect("node array handle type mismatch")
-}
-
-fn narray_mut<T: Elem>(inner: &mut Inner, id: u32) -> &mut NArray<T> {
-    inner.narrays[id as usize]
-        .as_any()
-        .downcast_mut::<NArray<T>>()
-        .expect("node array handle type mismatch")
-}
-
-/// Keep `Any` imported for downcast bounds used above.
-#[allow(unused)]
-fn _assert_any(_: &dyn Any) {}

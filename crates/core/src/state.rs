@@ -3,8 +3,14 @@
 //! Everything a virtual processor touches while running (shared-array
 //! storage, write buffers, pending read requests, phase bookkeeping,
 //! per-core compute accounting) lives in [`Inner`], behind an
-//! `Rc<RefCell<_>>` — the node runtime is single-threaded, with node
-//! parallelism *modeled* through the per-core compute accumulators.
+//! `Arc<RwLock<_>>` ([`SharedInner`]). During a phase body the live arrays
+//! are immutable (writes are *buffered*), so VP polls only ever take the
+//! read lock; every side effect a VP produces — buffered writes, read
+//! requests, counter deltas, checker events, phase entry/arrival — goes
+//! into its private [`VpScratch`] instead. The executor merges scratches
+//! into `Inner` in ascending VP-rank order after each poll round, which is
+//! what makes the host-parallel scheduler bit-identical to a sequential
+//! one at any worker count (see `exec.rs` and DESIGN.md §12).
 //!
 //! Phase semantics are implemented here:
 //!
@@ -20,6 +26,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ppm_simnet::{Counters, SimTime, WireSize};
 
@@ -46,11 +53,16 @@ pub(crate) enum WireWrite<T> {
     Accum(AccumOp, T, fn(AccumOp, T, T) -> T),
 }
 
-/// One entry of an outgoing read-request bundle.
+/// A read request queued in [`Inner`] for the next communication wave:
+/// VP `vp` wants element `idx` of global array `array`, and will receive
+/// it in its private slot `slot`. (The wire format is
+/// [`crate::msgs::ReqEntry`]; requests are deduplicated per
+/// (destination, array, index) when the wave is built.)
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct ReqEntry {
+pub(crate) struct QueuedReq {
     pub array: u32,
     pub idx: u64,
+    pub vp: usize,
     pub slot: u64,
 }
 
@@ -76,77 +88,598 @@ pub enum PhaseKind {
 }
 
 // ---------------------------------------------------------------------------
-// Slot table: parking spots for VPs suspended on remote reads.
+// Per-VP slot table: parking spots for one VP's suspended remote reads.
 // ---------------------------------------------------------------------------
 
 enum Slot {
-    Waiting { vp: usize },
-    Filled { value: Box<dyn Any> },
+    Waiting,
+    Filled { value: Box<dyn Any + Send> },
 }
 
-/// Parking table for suspended remote reads. Filling a slot records the
-/// owning VP in `wake` for the executor to re-poll.
+/// Parking table for one VP's suspended remote reads. Lives in the VP's
+/// [`VpScratch`]; the executor fills slots when a wave's responses arrive
+/// and then wakes the owning VP.
 #[derive(Default)]
-pub(crate) struct SlotTable {
+pub(crate) struct VpSlots {
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
-    /// VPs made runnable by slot fills; drained by the executor.
-    pub wake: Vec<usize>,
 }
 
-impl SlotTable {
-    pub fn alloc(&mut self, vp: usize) -> u64 {
-        let slot = Slot::Waiting { vp };
+impl VpSlots {
+    pub fn alloc(&mut self) -> u64 {
         match self.free.pop() {
             Some(i) => {
                 debug_assert!(self.slots[i].is_none());
-                self.slots[i] = Some(slot);
+                self.slots[i] = Some(Slot::Waiting);
                 i as u64
             }
             None => {
-                self.slots.push(Some(slot));
+                self.slots.push(Some(Slot::Waiting));
                 (self.slots.len() - 1) as u64
             }
         }
     }
 
-    pub fn fill(&mut self, slot: u64, value: Box<dyn Any>) {
+    pub fn fill(&mut self, slot: u64, value: Box<dyn Any + Send>) {
         let s = self.slots[slot as usize]
             .replace(Slot::Filled { value })
             .expect("filling a free slot");
         match s {
-            Slot::Waiting { vp } => self.wake.push(vp),
+            Slot::Waiting => {}
             Slot::Filled { .. } => panic!("slot {slot} filled twice"),
         }
     }
 
     /// Take the value if the slot has been filled; frees the slot.
-    pub fn try_take(&mut self, slot: u64) -> Option<Box<dyn Any>> {
+    pub fn try_take(&mut self, slot: u64) -> Option<Box<dyn Any + Send>> {
         match &self.slots[slot as usize] {
             Some(Slot::Filled { .. }) => {
                 let s = self.slots[slot as usize].take().expect("checked above");
                 self.free.push(slot as usize);
                 match s {
                     Slot::Filled { value } => Some(value),
-                    Slot::Waiting { .. } => unreachable!(),
+                    Slot::Waiting => unreachable!(),
                 }
             }
-            Some(Slot::Waiting { .. }) => None,
+            Some(Slot::Waiting) => None,
             None => panic!("polling a freed slot"),
         }
     }
+}
 
-    pub fn outstanding(&self) -> usize {
-        self.slots.iter().flatten().count() - self.filled_count()
+// ---------------------------------------------------------------------------
+// Per-VP effect scratch: everything a VP poll produces, merged by the
+// executor in ascending rank order.
+// ---------------------------------------------------------------------------
+
+/// A shared-variable access recorded during a VP poll for deferred replay
+/// into the conformance checker (the checker itself lives in [`Inner`];
+/// replaying at merge time keeps its event order identical to a
+/// sequential schedule).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CheckEvent {
+    Get {
+        space: Space,
+        array: u32,
+        idx: u64,
+        kind: PhaseKind,
+    },
+    Put {
+        space: Space,
+        array: u32,
+        idx: u64,
+        fp: u64,
+        kind: PhaseKind,
+    },
+    Accum {
+        space: Space,
+        array: u32,
+        idx: u64,
+    },
+}
+
+/// One buffered write op recorded in a VP's scratch. `Accum` carries the
+/// monomorphized combiner (captured at push time) so replay does not need
+/// a `T: AccumElem` bound.
+enum WOp<T> {
+    Assign(T, WriteKey),
+    Accum(AccumOp, T, fn(AccumOp, T, T) -> T),
+}
+
+/// Type-erased face of one `(space, array)`'s scratch write list, replayed
+/// into the array's phase write buffer at merge time.
+pub(crate) trait ScratchWrites: Send {
+    fn as_any(&mut self) -> &mut dyn Any;
+    fn is_empty(&self) -> bool;
+    fn replay_global(&mut self, ga: &mut dyn GArrayObj);
+    fn replay_node(&mut self, na: &mut dyn NArrayObj);
+}
+
+struct WOps<T: Elem> {
+    ops: Vec<(usize, WOp<T>)>,
+}
+
+impl<T: Elem> ScratchWrites for WOps<T> {
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
     }
 
-    fn filled_count(&self) -> usize {
-        self.slots
+    fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn replay_global(&mut self, ga: &mut dyn GArrayObj) {
+        let ga = ga
+            .as_any()
+            .downcast_mut::<GArray<T>>()
+            .expect("scratch write buffer type mismatch");
+        // drain() keeps the Vec's capacity: the per-VP lists are reused
+        // across rounds and phases (bundle-path allocation diet).
+        for (idx, op) in self.ops.drain(..) {
+            match op {
+                WOp::Assign(v, k) => ga.buffer_assign(idx, v, k),
+                WOp::Accum(o, v, f) => ga.buffer_accum_with(idx, o, v, f),
+            }
+        }
+    }
+
+    fn replay_node(&mut self, na: &mut dyn NArrayObj) {
+        let na = na
+            .as_any()
+            .downcast_mut::<NArray<T>>()
+            .expect("scratch write buffer type mismatch");
+        for (idx, op) in self.ops.drain(..) {
+            match op {
+                WOp::Assign(v, k) => na.buffer_assign(idx, v, k),
+                WOp::Accum(o, v, f) => na.buffer_accum_with(idx, o, v, f),
+            }
+        }
+    }
+}
+
+/// A read request recorded in a VP's scratch, waiting to be queued into
+/// [`Inner::reqs`] at merge time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScratchReq {
+    pub dest: usize,
+    pub array: u32,
+    pub idx: u64,
+    pub slot: u64,
+}
+
+/// Every side effect one VP produces while being polled. Private to the VP
+/// (executor and wave code touch it only between polls), so polls of
+/// different VPs can run on different host threads with no ordering races;
+/// the executor merges scratches into [`Inner`] in ascending rank order.
+#[derive(Default)]
+pub(crate) struct VpScratch {
+    /// Program-order counter for this VP's writes (conflict resolution).
+    pub write_seq: u64,
+    /// Phase this VP is currently inside, if any (guards nested phases and
+    /// out-of-phase shared access without reading `Inner`).
+    pub cur_phase: Option<PhaseKind>,
+    /// Phase entry not yet replayed into `Inner::enter_phase`.
+    pub pending_enter: Option<PhaseKind>,
+    /// Barrier arrival not yet replayed into `Inner`.
+    pub pending_arrive: bool,
+    /// Parking table for this VP's suspended remote reads.
+    pub slots: VpSlots,
+    /// Slots allocated since the last merge (feeds
+    /// `Inner::outstanding_reads`).
+    pub slots_alloced: usize,
+    /// Read requests to queue for the next wave.
+    pub reqs: Vec<ScratchReq>,
+    /// Buffered writes per touched `(space, array)`.
+    writes: Vec<(Space, u32, Box<dyn ScratchWrites>)>,
+    /// Conformance-checker events in program order.
+    pub checks: Vec<CheckEvent>,
+    /// Counter deltas.
+    pub counters: Counters,
+    /// Compute charged by this VP since the last merge (lands on its
+    /// simulated core).
+    pub compute: SimTime,
+}
+
+impl VpScratch {
+    fn writes_for<T: Elem>(&mut self, space: Space, id: u32) -> &mut Vec<(usize, WOp<T>)> {
+        // Linear scan: programs touch a handful of arrays.
+        let pos = match self
+            .writes
             .iter()
-            .flatten()
-            .filter(|s| matches!(s, Slot::Filled { .. }))
-            .count()
+            .position(|(s, i, _)| *s == space && *i == id)
+        {
+            Some(p) => p,
+            None => {
+                self.writes
+                    .push((space, id, Box::new(WOps::<T> { ops: Vec::new() })));
+                self.writes.len() - 1
+            }
+        };
+        &mut self.writes[pos]
+            .2
+            .as_any()
+            .downcast_mut::<WOps<T>>()
+            .expect("scratch write buffer type mismatch")
+            .ops
     }
+}
+
+/// Identity and scratch of one virtual processor. Shared (via `Arc`)
+/// between the VP's futures, which record effects during polls, and the
+/// executor, which merges them. The frequently-read identity fields are
+/// plain copies so VP accessors never lock [`Inner`].
+pub(crate) struct VpCell {
+    /// Node-relative rank (`PPM_VP_node_rank`).
+    pub id: usize,
+    /// Cluster-wide rank (`PPM_VP_global_rank`).
+    pub global_rank: u64,
+    pub node: usize,
+    pub cfg: PpmConfig,
+    pub do_mode: DoMode,
+    pub node_vp_count: usize,
+    pub total_vps_global: u64,
+    /// Whether checker events need recording (checker enabled in `cfg`).
+    pub checker_on: bool,
+    pub scratch: Mutex<VpScratch>,
+}
+
+impl VpCell {
+    pub fn new(
+        id: usize,
+        global_rank: u64,
+        node: usize,
+        cfg: PpmConfig,
+        do_mode: DoMode,
+        node_vp_count: usize,
+        total_vps_global: u64,
+    ) -> Self {
+        VpCell {
+            id,
+            global_rank,
+            node,
+            cfg,
+            do_mode,
+            node_vp_count,
+            total_vps_global,
+            checker_on: cfg.checker,
+            scratch: Mutex::new(VpScratch::default()),
+        }
+    }
+
+    /// Lock this VP's scratch (uncontended except for wave fills; poison
+    /// from a caught VP panic is benign — the run is unwinding anyway).
+    pub fn scratch(&self) -> MutexGuard<'_, VpScratch> {
+        self.scratch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[inline]
+    fn core(&self) -> usize {
+        self.id % self.cfg.cores_per_node()
+    }
+
+    fn in_phase(s: &VpScratch, what: &str) -> PhaseKind {
+        s.cur_phase
+            .unwrap_or_else(|| panic!("{what} requires an open phase"))
+    }
+
+    /// VP read of a global shared element.
+    pub fn get_global<T: Elem>(&self, inner: &Inner, id: u32, idx: usize) -> GetOutcome<T> {
+        let mut s = self.scratch();
+        let kind = Self::in_phase(&s, "global shared read");
+        s.compute += self.cfg.sv_overhead;
+        if self.checker_on {
+            s.checks.push(CheckEvent::Get {
+                space: Space::Global,
+                array: id,
+                idx: idx as u64,
+                kind,
+            });
+        }
+        let ga = garray_ref::<T>(inner, id);
+        assert!(idx < ga.dist.len, "global read index {idx} out of bounds");
+        let owner = ga.dist.owner(idx);
+        if owner == self.node {
+            s.counters.local_accesses += 1;
+            GetOutcome::Local(ga.local[ga.dist.local_offset(idx)])
+        } else {
+            assert_eq!(
+                kind,
+                PhaseKind::Global,
+                "remote shared read inside a node phase (element {idx} is on node {owner}); \
+                 use a global phase"
+            );
+            let slot = s.slots.alloc();
+            s.slots_alloced += 1;
+            s.reqs.push(ScratchReq {
+                dest: owner,
+                array: id,
+                idx: idx as u64,
+                slot,
+            });
+            s.counters.remote_gets += 1;
+            GetOutcome::Remote(slot)
+        }
+    }
+
+    /// VP write (assign) of a global shared element.
+    pub fn put_global<T: Elem>(&self, inner: &Inner, id: u32, idx: usize, val: T) {
+        let mut s = self.scratch();
+        let kind = Self::in_phase(&s, "global shared write");
+        assert_eq!(
+            kind,
+            PhaseKind::Global,
+            "global shared writes are only allowed inside a global phase"
+        );
+        s.compute += self.cfg.sv_overhead;
+        if self.checker_on {
+            s.checks.push(CheckEvent::Put {
+                space: Space::Global,
+                array: id,
+                idx: idx as u64,
+                fp: crate::check::fingerprint(&val),
+                kind,
+            });
+        }
+        let ga = garray_ref::<T>(inner, id);
+        assert!(idx < ga.dist.len, "global write index {idx} out of bounds");
+        if ga.dist.owner(idx) == self.node {
+            s.counters.local_accesses += 1;
+        } else {
+            s.counters.remote_puts += 1;
+        }
+        let key = WriteKey {
+            vp: self.global_rank,
+            seq: s.write_seq,
+        };
+        s.write_seq += 1;
+        s.writes_for::<T>(Space::Global, id)
+            .push((idx, WOp::Assign(val, key)));
+    }
+
+    /// VP combining write of a global shared element.
+    pub fn accum_global<T: AccumElem>(
+        &self,
+        inner: &Inner,
+        id: u32,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+    ) {
+        let mut s = self.scratch();
+        let kind = Self::in_phase(&s, "global shared accumulate");
+        assert_eq!(
+            kind,
+            PhaseKind::Global,
+            "global shared accumulates are only allowed inside a global phase"
+        );
+        s.compute += self.cfg.sv_overhead;
+        if self.checker_on {
+            s.checks.push(CheckEvent::Accum {
+                space: Space::Global,
+                array: id,
+                idx: idx as u64,
+            });
+        }
+        let ga = garray_ref::<T>(inner, id);
+        assert!(idx < ga.dist.len, "accumulate index {idx} out of bounds");
+        if ga.dist.owner(idx) == self.node {
+            s.counters.local_accesses += 1;
+        } else {
+            s.counters.remote_puts += 1;
+        }
+        s.writes_for::<T>(Space::Global, id)
+            .push((idx, WOp::Accum(op, val, T::combine)));
+    }
+
+    /// VP read of a node-shared element (physical shared memory:
+    /// immediate).
+    pub fn get_node_arr<T: Elem>(&self, inner: &Inner, id: u32, idx: usize) -> T {
+        let mut s = self.scratch();
+        let kind = Self::in_phase(&s, "node shared read");
+        s.compute += self.cfg.node_sv_overhead;
+        if self.checker_on {
+            s.checks.push(CheckEvent::Get {
+                space: Space::Node,
+                array: id,
+                idx: idx as u64,
+                kind,
+            });
+        }
+        s.counters.local_accesses += 1;
+        let na = narray_ref::<T>(inner, id);
+        assert!(idx < na.data.len(), "node read index {idx} out of bounds");
+        na.data[idx]
+    }
+
+    /// VP write (assign) of a node-shared element.
+    pub fn put_node_arr<T: Elem>(&self, inner: &Inner, id: u32, idx: usize, val: T) {
+        let mut s = self.scratch();
+        let kind = Self::in_phase(&s, "node shared write");
+        s.compute += self.cfg.node_sv_overhead;
+        if self.checker_on {
+            s.checks.push(CheckEvent::Put {
+                space: Space::Node,
+                array: id,
+                idx: idx as u64,
+                fp: crate::check::fingerprint(&val),
+                kind,
+            });
+        }
+        s.counters.local_accesses += 1;
+        let na = narray_ref::<T>(inner, id);
+        assert!(idx < na.data.len(), "node write index {idx} out of bounds");
+        let key = WriteKey {
+            vp: self.global_rank,
+            seq: s.write_seq,
+        };
+        s.write_seq += 1;
+        s.writes_for::<T>(Space::Node, id)
+            .push((idx, WOp::Assign(val, key)));
+    }
+
+    /// VP combining write of a node-shared element.
+    pub fn accum_node_arr<T: AccumElem>(
+        &self,
+        inner: &Inner,
+        id: u32,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+    ) {
+        let mut s = self.scratch();
+        Self::in_phase(&s, "node shared accumulate");
+        s.compute += self.cfg.node_sv_overhead;
+        if self.checker_on {
+            s.checks.push(CheckEvent::Accum {
+                space: Space::Node,
+                array: id,
+                idx: idx as u64,
+            });
+        }
+        s.counters.local_accesses += 1;
+        let na = narray_ref::<T>(inner, id);
+        assert!(idx < na.data.len(), "accumulate index {idx} out of bounds");
+        s.writes_for::<T>(Space::Node, id)
+            .push((idx, WOp::Accum(op, val, T::combine)));
+    }
+
+    /// Charge `n` floating-point operations of VP-private computation.
+    pub fn charge_flops(&self, n: u64) {
+        let mut s = self.scratch();
+        s.counters.flops += n;
+        s.compute += self.cfg.machine.core.flops(n);
+    }
+
+    /// Charge `n` memory operations of VP-private computation.
+    pub fn charge_mem_ops(&self, n: u64) {
+        let mut s = self.scratch();
+        s.counters.mem_ops += n;
+        s.compute += self.cfg.machine.core.mem_ops(n);
+    }
+}
+
+/// Merge one VP's scratch into the node state. Called by the executor in
+/// ascending VP-rank order after every poll round, which reproduces the
+/// exact effect order of a sequential ascending-rank schedule — including
+/// per-element accumulate fold order and checker event order.
+pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) {
+    let mut s = cell.scratch();
+    if let Some(kind) = s.pending_enter.take() {
+        inner.enter_phase(kind);
+    }
+    if let Some(c) = inner.checker.as_mut() {
+        for ev in s.checks.drain(..) {
+            match ev {
+                CheckEvent::Get {
+                    space,
+                    array,
+                    idx,
+                    kind,
+                } => c.record_get(space, array, idx, cell.global_rank, kind),
+                CheckEvent::Put {
+                    space,
+                    array,
+                    idx,
+                    fp,
+                    kind,
+                } => c.record_put(space, array, idx, cell.global_rank, fp, kind),
+                CheckEvent::Accum { space, array, idx } => {
+                    c.record_accum(space, array, idx, cell.global_rank)
+                }
+            }
+        }
+    } else {
+        s.checks.clear();
+    }
+    for (space, id, w) in s.writes.iter_mut() {
+        if w.is_empty() {
+            continue;
+        }
+        match space {
+            Space::Global => w.replay_global(&mut *inner.garrays[*id as usize]),
+            Space::Node => w.replay_node(&mut *inner.narrays[*id as usize]),
+        }
+    }
+    for r in s.reqs.drain(..) {
+        inner.reqs.entry(r.dest).or_default().push(QueuedReq {
+            array: r.array,
+            idx: r.idx,
+            vp: cell.id,
+            slot: r.slot,
+        });
+    }
+    let c = std::mem::take(&mut s.counters);
+    inner.counters = inner.counters.merge(&c);
+    let compute = std::mem::replace(&mut s.compute, SimTime::ZERO);
+    inner.core_compute[cell.core()] += compute;
+    inner.outstanding_reads += std::mem::take(&mut s.slots_alloced);
+    if std::mem::take(&mut s.pending_arrive) {
+        inner.phase.arrived += 1;
+        inner.barrier_waiters.push(cell.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared handle to the per-node state.
+// ---------------------------------------------------------------------------
+
+/// The shared handle to [`Inner`]: a read lock during VP polls (the live
+/// arrays are immutable inside a phase body), a write lock for the
+/// executor's merges and exchanges. Lock poisoning is ignored — a caught
+/// VP panic is re-raised by the executor, so a poisoned lock only ever
+/// guards state that is about to unwind.
+#[derive(Clone)]
+pub(crate) struct SharedInner(Arc<RwLock<Inner>>);
+
+impl SharedInner {
+    pub fn new(inner: Inner) -> Self {
+        SharedInner(Arc::new(RwLock::new(inner)))
+    }
+
+    pub fn borrow(&self) -> RwLockReadGuard<'_, Inner> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn borrow_mut(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_borrow(&self) -> Option<RwLockReadGuard<'_, Inner>> {
+        self.0.try_read().ok()
+    }
+
+    pub fn try_borrow_mut(&self) -> Option<RwLockWriteGuard<'_, Inner>> {
+        self.0.try_write().ok()
+    }
+}
+
+// Typed views of the arrays through their trait objects.
+pub(crate) fn garray_ref<T: Elem>(inner: &Inner, id: u32) -> &GArray<T> {
+    inner.garrays[id as usize]
+        .as_any_ref()
+        .downcast_ref::<GArray<T>>()
+        .expect("global array handle type mismatch")
+}
+
+pub(crate) fn garray_mut<T: Elem>(inner: &mut Inner, id: u32) -> &mut GArray<T> {
+    inner.garrays[id as usize]
+        .as_any()
+        .downcast_mut::<GArray<T>>()
+        .expect("global array handle type mismatch")
+}
+
+pub(crate) fn narray_ref<T: Elem>(inner: &Inner, id: u32) -> &NArray<T> {
+    inner.narrays[id as usize]
+        .as_any_ref()
+        .downcast_ref::<NArray<T>>()
+        .expect("node array handle type mismatch")
+}
+
+pub(crate) fn narray_mut<T: Elem>(inner: &mut Inner, id: u32) -> &mut NArray<T> {
+    inner.narrays[id as usize]
+        .as_any()
+        .downcast_mut::<NArray<T>>()
+        .expect("node array handle type mismatch")
 }
 
 // ---------------------------------------------------------------------------
@@ -199,8 +732,17 @@ impl<T: Elem> GArray<T> {
     }
 }
 
-impl<T: AccumElem> GArray<T> {
-    pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
+impl<T: Elem> GArray<T> {
+    /// Like [`Self::buffer_accum`] but with an explicit combiner, so the
+    /// type-erased scratch-replay path (`T: Elem` only) can buffer
+    /// accumulates recorded during VP polls.
+    pub fn buffer_accum_with(
+        &mut self,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+        f: fn(AccumOp, T, T) -> T,
+    ) {
         match self.wbuf.entry(idx) {
             std::collections::hash_map::Entry::Occupied(mut e) => match *e.get() {
                 WireWrite::Accum(old_op, acc, f) => {
@@ -215,28 +757,38 @@ impl<T: AccumElem> GArray<T> {
                 }
             },
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireWrite::Accum(op, val, T::combine));
+                e.insert(WireWrite::Accum(op, val, f));
             }
         }
     }
 }
 
+#[cfg(test)]
+impl<T: AccumElem> GArray<T> {
+    /// Test convenience: accumulate with the element's own combiner.
+    pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
+        self.buffer_accum_with(idx, op, val, T::combine);
+    }
+}
+
 /// Type-erased face of `GArray<T>` for the exchange path (serving reads,
-/// draining and applying write bundles).
-pub(crate) trait GArrayObj {
+/// draining and applying write bundles). `Send + Sync` because [`Inner`]
+/// is shared across the host worker threads that poll VPs.
+pub(crate) trait GArrayObj: Send + Sync {
     fn as_any(&mut self) -> &mut dyn Any;
     fn as_any_ref(&self) -> &dyn Any;
     /// Read the values at `idxs` (global indices owned by this node);
     /// returns the payload (`Vec<T>`) and its modeled byte size.
     fn serve(&self, idxs: &[u64]) -> (Box<dyn Any + Send>, usize);
-    /// Requester side: value `i` of the response fans out to every slot in
-    /// `groups[i]` (request deduplication lets many VPs share one wire
-    /// entry for the same remote element).
+    /// Requester side: value `i` of the response fans out to every
+    /// `(vp, slot)` waiter in `groups[i]` (request deduplication lets many
+    /// VPs share one wire entry for the same remote element). `fill`
+    /// delivers one boxed value to one waiter's slot.
     fn fulfill_multi(
         &self,
         values: Box<dyn Any + Send>,
-        groups: &[Vec<u64>],
-        table: &mut SlotTable,
+        groups: &[Vec<(usize, u64)>],
+        fill: &mut dyn FnMut(usize, u64, Box<dyn Any + Send>),
     );
     /// Drain the write buffer into per-destination parcels (the destination
     /// may be this node itself).
@@ -248,10 +800,10 @@ pub(crate) trait GArrayObj {
     fn has_pending_writes(&self) -> bool;
     /// Copy the local partition for a super-step snapshot; returns the
     /// payload (`Vec<T>`) and its modeled byte size.
-    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64);
+    fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64);
     /// Overwrite the local partition from a snapshot taken by
     /// [`Self::snapshot_local`] (crash recovery); returns bytes restored.
-    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64;
+    fn restore_local(&mut self, snap: &dyn Any) -> u64;
 }
 
 impl<T: Elem> GArrayObj for GArray<T> {
@@ -275,16 +827,16 @@ impl<T: Elem> GArrayObj for GArray<T> {
     fn fulfill_multi(
         &self,
         values: Box<dyn Any + Send>,
-        groups: &[Vec<u64>],
-        table: &mut SlotTable,
+        groups: &[Vec<(usize, u64)>],
+        fill: &mut dyn FnMut(usize, u64, Box<dyn Any + Send>),
     ) {
         let values = values
             .downcast::<Vec<T>>()
             .expect("response payload type mismatch");
         debug_assert_eq!(values.len(), groups.len());
-        for (slots, v) in groups.iter().zip(*values) {
-            for &slot in slots {
-                table.fill(slot, Box::new(v));
+        for (waiters, v) in groups.iter().zip(*values) {
+            for &(vp, slot) in waiters {
+                fill(vp, slot, Box::new(v));
             }
         }
     }
@@ -355,13 +907,13 @@ impl<T: Elem> GArrayObj for GArray<T> {
         !self.wbuf.is_empty()
     }
 
-    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64) {
+    fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64) {
         let copy = self.local.clone();
         let bytes = copy.wire_size() as u64;
         (Box::new(copy), bytes)
     }
 
-    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64 {
+    fn restore_local(&mut self, snap: &dyn Any) -> u64 {
         let snap = snap
             .downcast_ref::<Vec<T>>()
             .expect("snapshot payload type mismatch");
@@ -452,8 +1004,15 @@ impl<T: Elem> NArray<T> {
     }
 }
 
-impl<T: AccumElem> NArray<T> {
-    pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
+impl<T: Elem> NArray<T> {
+    /// See [`GArray::buffer_accum_with`].
+    pub fn buffer_accum_with(
+        &mut self,
+        idx: usize,
+        op: AccumOp,
+        val: T,
+        f: fn(AccumOp, T, T) -> T,
+    ) {
         match self.wbuf.entry(idx) {
             std::collections::hash_map::Entry::Occupied(mut e) => match *e.get() {
                 WireWrite::Accum(old_op, acc, f) => {
@@ -465,24 +1024,32 @@ impl<T: AccumElem> NArray<T> {
                 }
             },
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireWrite::Accum(op, val, T::combine));
+                e.insert(WireWrite::Accum(op, val, f));
             }
         }
     }
 }
 
+#[cfg(test)]
+impl<T: AccumElem> NArray<T> {
+    /// Test convenience: accumulate with the element's own combiner.
+    pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
+        self.buffer_accum_with(idx, op, val, T::combine);
+    }
+}
+
 /// Type-erased face of `NArray<T>` for end-of-phase application.
-pub(crate) trait NArrayObj {
+pub(crate) trait NArrayObj: Send + Sync {
     fn as_any(&mut self) -> &mut dyn Any;
     fn as_any_ref(&self) -> &dyn Any;
     /// Apply the buffered writes. Returns entries applied.
     fn apply(&mut self) -> u64;
     /// Copy the node instance for a super-step snapshot (payload plus
     /// modeled byte size).
-    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64);
+    fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64);
     /// Overwrite the node instance from a snapshot (crash recovery);
     /// returns bytes restored.
-    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64;
+    fn restore_local(&mut self, snap: &dyn Any) -> u64;
 }
 
 impl<T: Elem> NArrayObj for NArray<T> {
@@ -507,13 +1074,13 @@ impl<T: Elem> NArrayObj for NArray<T> {
         n
     }
 
-    fn snapshot_local(&self) -> (Box<dyn Any + Send>, u64) {
+    fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64) {
         let copy = self.data.clone();
         let bytes = copy.wire_size() as u64;
         (Box::new(copy), bytes)
     }
 
-    fn restore_local(&mut self, snap: &(dyn Any + Send)) -> u64 {
+    fn restore_local(&mut self, snap: &dyn Any) -> u64 {
         let snap = snap
             .downcast_ref::<Vec<T>>()
             .expect("snapshot payload type mismatch");
@@ -605,6 +1172,11 @@ pub(crate) struct Traffic {
     /// accumulated by data-plane sends this phase (barrier/collective
     /// delay rides on `Message::ts` instead; see `reliable.rs`).
     pub rel_delay: SimTime,
+    /// Tracing only: estimated unoverlapped elapsed time of the waves run
+    /// so far this phase, used to place each `wave` instant on a real
+    /// timeline inside the phase (the clock itself is frozen until phase
+    /// end; see DESIGN.md §11). Never feeds the charged phase time.
+    pub wave_elapsed: SimTime,
 }
 
 // ---------------------------------------------------------------------------
@@ -622,9 +1194,9 @@ pub(crate) struct Snapshots {
     /// exchanges this state reflects.
     pub phase: u64,
     /// One `Vec<T>` payload per global array partition.
-    pub garrays: Vec<Box<dyn Any + Send>>,
+    pub garrays: Vec<Box<dyn Any + Send + Sync>>,
     /// One `Vec<T>` payload per node-shared array instance.
-    pub narrays: Vec<Box<dyn Any + Send>>,
+    pub narrays: Vec<Box<dyn Any + Send + Sync>>,
 }
 
 /// Outcome of a shared read issued by a VP.
@@ -637,13 +1209,13 @@ pub(crate) enum GetOutcome<T> {
 
 /// All per-node runtime state the VPs and the executor share.
 pub(crate) struct Inner {
-    pub cfg: PpmConfig,
-    pub node: usize,
     pub garrays: Vec<Box<dyn GArrayObj>>,
     pub narrays: Vec<Box<dyn NArrayObj>>,
-    pub slots: SlotTable,
+    /// Reads parked in VP slot tables but not yet answered by a wave
+    /// (incremented when scratches merge, decremented per slot fill).
+    pub outstanding_reads: usize,
     /// Outgoing read requests queued for the next wave, by destination.
-    pub reqs: HashMap<usize, Vec<ReqEntry>>,
+    pub reqs: HashMap<usize, Vec<QueuedReq>>,
     pub phase: PhaseState,
     pub traffic: Traffic,
     /// Per-core compute accumulated in the current phase (VP charges and
@@ -653,6 +1225,16 @@ pub(crate) struct Inner {
     pub service_time: SimTime,
     /// Event counters, merged into the endpoint at exchange points.
     pub counters: Counters,
+    /// Counters from servicing peers' read requests, parked until the
+    /// serviced phase's end folds them into `counters` (exec.rs). A peer
+    /// that is ahead of us can deliver a request early (during our clock
+    /// barrier, or a `ppm_do` prologue collective) — a real-time accident —
+    /// so crediting services immediately would make per-phase counter
+    /// deltas in the trace depend on host scheduling. Parking them keeps
+    /// every snapshot of the merged counters (which excludes this bucket)
+    /// deterministic; totals are unaffected because the bucket always
+    /// drains into `counters` by job end.
+    pub deferred_service_ctrs: Counters,
     /// VPs of the current `ppm_do` that have not finished.
     pub live_vps: usize,
     /// Global rank of this node's VP 0 in the current `ppm_do`.
@@ -680,19 +1262,18 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
-    pub fn new(cfg: PpmConfig, node: usize) -> Self {
+    pub fn new(cfg: PpmConfig, _node: usize) -> Self {
         Inner {
-            cfg,
-            node,
             garrays: Vec::new(),
             narrays: Vec::new(),
-            slots: SlotTable::default(),
+            outstanding_reads: 0,
             reqs: HashMap::new(),
             phase: PhaseState::default(),
             traffic: Traffic::default(),
             core_compute: vec![SimTime::ZERO; cfg.cores_per_node()],
             service_time: SimTime::ZERO,
             counters: Counters::default(),
+            deferred_service_ctrs: Counters::default(),
             live_vps: 0,
             vp_base_global: 0,
             total_vps_global: 0,
@@ -706,205 +1287,9 @@ impl Inner {
         }
     }
 
-    /// This VP's cluster-wide rank (checker diagnostics).
-    #[inline]
-    fn global_rank_of(&self, vp_node_rank: usize) -> u64 {
-        self.vp_base_global + vp_node_rank as u64
-    }
-
-    /// Core hosting a VP (round-robin, the paper's "VPs become loops over
-    /// cores" lowering).
-    #[inline]
-    pub fn core_of(&self, vp_node_rank: usize) -> usize {
-        vp_node_rank % self.cfg.cores_per_node()
-    }
-
-    /// Charge compute time to a VP's core.
-    #[inline]
-    pub fn charge_core(&mut self, vp_node_rank: usize, t: SimTime) {
-        let core = self.core_of(vp_node_rank);
-        self.core_compute[core] += t;
-    }
-
-    fn garray<T: Elem>(&mut self, id: u32) -> &mut GArray<T> {
-        self.garrays[id as usize]
-            .as_any()
-            .downcast_mut::<GArray<T>>()
-            .expect("global array handle type mismatch")
-    }
-
-    fn narray<T: Elem>(&mut self, id: u32) -> &mut NArray<T> {
-        self.narrays[id as usize]
-            .as_any()
-            .downcast_mut::<NArray<T>>()
-            .expect("node array handle type mismatch")
-    }
-
-    fn assert_in_phase(&self, what: &str) -> PhaseKind {
-        self.phase
-            .open
-            .unwrap_or_else(|| panic!("{what} requires an open phase"))
-    }
-
-    /// VP read of a global shared element.
-    pub fn get_global<T: Elem>(&mut self, id: u32, idx: usize, vp: usize) -> GetOutcome<T> {
-        let kind = self.assert_in_phase("global shared read");
-        let sv = self.cfg.sv_overhead;
-        self.charge_core(vp, sv);
-        let rank = self.global_rank_of(vp);
-        if let Some(c) = self.checker.as_mut() {
-            c.record_get(Space::Global, id, idx as u64, rank, kind);
-        }
-        let node = self.node;
-        let ga = self.garray::<T>(id);
-        assert!(idx < ga.dist.len, "global read index {idx} out of bounds");
-        let owner = ga.dist.owner(idx);
-        if owner == node {
-            let v = ga.local[ga.dist.local_offset(idx)];
-            self.counters.local_accesses += 1;
-            GetOutcome::Local(v)
-        } else {
-            assert_eq!(
-                kind,
-                PhaseKind::Global,
-                "remote shared read inside a node phase (element {idx} is on node {owner}); \
-                 use a global phase"
-            );
-            let slot = self.slots.alloc(vp);
-            self.reqs.entry(owner).or_default().push(ReqEntry {
-                array: id,
-                idx: idx as u64,
-                slot,
-            });
-            self.counters.remote_gets += 1;
-            GetOutcome::Remote(slot)
-        }
-    }
-
-    /// VP write (assign) of a global shared element.
-    pub fn put_global<T: Elem>(&mut self, id: u32, idx: usize, val: T, key: WriteKey, vp: usize) {
-        let kind = self.assert_in_phase("global shared write");
-        assert_eq!(
-            kind,
-            PhaseKind::Global,
-            "global shared writes are only allowed inside a global phase"
-        );
-        let sv = self.cfg.sv_overhead;
-        self.charge_core(vp, sv);
-        let rank = self.global_rank_of(vp);
-        if let Some(c) = self.checker.as_mut() {
-            c.record_put(
-                Space::Global,
-                id,
-                idx as u64,
-                rank,
-                crate::check::fingerprint(&val),
-                kind,
-            );
-        }
-        let node = self.node;
-        let ga = self.garray::<T>(id);
-        assert!(idx < ga.dist.len, "global write index {idx} out of bounds");
-        if ga.dist.owner(idx) == node {
-            self.counters.local_accesses += 1;
-        } else {
-            self.counters.remote_puts += 1;
-        }
-        self.garray::<T>(id).buffer_assign(idx, val, key);
-    }
-
-    /// VP combining write of a global shared element.
-    pub fn accum_global<T: AccumElem>(
-        &mut self,
-        id: u32,
-        idx: usize,
-        op: AccumOp,
-        val: T,
-        vp: usize,
-    ) {
-        let kind = self.assert_in_phase("global shared accumulate");
-        assert_eq!(
-            kind,
-            PhaseKind::Global,
-            "global shared accumulates are only allowed inside a global phase"
-        );
-        let sv = self.cfg.sv_overhead;
-        self.charge_core(vp, sv);
-        let rank = self.global_rank_of(vp);
-        if let Some(c) = self.checker.as_mut() {
-            c.record_accum(Space::Global, id, idx as u64, rank);
-        }
-        let node = self.node;
-        let ga = self.garray::<T>(id);
-        assert!(idx < ga.dist.len, "accumulate index {idx} out of bounds");
-        if ga.dist.owner(idx) == node {
-            self.counters.local_accesses += 1;
-        } else {
-            self.counters.remote_puts += 1;
-        }
-        self.garray::<T>(id).buffer_accum(idx, op, val);
-    }
-
-    /// VP read of a node-shared element (physical shared memory: immediate).
-    pub fn get_node_arr<T: Elem>(&mut self, id: u32, idx: usize, vp: usize) -> T {
-        let kind = self.assert_in_phase("node shared read");
-        let sv = self.cfg.node_sv_overhead;
-        self.charge_core(vp, sv);
-        let rank = self.global_rank_of(vp);
-        if let Some(c) = self.checker.as_mut() {
-            c.record_get(Space::Node, id, idx as u64, rank, kind);
-        }
-        self.counters.local_accesses += 1;
-        let na = self.narray::<T>(id);
-        assert!(idx < na.data.len(), "node read index {idx} out of bounds");
-        na.data[idx]
-    }
-
-    /// VP write (assign) of a node-shared element.
-    pub fn put_node_arr<T: Elem>(&mut self, id: u32, idx: usize, val: T, key: WriteKey, vp: usize) {
-        let kind = self.assert_in_phase("node shared write");
-        let sv = self.cfg.node_sv_overhead;
-        self.charge_core(vp, sv);
-        let rank = self.global_rank_of(vp);
-        if let Some(c) = self.checker.as_mut() {
-            c.record_put(
-                Space::Node,
-                id,
-                idx as u64,
-                rank,
-                crate::check::fingerprint(&val),
-                kind,
-            );
-        }
-        self.counters.local_accesses += 1;
-        let na = self.narray::<T>(id);
-        assert!(idx < na.data.len(), "node write index {idx} out of bounds");
-        na.buffer_assign(idx, val, key);
-    }
-
-    /// VP combining write of a node-shared element.
-    pub fn accum_node_arr<T: AccumElem>(
-        &mut self,
-        id: u32,
-        idx: usize,
-        op: AccumOp,
-        val: T,
-        vp: usize,
-    ) {
-        self.assert_in_phase("node shared accumulate");
-        let sv = self.cfg.node_sv_overhead;
-        self.charge_core(vp, sv);
-        let rank = self.global_rank_of(vp);
-        if let Some(c) = self.checker.as_mut() {
-            c.record_accum(Space::Node, id, idx as u64, rank);
-        }
-        self.counters.local_accesses += 1;
-        let na = self.narray::<T>(id);
-        assert!(idx < na.data.len(), "accumulate index {idx} out of bounds");
-        na.buffer_accum(idx, op, val);
-    }
-
     /// A VP enters a phase of `kind`; all concurrent VPs must agree.
+    /// Called from [`merge_vp`] in ascending rank order, so a mismatch
+    /// panics on the same VP it would under a sequential schedule.
     pub fn enter_phase(&mut self, kind: PhaseKind) {
         assert!(
             !(self.do_mode == DoMode::Local && kind == PhaseKind::Global),
@@ -931,15 +1316,6 @@ impl Inner {
             }
         }
     }
-
-    /// A VP reaches the current phase's end barrier. Returns the epoch the
-    /// VP must wait to see advance.
-    pub fn arrive_barrier(&mut self, vp: usize) -> u64 {
-        debug_assert!(self.phase.open.is_some());
-        self.phase.arrived += 1;
-        self.barrier_waiters.push(vp);
-        self.phase.epoch
-    }
 }
 
 #[cfg(test)]
@@ -951,29 +1327,29 @@ mod tests {
     }
 
     #[test]
-    fn slot_table_lifecycle() {
-        let mut t = SlotTable::default();
-        let s0 = t.alloc(3);
-        let s1 = t.alloc(5);
-        assert_eq!(t.outstanding(), 2);
+    fn vp_slots_lifecycle() {
+        let mut t = VpSlots::default();
+        let s0 = t.alloc();
+        let s1 = t.alloc();
+        assert_ne!(s0, s1);
         assert!(t.try_take(s0).is_none());
         t.fill(s0, Box::new(1.5f64));
-        assert_eq!(t.wake, vec![3]);
         let v = t.try_take(s0).expect("filled");
         assert_eq!(*v.downcast::<f64>().unwrap(), 1.5);
         // freed slot is reused
-        let s2 = t.alloc(7);
+        let s2 = t.alloc();
         assert_eq!(s2, s0);
         t.fill(s1, Box::new(2u64));
         t.fill(s2, Box::new(3u64));
-        assert_eq!(t.wake, vec![3, 5, 7]);
+        assert_eq!(*t.try_take(s1).unwrap().downcast::<u64>().unwrap(), 2);
+        assert_eq!(*t.try_take(s2).unwrap().downcast::<u64>().unwrap(), 3);
     }
 
     #[test]
     #[should_panic(expected = "filled twice")]
     fn double_fill_panics() {
-        let mut t = SlotTable::default();
-        let s = t.alloc(0);
+        let mut t = VpSlots::default();
+        let s = t.alloc();
         t.fill(s, Box::new(1u8));
         t.fill(s, Box::new(2u8));
     }

@@ -98,10 +98,14 @@ where
     //    exactly its block of the globally sorted order.
     let counts = node.allgather_nodes(local.len() as u64);
     let my_start: u64 = counts[..node.node_id()].iter().sum();
+    // Widen-then-narrow audit: the prefix sum of partition sizes is bounded
+    // by the global length (a usize), so the conversion cannot truncate —
+    // assert it rather than `as`-cast and wrap on a 32-bit host.
+    let my_start = usize::try_from(my_start).expect("sort rebalance offset exceeds usize");
     let dist = node.dist_of(g);
     let mut outgoing: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     for (i, &x) in local.iter().enumerate() {
-        let gidx = my_start as usize + i;
+        let gidx = my_start + i;
         outgoing[dist.owner(gidx)].push(x);
     }
     let incoming = node.alltoallv_nodes(outgoing);
@@ -207,7 +211,10 @@ pub fn scatter_global<T: Elem>(
     node.with_local_mut(g, |s| {
         for batch in received {
             for (idx, v) in batch {
-                s[dist.local_offset(idx as usize)] = v;
+                // Indices were produced from usize on the sender; a wire
+                // value that no longer fits is corruption, not data.
+                let idx = usize::try_from(idx).expect("scatter index exceeds usize");
+                s[dist.local_offset(idx)] = v;
             }
         }
     });

@@ -9,38 +9,29 @@
 //! barrier is the `.await` of an internal barrier future. Suspension points
 //! (remote reads, barriers) are exactly where the paper's runtime would
 //! deschedule a virtual processor.
+//!
+//! Every effect a VP produces goes into its private
+//! [`VpScratch`](crate::state::VpScratch) (via the shared
+//! [`VpCell`]); the executor merges scratches in ascending rank order, so
+//! these futures are `Send` and may be polled from any host worker thread
+//! (see `exec.rs` and DESIGN.md §12).
 
-use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::task::{Context, Poll};
 
 use crate::elem::{AccumElem, AccumOp, Elem};
 use crate::shared::{GlobalShared, NodeShared};
-use crate::state::{GetOutcome, Inner, PhaseKind, WriteKey};
-
-/// Identity of one virtual processor, shared between its `Vp` handle and
-/// the phase handles it creates.
-pub(crate) struct VpIdent {
-    /// Node-relative rank (`PPM_VP_node_rank`).
-    pub id: usize,
-    /// Cluster-wide rank (`PPM_VP_global_rank`).
-    pub global_rank: u64,
-    /// Program-order counter for this VP's writes (conflict resolution).
-    pub write_seq: Cell<u64>,
-    /// Guard against nested phases.
-    pub in_phase: Cell<bool>,
-}
+use crate::state::{DoMode, GetOutcome, PhaseKind, SharedInner, VpCell};
 
 /// Handle given to each virtual processor started by `ppm_do`.
 ///
 /// Carries the VP's identity (rank functions, paper §3.1 item 6), explicit
 /// work charging, and the phase constructs.
 pub struct Vp {
-    pub(crate) inner: Rc<RefCell<Inner>>,
-    pub(crate) ident: Rc<VpIdent>,
-    pub(crate) node_vp_count: usize,
+    pub(crate) inner: SharedInner,
+    pub(crate) cell: Arc<VpCell>,
 }
 
 // Cheap handle duplication so phase bodies (`async move` blocks) can
@@ -49,8 +40,7 @@ impl Clone for Vp {
     fn clone(&self) -> Self {
         Vp {
             inner: self.inner.clone(),
-            ident: self.ident.clone(),
-            node_vp_count: self.node_vp_count,
+            cell: self.cell.clone(),
         }
     }
 }
@@ -59,59 +49,53 @@ impl Vp {
     /// `PPM_VP_node_rank()`: this VP's rank among the node's VPs.
     #[inline]
     pub fn node_rank(&self) -> usize {
-        self.ident.id
+        self.cell.id
     }
 
     /// `PPM_VP_global_rank()`: this VP's rank across all nodes.
     #[inline]
     pub fn global_rank(&self) -> usize {
-        self.ident.global_rank as usize
+        self.cell.global_rank as usize
     }
 
     /// VPs started on this node by the current `ppm_do`.
     #[inline]
     pub fn node_vp_count(&self) -> usize {
-        self.node_vp_count
+        self.cell.node_vp_count
     }
 
     /// VPs started across all nodes by the current `ppm_do`.
     #[inline]
     pub fn global_vp_count(&self) -> usize {
-        self.inner.borrow().total_vps_global as usize
+        self.cell.total_vps_global as usize
     }
 
     /// `PPM_node_id`.
     #[inline]
     pub fn node_id(&self) -> usize {
-        self.inner.borrow().node
+        self.cell.node
     }
 
     /// `PPM_node_count`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.inner.borrow().cfg.nodes()
+        self.cell.cfg.nodes()
     }
 
     /// `PPM_cores_per_node`.
     #[inline]
     pub fn cores_per_node(&self) -> usize {
-        self.inner.borrow().cfg.cores_per_node()
+        self.cell.cfg.cores_per_node()
     }
 
     /// Charge `n` floating-point operations of VP-private computation.
     pub fn charge_flops(&self, n: u64) {
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.flops += n;
-        let t = inner.cfg.machine.core.flops(n);
-        inner.charge_core(self.ident.id, t);
+        self.cell.charge_flops(n);
     }
 
     /// Charge `n` memory operations of VP-private computation.
     pub fn charge_mem_ops(&self, n: u64) {
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.mem_ops += n;
-        let t = inner.cfg.machine.core.mem_ops(n);
-        inner.charge_core(self.ident.id, t);
+        self.cell.charge_mem_ops(n);
     }
 
     /// `PPM_global_phase { body }`: run `body` under phase semantics
@@ -138,31 +122,43 @@ impl Vp {
     where
         Fut: Future<Output = R>,
     {
-        if self.ident.in_phase.get() {
-            // Phase structure violation: report with the checker's rendering
-            // and abort (the runtime cannot give nested super-steps a
-            // meaning).
-            let v = crate::check::PhaseViolation::NestedPhase {
-                vp: self.ident.id,
-                node: self.node_id(),
-            };
-            panic!("{v}");
+        assert!(
+            !(self.cell.do_mode == DoMode::Local && kind == PhaseKind::Global),
+            "global phases are not allowed inside ppm_do_local \
+             (asynchronous node-level mode); use ppm_do"
+        );
+        {
+            let mut s = self.cell.scratch();
+            if s.cur_phase.is_some() {
+                // Phase structure violation: report with the checker's
+                // rendering and abort (the runtime cannot give nested
+                // super-steps a meaning).
+                let v = crate::check::PhaseViolation::NestedPhase {
+                    vp: self.cell.id,
+                    node: self.cell.node,
+                };
+                panic!("{v}");
+            }
+            s.cur_phase = Some(kind);
+            s.pending_enter = Some(kind);
         }
-        self.ident.in_phase.set(true);
-        self.inner.borrow_mut().enter_phase(kind);
         let ph = Phase {
             inner: self.inner.clone(),
-            ident: self.ident.clone(),
+            cell: self.cell.clone(),
             kind,
         };
         let r = body(ph).await;
-        let epoch = self.inner.borrow_mut().arrive_barrier(self.ident.id);
+        // Capture the epoch to outwait *before* flagging arrival: the
+        // executor cannot advance it until this VP's arrival merges, which
+        // happens only after the current poll returns.
+        let epoch = self.inner.borrow().phase.epoch;
+        self.cell.scratch().pending_arrive = true;
         BarrierFut {
             inner: self.inner.clone(),
             epoch,
         }
         .await;
-        self.ident.in_phase.set(false);
+        self.cell.scratch().cur_phase = None;
         r
     }
 }
@@ -171,8 +167,8 @@ impl Vp {
 /// variables, which enforces the paper's rule that shared access happens
 /// inside phases.
 pub struct Phase {
-    inner: Rc<RefCell<Inner>>,
-    ident: Rc<VpIdent>,
+    inner: SharedInner,
+    cell: Arc<VpCell>,
     kind: PhaseKind,
 }
 
@@ -183,22 +179,13 @@ impl Phase {
         self.kind
     }
 
-    fn next_key(&self) -> WriteKey {
-        let seq = self.ident.write_seq.get();
-        self.ident.write_seq.set(seq + 1);
-        WriteKey {
-            vp: self.ident.global_rank,
-            seq,
-        }
-    }
-
     /// Read a global shared element. Returns the value the element had at
     /// phase start. Local elements resolve immediately; remote elements
     /// suspend the VP until the runtime's next bundled wave.
     pub fn get<T: Elem>(&self, g: &GlobalShared<T>, idx: usize) -> GetFut<T> {
         GetFut {
             inner: self.inner.clone(),
-            vp: self.ident.id,
+            cell: self.cell.clone(),
             array: g.id,
             idx,
             slot: None,
@@ -220,7 +207,7 @@ impl Phase {
     ) -> GetManyFut<T> {
         GetManyFut {
             inner: self.inner.clone(),
-            vp: self.ident.id,
+            cell: self.cell.clone(),
             array: g.id,
             idxs: Some(idxs.into_iter().collect()),
             state: Vec::new(),
@@ -232,10 +219,7 @@ impl Phase {
     /// conflicting writes resolve deterministically (last writer in
     /// (global VP rank, program order) wins). Only valid in a global phase.
     pub fn put<T: Elem>(&self, g: &GlobalShared<T>, idx: usize, val: T) {
-        let key = self.next_key();
-        self.inner
-            .borrow_mut()
-            .put_global(g.id, idx, val, key, self.ident.id);
+        self.cell.put_global(&self.inner.borrow(), g.id, idx, val);
     }
 
     /// Combining write to a global shared element: at phase end the element
@@ -244,25 +228,19 @@ impl Phase {
     /// (the phase-start value is *not* included). Accumulates from many VPs
     /// are merged locally, so a cluster-wide sum ships one entry per node.
     pub fn accumulate<T: AccumElem>(&self, g: &GlobalShared<T>, idx: usize, op: AccumOp, val: T) {
-        self.inner
-            .borrow_mut()
-            .accum_global(g.id, idx, op, val, self.ident.id);
+        self.cell
+            .accum_global(&self.inner.borrow(), g.id, idx, op, val);
     }
 
     /// Read a node-shared element (this node's physical shared memory;
     /// immediate).
     pub fn get_node<T: Elem>(&self, n: &NodeShared<T>, idx: usize) -> T {
-        self.inner
-            .borrow_mut()
-            .get_node_arr(n.id, idx, self.ident.id)
+        self.cell.get_node_arr(&self.inner.borrow(), n.id, idx)
     }
 
     /// Write a node-shared element; takes effect at phase end.
     pub fn put_node<T: Elem>(&self, n: &NodeShared<T>, idx: usize, val: T) {
-        let key = self.next_key();
-        self.inner
-            .borrow_mut()
-            .put_node_arr(n.id, idx, val, key, self.ident.id);
+        self.cell.put_node_arr(&self.inner.borrow(), n.id, idx, val);
     }
 
     /// Combining write to a node-shared element.
@@ -273,16 +251,15 @@ impl Phase {
         op: AccumOp,
         val: T,
     ) {
-        self.inner
-            .borrow_mut()
-            .accum_node_arr(n.id, idx, op, val, self.ident.id);
+        self.cell
+            .accum_node_arr(&self.inner.borrow(), n.id, idx, op, val);
     }
 }
 
 /// Future returned by [`Phase::get`].
 pub struct GetFut<T: Elem> {
-    inner: Rc<RefCell<Inner>>,
-    vp: usize,
+    inner: SharedInner,
+    cell: Arc<VpCell>,
     array: u32,
     idx: usize,
     slot: Option<u64>,
@@ -297,9 +274,8 @@ impl<T: Elem> Future for GetFut<T> {
         match this.slot {
             None => {
                 let outcome = this
-                    .inner
-                    .borrow_mut()
-                    .get_global::<T>(this.array, this.idx, this.vp);
+                    .cell
+                    .get_global::<T>(&this.inner.borrow(), this.array, this.idx);
                 match outcome {
                     GetOutcome::Local(v) => Poll::Ready(v),
                     GetOutcome::Remote(slot) => {
@@ -308,7 +284,7 @@ impl<T: Elem> Future for GetFut<T> {
                     }
                 }
             }
-            Some(slot) => match this.inner.borrow_mut().slots.try_take(slot) {
+            Some(slot) => match this.cell.scratch().slots.try_take(slot) {
                 Some(boxed) => {
                     let v = boxed.downcast::<T>().expect("slot value type mismatch");
                     Poll::Ready(*v)
@@ -326,8 +302,8 @@ enum ManySlot<T> {
 
 /// Future returned by [`Phase::get_many`].
 pub struct GetManyFut<T: Elem> {
-    inner: Rc<RefCell<Inner>>,
-    vp: usize,
+    inner: SharedInner,
+    cell: Arc<VpCell>,
     array: u32,
     idxs: Option<Vec<usize>>,
     state: Vec<ManySlot<T>>,
@@ -344,13 +320,13 @@ impl<T: Elem> Future for GetManyFut<T> {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Vec<T>> {
         let this = &mut *self;
         if let Some(idxs) = this.idxs.take() {
-            // First poll: issue every access; remote ones queue for the
-            // next wave together.
-            let mut inner = this.inner.borrow_mut();
+            // First poll: issue every access under one `Inner` read lock;
+            // remote ones queue for the next wave together.
+            let inner = this.inner.borrow();
             this.state = idxs
                 .into_iter()
                 .map(
-                    |idx| match inner.get_global::<T>(this.array, idx, this.vp) {
+                    |idx| match this.cell.get_global::<T>(&inner, this.array, idx) {
                         GetOutcome::Local(v) => ManySlot::Ready(v),
                         GetOutcome::Remote(slot) => {
                             this.remaining += 1;
@@ -360,12 +336,12 @@ impl<T: Elem> Future for GetManyFut<T> {
                 )
                 .collect();
         } else {
-            let mut inner = this.inner.borrow_mut();
-            for s in this.state.iter_mut() {
-                if let ManySlot::Waiting(slot) = *s {
-                    if let Some(boxed) = inner.slots.try_take(slot) {
+            let mut s = this.cell.scratch();
+            for st in this.state.iter_mut() {
+                if let ManySlot::Waiting(slot) = *st {
+                    if let Some(boxed) = s.slots.try_take(slot) {
                         let v = boxed.downcast::<T>().expect("slot value type mismatch");
-                        *s = ManySlot::Ready(*v);
+                        *st = ManySlot::Ready(*v);
                         this.remaining -= 1;
                     }
                 }
@@ -388,7 +364,7 @@ impl<T: Elem> Future for GetManyFut<T> {
 
 /// Future that resolves when the executor completes the current phase.
 struct BarrierFut {
-    inner: Rc<RefCell<Inner>>,
+    inner: SharedInner,
     epoch: u64,
 }
 

@@ -191,8 +191,8 @@ fn phase_semantics_match_model() {
                 let a = node.alloc_global::<i64>(prog2.len);
                 let r = node.local_range(&a);
                 node.with_local_mut(&a, |s| s.copy_from_slice(&init2[r.clone()]));
-                let my_vps = std::rc::Rc::new(prog2.vps[node.node_id()].clone());
-                let init = std::rc::Rc::new(init2.clone());
+                let my_vps = std::sync::Arc::new(prog2.vps[node.node_id()].clone());
+                let init = std::sync::Arc::new(init2.clone());
                 node.ppm_do(my_vps.len(), move |vp| {
                     let ops = my_vps[vp.node_rank()].clone();
                     let init = init.clone();

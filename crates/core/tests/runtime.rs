@@ -404,7 +404,7 @@ fn phase_body_can_return_values() {
     let report = run(cfg(2, 1), move |node| {
         let a = node.alloc_global::<u64>(4);
         node.with_local_mut(&a, |s| s.fill(5));
-        let result = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let result = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let r2 = result.clone();
         node.ppm_do(1, move |vp| {
             let r = r2.clone();
@@ -416,10 +416,10 @@ fn phase_body_can_return_values() {
                         x + y
                     })
                     .await;
-                r.set(sum);
+                r.store(sum, std::sync::atomic::Ordering::Relaxed);
             }
         });
-        result.get()
+        result.load(std::sync::atomic::Ordering::Relaxed)
     });
     assert!(report.results.iter().all(|&v| v == 10));
 }

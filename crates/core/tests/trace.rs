@@ -163,6 +163,57 @@ fn binary_search_trace_has_per_node_tracks_waves_and_counter_deltas() {
     assert!(events.iter().all(|e| e.pid == 0 && e.tid < 2));
 }
 
+/// Regression (DESIGN.md §11): `wave` instants used to all stamp at the
+/// phase-start instant. They must now advance strictly with the wave index
+/// — phase start plus the cumulative wave completion cost — while the
+/// phase span itself still starts where the phase opened (the stamps are
+/// tracing-only and never feed charged time, which
+/// `tracing_does_not_perturb_results_makespan_or_counters` pins).
+#[test]
+fn wave_instants_advance_within_a_phase() {
+    let sink = TraceSink::new();
+    run_traced(cfg(), &sink, "bsearch", binary_search);
+    let events = sink.events();
+
+    for tid in [0u32, 1] {
+        let mut wave_ts = Vec::new();
+        let mut checked_any = false;
+        for ev in events.iter().filter(|e| e.pid == 0 && e.tid == tid) {
+            match ev.name {
+                "wave" => wave_ts.push(ev.ts),
+                "global_phase" => {
+                    assert!(
+                        !wave_ts.is_empty(),
+                        "node {tid}: dependent gets must trace waves"
+                    );
+                    for (i, &ts) in wave_ts.iter().enumerate() {
+                        assert!(
+                            ts > ev.ts,
+                            "node {tid} wave {i}: instant {ts:?} must lie \
+                             strictly after the phase start {:?}",
+                            ev.ts
+                        );
+                    }
+                    for (i, pair) in wave_ts.windows(2).enumerate() {
+                        assert!(
+                            pair[0] < pair[1],
+                            "node {tid}: wave {i} at {:?} not before wave {} \
+                             at {:?}",
+                            pair[0],
+                            i + 1,
+                            pair[1]
+                        );
+                    }
+                    wave_ts.clear();
+                    checked_any = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(checked_any, "node {tid}: no phase summary seen");
+    }
+}
+
 #[test]
 fn chrome_and_metrics_exports_are_valid_json() {
     let sink = TraceSink::new();

@@ -48,29 +48,18 @@ pub struct Counters {
 }
 
 impl Counters {
-    /// Element-wise sum, for job-level aggregation.
+    /// Element-wise sum, for job-level aggregation. Saturating: counters
+    /// are diagnostics, so an (astronomically unlikely) overflow clamps at
+    /// `u64::MAX` rather than aborting the job or wrapping to a small lie.
+    /// Driven through `named_fields_mut` so a new field cannot be missed.
     pub fn merge(&self, other: &Counters) -> Counters {
-        Counters {
-            msgs_sent: self.msgs_sent + other.msgs_sent,
-            bytes_sent: self.bytes_sent + other.bytes_sent,
-            msgs_recv: self.msgs_recv + other.msgs_recv,
-            bytes_recv: self.bytes_recv + other.bytes_recv,
-            flops: self.flops + other.flops,
-            mem_ops: self.mem_ops + other.mem_ops,
-            barriers: self.barriers + other.barriers,
-            remote_gets: self.remote_gets + other.remote_gets,
-            remote_puts: self.remote_puts + other.remote_puts,
-            bundles_sent: self.bundles_sent + other.bundles_sent,
-            waves: self.waves + other.waves,
-            local_accesses: self.local_accesses + other.local_accesses,
-            retries: self.retries + other.retries,
-            faults_dropped: self.faults_dropped + other.faults_dropped,
-            faults_duplicated: self.faults_duplicated + other.faults_duplicated,
-            faults_delayed: self.faults_delayed + other.faults_delayed,
-            dups_suppressed: self.dups_suppressed + other.dups_suppressed,
-            acks_sent: self.acks_sent + other.acks_sent,
-            crash_recoveries: self.crash_recoveries + other.crash_recoveries,
+        let mut out = *self;
+        let rhs = other.named_fields();
+        for (i, (name, slot)) in out.named_fields_mut().into_iter().enumerate() {
+            debug_assert_eq!(name, rhs[i].0);
+            *slot = slot.saturating_add(rhs[i].1);
         }
+        out
     }
 
     /// Snapshot of every reliability/fault-injection field as a named
@@ -245,6 +234,28 @@ mod tests {
             std::mem::size_of::<ReliabilitySummary>(),
             "ReliabilitySummary must cover every reliability field"
         );
+    }
+
+    /// Regression: `merge` used to use plain `+`, which panics in debug
+    /// builds (and wraps in release) when an accumulated counter is near
+    /// `u64::MAX`. It must clamp instead.
+    #[test]
+    fn merge_saturates_at_u64_max() {
+        let a = Counters {
+            bytes_sent: u64::MAX,
+            waves: u64::MAX - 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            bytes_sent: 17,
+            waves: 5,
+            msgs_sent: 1,
+            ..Counters::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.bytes_sent, u64::MAX);
+        assert_eq!(m.waves, u64::MAX);
+        assert_eq!(m.msgs_sent, 1);
     }
 
     #[test]

@@ -22,14 +22,22 @@ const PS_PER_S: u64 = 1_000_000_000_000;
 /// An instant (or duration — the simulator uses one type for both) of
 /// simulated time, in picoseconds.
 ///
-/// `SimTime` is totally ordered and supports saturating-free checked-by-debug
-/// arithmetic through the usual operators.
+/// `SimTime` is totally ordered. Additive operators saturate at
+/// [`SimTime::MAX`]: modeled costs are sums of products of user-supplied
+/// sizes, so a pathological input clamps to "forever" instead of wrapping
+/// into a small (and plausible-looking) makespan. Subtraction still
+/// debug-asserts on underflow — a negative duration is a logic bug, not an
+/// extreme input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
     /// The zero instant (job start) / zero duration.
     pub const ZERO: SimTime = SimTime(0);
+
+    /// The latest representable instant (≈ 213 simulated days). Additive
+    /// arithmetic clamps here.
+    pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Construct from picoseconds.
     #[inline]
@@ -119,14 +127,14 @@ impl Add for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -188,6 +196,24 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c, SimTime::from_ns(13));
+    }
+
+    /// Regression: `+`/`+=`/`scale` near the top of the range must clamp
+    /// at `SimTime::MAX`, not wrap (release) or abort (debug).
+    #[test]
+    fn additive_arithmetic_saturates() {
+        let almost = SimTime(u64::MAX - 10);
+        assert_eq!(almost + SimTime::from_ns(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimTime::MAX, SimTime::MAX);
+        let mut t = almost;
+        t += SimTime::from_ps(100);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(SimTime::from_ns(2).scale(u64::MAX), SimTime::MAX);
+        // Ordinary magnitudes are unaffected.
+        assert_eq!(
+            SimTime::from_ns(1) + SimTime::from_ns(2),
+            SimTime::from_ns(3)
+        );
     }
 
     #[test]
