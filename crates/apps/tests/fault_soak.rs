@@ -127,6 +127,34 @@ fn barnes_hut_survives_fault_soak() {
     soak("barnes_hut", &run_barnes_hut);
 }
 
+/// The read cache + wave pipelining (DESIGN.md §13) under the soak
+/// matrix: every (schedule × knob) cell must produce the bit-identical
+/// CG solution, and the optimizations must never cost simulated time.
+#[test]
+fn soak_matrix_is_bit_identical_across_knobs_and_opts_never_cost_time() {
+    let on = |c: PpmConfig| c.with_read_cache(true).with_wave_pipelining(true);
+    let off = |c: PpmConfig| c.with_read_cache(false).with_wave_pipelining(false);
+    let (clean, _, _) = run_cg(on(base_cfg()));
+    let schedules: Vec<(String, PpmConfig)> = std::iter::once(("clean".to_string(), base_cfg()))
+        .chain([5u64, 23, 71].into_iter().map(|seed| {
+            (
+                format!("faults seed {seed}"),
+                base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03)),
+            )
+        }))
+        .collect();
+    for (desc, cfg) in schedules {
+        let (r_on, t_on, _) = run_cg(on(cfg));
+        let (r_off, t_off, _) = run_cg(off(cfg));
+        assert_eq!(r_on, clean, "{desc}: opts on changed the solution");
+        assert_eq!(r_off, clean, "{desc}: opts off changed the solution");
+        assert!(
+            t_on <= t_off,
+            "{desc}: opts on made the job slower ({t_on:?} > {t_off:?})"
+        );
+    }
+}
+
 #[test]
 fn cg_survives_the_ci_seed() {
     // CI's fault-soak job sweeps PPM_FAULT_SEED over a small matrix; the

@@ -93,14 +93,21 @@ fn assert_thread_count_invariant(
     }
 }
 
-/// A clean config plus one seeded fault schedule per `FAULT_SEEDS` entry.
+/// A clean config plus one seeded fault schedule per `FAULT_SEEDS` entry —
+/// each cell with the read cache + wave pipelining (DESIGN.md §13) both on
+/// (pinned explicitly, not via the env defaults) and both off, so
+/// host-thread bit-identity holds on both sides of every knob.
 fn soak_cfgs() -> Vec<(String, PpmConfig)> {
-    let mut cfgs = vec![("clean".to_string(), base_cfg())];
-    for seed in FAULT_SEEDS {
-        cfgs.push((
-            format!("faults seed {seed}"),
-            base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03)),
-        ));
+    let mut cfgs = Vec::new();
+    for (kdesc, on) in [("opts on", true), ("opts off", false)] {
+        let knobbed = |c: PpmConfig| c.with_read_cache(on).with_wave_pipelining(on);
+        cfgs.push((format!("clean, {kdesc}"), knobbed(base_cfg())));
+        for seed in FAULT_SEEDS {
+            cfgs.push((
+                format!("faults seed {seed}, {kdesc}"),
+                knobbed(base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03))),
+            ));
+        }
     }
     cfgs
 }

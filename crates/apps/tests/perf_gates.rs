@@ -1,0 +1,109 @@
+//! Acceptance gates for the phase-coherent read cache and wake-on-arrival
+//! wave pipelining (DESIGN.md §13), at the figure-1 smoke configuration
+//! (8x8x32 chimney, 10 CG iterations, 4 Franklin nodes — the config CI
+//! runs): with both optimizations on, the solution must stay bit-identical
+//! while simulated makespan, bundles sent, and bytes on the wire all drop
+//! strictly below the both-off (seed) run.
+
+use ppm_apps::cg::{self, CgParams};
+use ppm_apps::stencil27::Stencil27;
+use ppm_core::PpmConfig;
+use ppm_simnet::{Counters, SimTime};
+
+/// Result bits, simulated makespan, and job-total counters of one run.
+type Run = (Vec<u64>, SimTime, Counters);
+
+fn fig1_smoke(cfg: PpmConfig) -> Run {
+    let p = CgParams {
+        problem: Stencil27::chimney(8),
+        iters: 10,
+        rows_per_vp: 64,
+        collect_x: true,
+        tol: None,
+    };
+    let report = ppm_core::run(cfg, move |node| {
+        let (out, _) = cg::ppm::solve(node, &p);
+        let violations = node.take_violations();
+        assert!(violations.is_empty(), "conformance: {violations:?}");
+        let mut bits = vec![out.rr.to_bits()];
+        bits.extend(out.x.iter().map(|v| v.to_bits()));
+        bits
+    });
+    let first = report.results[0].clone();
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r, &first, "node {i} disagrees with node 0");
+    }
+    (first, report.makespan(), report.total_counters())
+}
+
+// Knobs are pinned explicitly (not left to the `PPM_READ_CACHE` /
+// `PPM_WAVE_PIPELINE` env defaults) so CI matrix cells that override the
+// environment still test both sides.
+fn both_on(cfg: PpmConfig) -> PpmConfig {
+    cfg.with_read_cache(true).with_wave_pipelining(true)
+}
+
+fn both_off(cfg: PpmConfig) -> PpmConfig {
+    cfg.with_read_cache(false).with_wave_pipelining(false)
+}
+
+#[test]
+fn fig1_smoke_opts_strictly_beat_seed_with_identical_results() {
+    let (bits_on, t_on, c_on) = fig1_smoke(both_on(PpmConfig::franklin(4)));
+    let (bits_off, t_off, c_off) = fig1_smoke(both_off(PpmConfig::franklin(4)));
+    println!(
+        "fig1 smoke  on: makespan {t_on:?}, bundles {}, bytes {}\n\
+         fig1 smoke off: makespan {t_off:?}, bundles {}, bytes {}",
+        c_on.bundles_sent, c_on.bytes_sent, c_off.bundles_sent, c_off.bytes_sent
+    );
+    assert_eq!(bits_on, bits_off, "optimizations changed the CG solution");
+    assert!(
+        t_on < t_off,
+        "makespan must strictly drop: on {t_on:?}, off {t_off:?}"
+    );
+    assert!(
+        c_on.bundles_sent < c_off.bundles_sent,
+        "bundles_sent must strictly drop: on {}, off {}",
+        c_on.bundles_sent,
+        c_off.bundles_sent
+    );
+    assert!(
+        c_on.bytes_sent < c_off.bytes_sent,
+        "bytes_sent must strictly drop: on {}, off {}",
+        c_on.bytes_sent,
+        c_off.bytes_sent
+    );
+    // The new counters actually fire on this config…
+    assert!(c_on.cache_hits > 0, "no cache hits on fig1 smoke");
+    assert!(c_on.partial_wakes > 0, "no partial wakes on fig1 smoke");
+    // …and are properly silenced with the knobs off.
+    assert_eq!(c_off.cache_hits, 0);
+    assert_eq!(c_off.partial_wakes, 0);
+    assert!(
+        c_off.cache_misses >= c_on.cache_misses,
+        "cache off must reach the wire at least as often"
+    );
+}
+
+/// Each optimization alone also keeps the bits and never costs time.
+#[test]
+fn fig1_smoke_each_opt_alone_is_no_worse() {
+    let (bits_off, t_off, _) = fig1_smoke(both_off(PpmConfig::franklin(4)));
+    for (desc, cfg) in [
+        (
+            "cache only",
+            both_on(PpmConfig::franklin(4)).with_wave_pipelining(false),
+        ),
+        (
+            "pipeline only",
+            both_on(PpmConfig::franklin(4)).with_read_cache(false),
+        ),
+    ] {
+        let (bits, t, _) = fig1_smoke(cfg);
+        assert_eq!(bits, bits_off, "{desc}: changed the CG solution");
+        assert!(
+            t <= t_off,
+            "{desc}: makespan {t:?} worse than off {t_off:?}"
+        );
+    }
+}

@@ -82,6 +82,10 @@ fn fig1_smoke_trace_overhead_is_zero_and_trace_reconciles() {
                         "node {tid} phase {phases}: wave bundles disagree \
                          with the phase's request-bundle count"
                     );
+                    // Refresh pushes ride barrier messages (tracked via
+                    // the separate refresh_bundles_out arg) and so never
+                    // show up in the bundle counter.
+                    assert!(e.arg_u64("refresh_bundles_out").is_some());
                     assert_eq!(
                         e.arg_u64("d_bundles_sent").unwrap(),
                         req + wr,

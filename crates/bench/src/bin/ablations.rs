@@ -9,9 +9,15 @@
 //!   switching it off serializes gap time after compute.
 //! * **VP granularity** — the `PPM_do(K)` degree-of-parallelism knob:
 //!   fewer, fatter VPs give the scheduler less slack.
+//! * **read cache / wave pipelining** — the phase-coherent remote-read
+//!   cache with owner refresh-push, and wake-on-arrival wave pipelining
+//!   (DESIGN.md §13). `--ablate-cache` / `--ablate-pipeline` restrict the
+//!   sweep to the full runtime plus just that ablation (the CI artifact
+//!   job runs these; EXPERIMENTS.md records the deltas).
 //!
 //! ```text
 //! cargo run --release -p ppm-bench --bin ablations [-- --nodes 8 --g 16]
+//! cargo run --release -p ppm-bench --bin ablations -- --ablate-cache
 //! ```
 //!
 //! `--trace <path>` / `PPM_TRACE=<path>` records every ablation run as one
@@ -57,6 +63,13 @@ fn main() {
         })
     };
 
+    // `--ablate-cache` / `--ablate-pipeline` narrow the sweep to the full
+    // runtime plus the selected knob(s); with neither flag, print
+    // everything.
+    let ablate_cache = args.flag("--ablate-cache");
+    let ablate_pipeline = args.flag("--ablate-pipeline");
+    let all = !(ablate_cache || ablate_pipeline);
+
     println!("# Runtime ablations on {nodes} nodes (4 cores each)\n");
     header(&["configuration", "CG ms", "Barnes–Hut ms"]);
 
@@ -64,43 +77,74 @@ fn main() {
     let t_cg = cg_time("full", base, cg_params);
     let t_bh = bh_time("full", base, bh_params);
     row(&[
-        "full runtime (bundling + overlap)".into(),
+        "full runtime (bundling + overlap + cache + pipelining)".into(),
         ms(t_cg),
         ms(t_bh),
     ]);
 
-    let no_bundle = base.without_bundling();
-    row(&[
-        "no bundling (per-element messages)".into(),
-        ms(cg_time("no-bundling", no_bundle, cg_params)),
-        ms(bh_time("no-bundling", no_bundle, bh_params)),
-    ]);
+    if all {
+        let no_bundle = base.without_bundling();
+        row(&[
+            "no bundling (per-element messages)".into(),
+            ms(cg_time("no-bundling", no_bundle, cg_params)),
+            ms(bh_time("no-bundling", no_bundle, bh_params)),
+        ]);
 
-    let no_overlap = base.without_overlap();
-    row(&[
-        "no comm/compute overlap".into(),
-        ms(cg_time("no-overlap", no_overlap, cg_params)),
-        ms(bh_time("no-overlap", no_overlap, bh_params)),
-    ]);
+        let no_overlap = base.without_overlap();
+        row(&[
+            "no comm/compute overlap".into(),
+            ms(cg_time("no-overlap", no_overlap, cg_params)),
+            ms(bh_time("no-overlap", no_overlap, bh_params)),
+        ]);
+    }
 
-    let hier = cg_params;
-    row(&[
-        "hierarchical CG (x, r, A·p node-shared, §3.3 layering)".into(),
-        ms(max_time(&ppm_core::run(base, move |node| {
-            cg::ppm_hier::solve(node, &hier).1
-        }))),
-        "—".into(),
-    ]);
+    if all || ablate_cache {
+        let no_cache = base.with_read_cache(false);
+        row(&[
+            "no read cache (every remote read reaches the wire)".into(),
+            ms(cg_time("no-cache", no_cache, cg_params)),
+            ms(bh_time("no-cache", no_cache, bh_params)),
+        ]);
+    }
 
-    let mut fat = cg_params;
-    fat.rows_per_vp = 4096;
-    let mut fat_bh = bh_params;
-    fat_bh.bodies_per_vp = 4096;
-    row(&[
-        "coarse VPs (degree of parallelism ÷64)".into(),
-        ms(cg_time("coarse-vps", base, fat)),
-        ms(bh_time("coarse-vps", base, fat_bh)),
-    ]);
+    if all || ablate_pipeline {
+        let no_pipe = base.with_wave_pipelining(false);
+        row(&[
+            "no wave pipelining (all-responses wave barrier)".into(),
+            ms(cg_time("no-pipelining", no_pipe, cg_params)),
+            ms(bh_time("no-pipelining", no_pipe, bh_params)),
+        ]);
+    }
+
+    if ablate_cache && ablate_pipeline {
+        let neither = base.with_read_cache(false).with_wave_pipelining(false);
+        row(&[
+            "no cache, no pipelining (pre-§13 runtime)".into(),
+            ms(cg_time("no-cache-no-pipelining", neither, cg_params)),
+            ms(bh_time("no-cache-no-pipelining", neither, bh_params)),
+        ]);
+    }
+
+    if all {
+        let hier = cg_params;
+        row(&[
+            "hierarchical CG (x, r, A·p node-shared, §3.3 layering)".into(),
+            ms(max_time(&ppm_core::run(base, move |node| {
+                cg::ppm_hier::solve(node, &hier).1
+            }))),
+            "—".into(),
+        ]);
+
+        let mut fat = cg_params;
+        fat.rows_per_vp = 4096;
+        let mut fat_bh = bh_params;
+        fat_bh.bodies_per_vp = 4096;
+        row(&[
+            "coarse VPs (degree of parallelism ÷64)".into(),
+            ms(cg_time("coarse-vps", base, fat)),
+            ms(bh_time("coarse-vps", base, fat_bh)),
+        ]);
+    }
 
     println!("\n(the first row should be the fastest on every column)");
     if let Some((sink, path)) = &trace {

@@ -20,7 +20,7 @@
 
 use ppm_apps::cg::{self, CgParams};
 use ppm_apps::stencil27::Stencil27;
-use ppm_bench::{header, max_time, mb, ms, ratio, row, write_trace, Args, TraceSink};
+use ppm_bench::{header, max_time, mb, ms, pct, ratio, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::MachineConfig;
 
@@ -59,6 +59,9 @@ fn main() {
         "MPI msgs",
         "PPM MB",
         "MPI MB",
+        "hit%",
+        "dedup",
+        "pwakes",
     ]);
     for &n in &nodes {
         let p = params;
@@ -95,6 +98,9 @@ fn main() {
             cm.msgs_sent.to_string(),
             mb(cp.bytes_sent),
             mb(cm.bytes_sent),
+            pct(cp.cache_hits, cp.cache_hits + cp.cache_misses),
+            cp.dedup_reads.to_string(),
+            cp.partial_wakes.to_string(),
         ]);
     }
     println!(

@@ -14,7 +14,7 @@
 //! trace-event file plus a `<path>.metrics.json` per-phase report.
 
 use ppm_apps::matgen::{self, MatGenParams};
-use ppm_bench::{header, max_time, mb, ms, ratio, row, write_trace, Args, TraceSink};
+use ppm_bench::{header, max_time, mb, ms, pct, ratio, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::MachineConfig;
 
@@ -35,7 +35,8 @@ fn main() {
         params.nnz()
     );
     header(&[
-        "nodes", "cores", "PPM ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs", "PPM MB", "MPI MB",
+        "nodes", "cores", "PPM ms", "MPI ms", "PPM/MPI", "PPM msgs", "MPI msgs", "PPM MB",
+        "MPI MB", "hit%", "dedup", "pwakes",
     ]);
     for &n in &nodes {
         let p = params;
@@ -64,6 +65,9 @@ fn main() {
             cm.msgs_sent.to_string(),
             mb(cp.bytes_sent),
             mb(cm.bytes_sent),
+            pct(cp.cache_hits, cp.cache_hits + cp.cache_misses),
+            cp.dedup_reads.to_string(),
+            cp.partial_wakes.to_string(),
         ]);
     }
     println!(

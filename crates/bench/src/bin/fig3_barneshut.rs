@@ -15,7 +15,7 @@
 //! trace-event file plus a `<path>.metrics.json` per-phase report.
 
 use ppm_apps::barnes_hut::{self as bh, BhParams};
-use ppm_bench::{header, max_time, mb, ms, ratio, row, write_trace, Args, TraceSink};
+use ppm_bench::{header, max_time, mb, ms, pct, ratio, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
 use ppm_simnet::MachineConfig;
 
@@ -39,6 +39,9 @@ fn main() {
         "PPM/MPI",
         "PPM MB",
         "MPI MB",
+        "hit%",
+        "dedup",
+        "pwakes",
     ]);
     for &nn in &nodes {
         let p = params;
@@ -66,6 +69,9 @@ fn main() {
             ratio(tp, tm),
             mb(cp.bytes_sent),
             mb(cm.bytes_sent),
+            pct(cp.cache_hits, cp.cache_hits + cp.cache_misses),
+            cp.dedup_reads.to_string(),
+            cp.partial_wakes.to_string(),
         ]);
     }
     println!(

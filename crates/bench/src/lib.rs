@@ -110,6 +110,17 @@ pub fn mb(bytes: u64) -> String {
     format!("{:.2}", bytes as f64 / 1e6)
 }
 
+/// Percentage-share column (`part` out of `whole`) for counter-derived
+/// table columns, e.g. the read-cache hit rate. Single-node runs have no
+/// remote reads at all, so a zero denominator prints `n/a`, not `NaN`.
+pub fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.0}%", part as f64 / whole as f64 * 100.0)
+    }
+}
+
 /// Flush a trace sink to `path` (Chrome trace-event JSON, plus the
 /// `<path>.metrics.json` per-phase report) and tell the user on stderr so
 /// the note never lands inside the stdout markdown tables.
@@ -171,6 +182,13 @@ mod tests {
         assert_eq!(ratio(SimTime::from_us(3), SimTime::ZERO), "n/a");
         assert_eq!(ratio(SimTime::ZERO, SimTime::ZERO), "n/a");
         assert_eq!(ratio(SimTime::from_us(3), SimTime::from_us(2)), "1.50");
+    }
+
+    #[test]
+    fn pct_prints_na_on_zero_denominator() {
+        assert_eq!(pct(3, 0), "n/a");
+        assert_eq!(pct(0, 8), "0%");
+        assert_eq!(pct(3, 4), "75%");
     }
 
     #[test]

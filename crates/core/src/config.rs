@@ -67,6 +67,18 @@ pub struct PpmConfig {
     /// at any value — the scheduler merges VP effects in ascending rank
     /// order (see DESIGN.md §12).
     pub host_threads: usize,
+    /// Phase-coherent remote-read cache (DESIGN.md §13): remote values
+    /// from response bundles and owner-pushed refreshes are kept per node
+    /// and consulted before queueing any remote read; invalidated at phase
+    /// end for every array that took writes. On by default; `PPM_READ_CACHE=0`
+    /// disables it for ablations.
+    pub read_cache: bool,
+    /// Wake-on-arrival wave pipelining (DESIGN.md §13): VPs whose remote
+    /// reads are fully satisfied resume (ascending rank) while slower
+    /// destinations of the same wave are still in flight, and the compute
+    /// merged during that window hides response latency. On by default;
+    /// `PPM_WAVE_PIPELINE=0` disables it for ablations.
+    pub wave_pipelining: bool,
 }
 
 impl PpmConfig {
@@ -90,6 +102,8 @@ impl PpmConfig {
             ack_bytes: 12,
             crash_reboot: SimTime::from_ms(1),
             host_threads: 0,
+            read_cache: env_flag("PPM_READ_CACHE", true),
+            wave_pipelining: env_flag("PPM_WAVE_PIPELINE", true),
         }
     }
 
@@ -131,6 +145,20 @@ impl PpmConfig {
         self
     }
 
+    /// Enable or disable the phase-coherent remote-read cache (ablation;
+    /// overrides the `PPM_READ_CACHE` environment default).
+    pub fn with_read_cache(mut self, on: bool) -> Self {
+        self.read_cache = on;
+        self
+    }
+
+    /// Enable or disable wake-on-arrival wave pipelining (ablation;
+    /// overrides the `PPM_WAVE_PIPELINE` environment default).
+    pub fn with_wave_pipelining(mut self, on: bool) -> Self {
+        self.wave_pipelining = on;
+        self
+    }
+
     /// Pin the number of host worker threads used to poll VPs (`0` =
     /// auto: `PPM_HOST_THREADS`, else `min(host cores, cores_per_node)`).
     /// Deterministic at any value; this knob exists so tests can compare
@@ -160,6 +188,16 @@ impl PpmConfig {
     }
 }
 
+/// `VAR=0|false|off` → false, `VAR=<anything else>` → true, unset →
+/// `default`. Read once at config construction so a run's behavior is
+/// fixed by its `PpmConfig` value.
+fn env_flag(var: &str, default: bool) -> bool {
+    match std::env::var(var) {
+        Ok(v) => !matches!(v.as_str(), "0" | "false" | "off"),
+        Err(_) => default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +216,29 @@ mod tests {
         let c = PpmConfig::franklin(2).without_overlap().without_bundling();
         assert!(!c.overlap);
         assert!(!c.bundling);
+    }
+
+    #[test]
+    fn cache_and_pipelining_default_on_and_toggle() {
+        // Builder toggles are absolute: they win over any env default.
+        let c = PpmConfig::franklin(2)
+            .with_read_cache(true)
+            .with_wave_pipelining(true);
+        assert!(c.read_cache);
+        assert!(c.wave_pipelining);
+        let off = c.with_read_cache(false).with_wave_pipelining(false);
+        assert!(!off.read_cache);
+        assert!(!off.wave_pipelining);
+        assert!(off.with_read_cache(true).read_cache);
+        assert!(off.with_wave_pipelining(true).wave_pipelining);
+    }
+
+    #[test]
+    fn env_flag_parses_common_spellings() {
+        // Exercise the parser directly (setting process env in tests races
+        // with parallel test threads).
+        assert!(env_flag("PPM_SURELY_UNSET_FLAG_XYZ", true));
+        assert!(!env_flag("PPM_SURELY_UNSET_FLAG_XYZ", false));
     }
 
     #[test]

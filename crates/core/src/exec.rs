@@ -16,10 +16,15 @@
 //! and the driver merges scratches into [`Inner`](crate::state::Inner) in
 //! ascending rank order after the round — so the merged effect sequence
 //! equals a sequential ascending-rank schedule's no matter which host
-//! thread polled what. A wave blocks until *all* of its responses arrived
-//! before any VP resumes, and write bundles are applied in ascending
-//! source-node order. Simulated clocks are computed from per-phase totals,
-//! never from message interleaving. See DESIGN.md §12.
+//! thread polled what. A wave's destinations are consumed strictly in
+//! ascending node order (late responses are stashed), so with
+//! wake-on-arrival pipelining VPs resume per completed destination — in
+//! deterministic order — while slower destinations are still in flight,
+//! and with pipelining off every destination drains before any VP resumes;
+//! either way the schedule never depends on network timing (DESIGN.md
+//! §13). Write bundles are applied in ascending source-node order.
+//! Simulated clocks are computed from per-phase totals, never from message
+//! interleaving. See DESIGN.md §12.
 
 use std::collections::BTreeMap;
 use std::future::Future;
@@ -30,15 +35,22 @@ use std::task::{Context, Poll, Waker};
 
 use ppm_simnet::{ArgValue, Message, SimTime};
 
-use crate::msgs::{self, ReqBundle, RespBundle, WriteBundleMsg};
+use crate::msgs::{self, BarrierMsg, RefreshPart, ReqBundle, RespBundle, WriteBundleMsg};
 use crate::nodectx::NodeCtx;
-use crate::state::{merge_vp, DoMode, PhaseKind, Traffic, VpCell};
+use crate::state::{merge_vp, DoMode, PhaseKind, ServeHist, Traffic, VpCell};
 use crate::vp::Vp;
+
+/// Refresh-push serve-history TTL, in global phases: an element whose last
+/// peer serve is older than this is forgotten (and disarmed), bounding
+/// push waste for read-once access patterns. Owner pushes do not extend
+/// the TTL — only actual serves do — so a long-armed element re-earns its
+/// pushes every `SERVE_TTL` phases (DESIGN.md §13).
+const SERVE_TTL: u64 = 8;
 
 /// Per-phase counter-delta argument names, aligned with
 /// [`ppm_simnet::Counters::named_fields`] (the `debug_assert` in
 /// [`emit_phase_summary`] keeps the two in lockstep).
-const DELTA_ARG_NAMES: [&str; 19] = [
+const DELTA_ARG_NAMES: [&str; 23] = [
     "d_msgs_sent",
     "d_bytes_sent",
     "d_msgs_recv",
@@ -58,6 +70,10 @@ const DELTA_ARG_NAMES: [&str; 19] = [
     "d_dups_suppressed",
     "d_acks_sent",
     "d_crash_recoveries",
+    "d_cache_hits",
+    "d_cache_misses",
+    "d_dedup_reads",
+    "d_partial_wakes",
 ];
 
 /// Record a phase-summary span `[start, now]` carrying the phase's time
@@ -174,6 +190,16 @@ where
         // construct's collective prologue.
         let merged = nc.ep_counters();
         nc.inner.borrow_mut().ctr_base = merged;
+    }
+
+    // Read caches do not survive across constructs: direct mutation
+    // between `ppm_do`s (`with_local_mut`) can change any partition
+    // without a phase exchange to carry invalidations.
+    {
+        let mut inner = nc.inner.borrow_mut();
+        for ga in inner.garrays.iter_mut() {
+            ga.cache_clear();
+        }
     }
 
     // Crash recovery line: direct mutation between `ppm_do`s
@@ -299,12 +325,21 @@ fn drive(
     mut poll_round: impl FnMut(&[usize]) -> Vec<(usize, PollOut)>,
 ) {
     let me = nc.node_id();
+    let cfg = nc.config();
     let mut live = k;
     let mut ready: Vec<usize> = (0..k).collect();
     let mut bufs = WaveBufs::default();
+    let mut wave: Option<WaveState> = None;
 
     loop {
-        // Poll runnable VPs; effects land in private scratches.
+        // Poll runnable VPs; effects land in private scratches. Compute
+        // merged while an in-flight wave is partially consumed genuinely
+        // overlaps the remaining responses — the pipelining cost model
+        // credits it against wave latency (charge_phase_time).
+        let pipelined_window = cfg.wave_pipelining
+            && wave
+                .as_ref()
+                .is_some_and(|w| w.next > 0 && w.next < w.pending.len());
         while !ready.is_empty() {
             ready.sort_unstable();
             ready.dedup();
@@ -322,6 +357,7 @@ fn drive(
             let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
             {
                 let mut inner = nc.inner.borrow_mut();
+                let mut round_compute = SimTime::ZERO;
                 for (vp, out) in results {
                     match out {
                         PollOut::Panicked(p) => {
@@ -329,12 +365,17 @@ fn drive(
                             break;
                         }
                         PollOut::Done => {
-                            merge_vp(&mut inner, &cells[vp]);
+                            round_compute += merge_vp(&mut inner, &cells[vp]);
                             live -= 1;
                             inner.live_vps = live;
                         }
-                        PollOut::Pending => merge_vp(&mut inner, &cells[vp]),
+                        PollOut::Pending => {
+                            round_compute += merge_vp(&mut inner, &cells[vp]);
+                        }
                     }
+                }
+                if pipelined_window {
+                    inner.traffic.pipelined_compute += round_compute;
                 }
             }
             if let Some(p) = panicked {
@@ -346,7 +387,49 @@ fn drive(
             break;
         }
 
-        // No VP is runnable: decide why and advance the runtime.
+        // A wave in flight takes priority: consume its next destination
+        // (strictly ascending). With pipelining on, the VPs it satisfied
+        // resume immediately; with it off, drain every destination first —
+        // the pre-pipelining all-responses barrier.
+        if wave.is_some() {
+            let mut woken: Vec<usize> = Vec::new();
+            loop {
+                let ws = wave.as_mut().expect("checked above");
+                woken.extend(wave_recv_next(nc, cells, ws));
+                if ws.next == ws.pending.len() {
+                    let ws = wave.take().expect("checked above");
+                    finalize_wave(nc, &ws);
+                    break;
+                }
+                if cfg.wave_pipelining {
+                    // Partial wake: at least one VP resumes while later
+                    // destinations are still in flight.
+                    debug_assert!(!woken.is_empty(), "a destination with no waiters");
+                    let mut inner = nc.inner.borrow_mut();
+                    inner.counters.partial_wakes += 1;
+                    drop(inner);
+                    if nc.ep.tracer.enabled() {
+                        let ws = wave.as_ref().expect("checked above");
+                        nc.ep.tracer.instant(
+                            "partial_wake",
+                            "comm",
+                            nc.ep.clock.now(),
+                            vec![
+                                ("dests_done", ArgValue::U64(ws.next as u64)),
+                                ("dests_total", ArgValue::U64(ws.pending.len() as u64)),
+                                ("woken", ArgValue::U64(woken.len() as u64)),
+                            ],
+                        );
+                    }
+                    break;
+                }
+            }
+            ready.append(&mut woken);
+            continue;
+        }
+
+        // No VP is runnable and no wave is in flight: decide why and
+        // advance the runtime.
         let (has_reqs, outstanding, arrived, open) = {
             let inner = nc.inner.borrow();
             (
@@ -358,8 +441,7 @@ fn drive(
         };
 
         if has_reqs {
-            let mut woken = run_wave(nc, cells, &mut bufs);
-            ready.append(&mut woken);
+            wave = Some(start_wave(nc, &mut bufs));
             continue;
         }
         assert_eq!(
@@ -396,11 +478,41 @@ struct WaveBufs {
     flat: Vec<(usize, u32, u64, usize, u64)>,
 }
 
-/// Flush the queued read requests as one bundle per destination — with
+/// One destination's share of a wave: the destination node, each request
+/// ticket's `(vp, slot)` waiter group, and each ticket's `(array, idx)`.
+type DestPending = (usize, Vec<Vec<(usize, u64)>>, Vec<(u32, u64)>);
+
+/// A refresh part addressed to this node, parked until the invalidation
+/// sweep has run: `(array, idxs, values, mine_flags)`.
+type CollectedRefresh = (
+    u32,
+    Vec<u64>,
+    Box<dyn std::any::Any + Send + Sync>,
+    Vec<bool>,
+);
+
+/// One in-flight communication wave. Destinations complete strictly in
+/// ascending node order no matter when their responses really arrive
+/// (`pump_recv` stashes the early ones), so the VP wake order — with or
+/// without pipelining — never depends on network timing (DESIGN.md §13).
+struct WaveState {
+    /// Per destination, ascending: the destination node, each request
+    /// ticket's `(vp, slot)` waiter group, and each ticket's
+    /// `(array, global idx)` (the read cache needs the index on fill).
+    pending: Vec<DestPending>,
+    /// Destinations consumed so far; `pending[next]` is the next to drain.
+    next: usize,
+    dests: u64,
+    entries: u64,
+    bytes_out: u64,
+    bytes_in: u64,
+}
+
+/// Flush the queued read requests as one bundle per destination, with
 /// duplicate (array, index) requests from different VPs merged into a
-/// single entry — then block until every response arrived (servicing peers
-/// meanwhile). One wave. Returns the VPs whose reads were answered.
-fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) -> Vec<usize> {
+/// single wire entry. Returns the wave's completion state; responses are
+/// consumed by [`wave_recv_next`].
+fn start_wave(nc: &mut NodeCtx<'_>, bufs: &mut WaveBufs) -> WaveState {
     let me = nc.node_id();
     let cfg = nc.config();
     let phase = {
@@ -421,17 +533,22 @@ fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) ->
     bufs.flat
         .sort_by_key(|&(dest, array, idx, _, _)| (dest, array, idx));
 
-    // Per destination: the `(vp, slot)` groups each request ticket fans
-    // out to.
-    let mut pending: std::collections::HashMap<usize, Vec<Vec<(usize, u64)>>> = Default::default();
-    let (mut wv_dests, mut wv_entries, mut wv_bytes_out, mut wv_bytes_in) =
-        (0u64, 0u64, 0u64, 0u64);
+    let mut ws = WaveState {
+        pending: Vec::new(),
+        next: 0,
+        dests: 0,
+        entries: 0,
+        bytes_out: 0,
+        bytes_in: 0,
+    };
     let mut i = 0;
     while i < bufs.flat.len() {
         let dest = bufs.flat[i].0;
         debug_assert_ne!(dest, me);
         let mut entries = Vec::new();
         let mut tickets: Vec<Vec<(usize, u64)>> = Vec::new();
+        let mut meta: Vec<(u32, u64)> = Vec::new();
+        let mut deduped = 0u64;
         while i < bufs.flat.len() && bufs.flat[i].0 == dest {
             let (_, array, idx, _, _) = bufs.flat[i];
             let mut group = Vec::new();
@@ -443,17 +560,19 @@ fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) ->
                 group.push((vp, slot));
                 i += 1;
             }
+            deduped += group.len() as u64 - 1;
             entries.push(msgs::ReqEntry {
                 array,
                 idx,
                 slot: tickets.len() as u64,
             });
             tickets.push(group);
+            meta.push((array, idx));
         }
         let bytes = cfg.bundle_header_bytes + entries.len() * cfg.req_entry_bytes;
-        wv_dests += 1;
-        wv_entries += entries.len() as u64;
-        wv_bytes_out += bytes as u64;
+        ws.dests += 1;
+        ws.entries += entries.len() as u64;
+        ws.bytes_out += bytes as u64;
         {
             let mut inner = nc.inner.borrow_mut();
             inner.traffic.req_bundles_out += 1;
@@ -462,6 +581,7 @@ fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) ->
             inner.counters.msgs_sent += 1;
             inner.counters.bytes_sent += bytes as u64;
             inner.counters.bundles_sent += 1;
+            inner.counters.dedup_reads += deduped;
         }
         let now = nc.ep.clock.now();
         nc.send_msg(
@@ -475,49 +595,75 @@ fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) ->
             ),
             msgs::K_READ_REQ,
         );
-        pending.insert(dest, tickets);
+        ws.pending.push((dest, tickets, meta));
     }
+    debug_assert!(!ws.pending.is_empty(), "wave started with no requests");
+    ws
+}
 
+/// Block for the wave's next destination (ascending order; peers are
+/// serviced and unrelated messages stashed meanwhile), fill the answered
+/// slots — populating the read cache when enabled — and return the VPs
+/// whose reads were satisfied.
+fn wave_recv_next(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], ws: &mut WaveState) -> Vec<usize> {
+    let cache_on = nc.config().read_cache;
+    let (dest, tickets, meta) = &mut ws.pending[ws.next];
+    let dest = *dest;
+    let msg = nc.pump_recv(|m| msgs::untag(m.tag).0 == msgs::K_READ_RESP && m.src == dest);
+    let bytes = msg.bytes as u64;
+    let resp: RespBundle = msg.take();
+    let mut inner = nc.inner.borrow_mut();
+    inner.traffic.resp_bundles_in += 1;
+    inner.traffic.resp_bytes_in += bytes;
+    inner.counters.msgs_recv += 1;
+    inner.counters.bytes_recv += bytes;
     let mut woken: Vec<usize> = Vec::new();
-    while !pending.is_empty() {
-        let msg = nc.pump_recv(|m| msgs::untag(m.tag).0 == msgs::K_READ_RESP);
-        let src = msg.src;
-        let bytes = msg.bytes as u64;
-        wv_bytes_in += bytes;
-        let resp: RespBundle = msg.take();
-        let mut tickets = pending
-            .remove(&src)
-            .unwrap_or_else(|| panic!("unexpected read response from node {src}"));
-        let mut inner = nc.inner.borrow_mut();
-        inner.traffic.resp_bundles_in += 1;
-        inner.traffic.resp_bytes_in += bytes;
-        inner.counters.msgs_recv += 1;
-        inner.counters.bytes_recv += bytes;
-        let mut filled = 0usize;
-        for part in resp.parts {
-            // The echoed "slots" are our tickets; expand each back to the
-            // (vp, slot) waiters parked on that element.
-            let groups: Vec<Vec<(usize, u64)>> = part
-                .slots
-                .iter()
-                .map(|&t| std::mem::take(&mut tickets[t as usize]))
-                .collect();
-            inner.garrays[part.array as usize].fulfill_multi(
-                part.values,
-                &groups,
-                &mut |vp, slot, value| {
-                    cells[vp].scratch().slots.fill(slot, value);
-                    woken.push(vp);
-                    filled += 1;
-                },
-            );
-        }
-        inner.outstanding_reads -= filled;
+    let mut filled = 0usize;
+    let mut idxs: Vec<u64> = Vec::new();
+    for part in resp.parts {
+        // The echoed "slots" are our tickets; expand each back to the
+        // (vp, slot) waiters parked on that element.
+        let groups: Vec<Vec<(usize, u64)>> = part
+            .slots
+            .iter()
+            .map(|&t| std::mem::take(&mut tickets[t as usize]))
+            .collect();
+        idxs.clear();
+        idxs.extend(part.slots.iter().map(|&t| {
+            debug_assert_eq!(meta[t as usize].0, part.array, "ticket/part array mismatch");
+            meta[t as usize].1
+        }));
+        inner.garrays[part.array as usize].fulfill_multi(
+            part.values,
+            &idxs,
+            &groups,
+            cache_on,
+            &mut |vp, slot, value| {
+                cells[vp].scratch().slots.fill(slot, value);
+                woken.push(vp);
+                filled += 1;
+            },
+        );
     }
+    inner.outstanding_reads -= filled;
+    ws.bytes_in += bytes;
+    ws.next += 1;
+    woken
+}
 
+/// Account a completed wave: counters, the pipelining latency-hiding
+/// budget, and the tracing timeline instant.
+fn finalize_wave(nc: &mut NodeCtx<'_>, ws: &WaveState) {
+    let cfg = nc.config();
     let mut inner = nc.inner.borrow_mut();
     inner.traffic.waves += 1;
     inner.counters.waves += 1;
+    if cfg.wave_pipelining && ws.dests >= 2 {
+        // A multi-destination wave exposes one response leg that compute
+        // merged during partial consumption can hide (charge_phase_time
+        // takes min(pipelined_compute, pipeline_hideable)).
+        inner.traffic.pipeline_hideable += cfg.machine.net.latency;
+    }
     let wave_idx = inner.traffic.waves - 1;
 
     if nc.ep.tracer.enabled() {
@@ -531,8 +677,8 @@ fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) ->
         // bundling invariant.
         let net = cfg.machine.net;
         let wave_cost = net.latency.scale(2)
-            + net.overhead.scale(2 * wv_dests)
-            + net.gap_per_byte.scale(wv_bytes_out.max(wv_bytes_in));
+            + net.overhead.scale(2 * ws.dests)
+            + net.gap_per_byte.scale(ws.bytes_out.max(ws.bytes_in));
         inner.traffic.wave_elapsed += wave_cost;
         let ts = nc.ep.clock.now() + inner.traffic.wave_elapsed;
         drop(inner);
@@ -542,15 +688,14 @@ fn run_wave(nc: &mut NodeCtx<'_>, cells: &[Arc<VpCell>], bufs: &mut WaveBufs) ->
             ts,
             vec![
                 ("wave", ArgValue::U64(wave_idx)),
-                ("dests", ArgValue::U64(wv_dests)),
-                ("bundles", ArgValue::U64(wv_dests)),
-                ("entries", ArgValue::U64(wv_entries)),
-                ("bytes_out", ArgValue::U64(wv_bytes_out)),
-                ("resp_bytes_in", ArgValue::U64(wv_bytes_in)),
+                ("dests", ArgValue::U64(ws.dests)),
+                ("bundles", ArgValue::U64(ws.dests)),
+                ("entries", ArgValue::U64(ws.entries)),
+                ("bytes_out", ArgValue::U64(ws.bytes_out)),
+                ("resp_bytes_in", ArgValue::U64(ws.bytes_in)),
             ],
         );
     }
-    woken
 }
 
 /// End a node phase: publish node-shared writes, charge the cores' max
@@ -649,13 +794,25 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         }
     }
 
-    // 1. Drain write buffers into per-destination parcels.
+    // 1. Drain write buffers into per-destination parcels. First note
+    //    which arrays this node wrote at all: the clock barrier OR-floods
+    //    those bits so every node can invalidate stale cache lines for
+    //    arrays that changed anywhere (DESIGN.md §13). Bit min(id, 127);
+    //    bit 127 doubles as "id overflow → invalidate everything".
+    let mut local_inv: u128 = 0;
     let mut per_dest: Vec<Vec<(u32, Box<dyn std::any::Any + Send>)>> =
         (0..nodes).map(|_| Vec::new()).collect();
     let mut dest_entries = vec![0u64; nodes];
     let mut dest_bytes = vec![0usize; nodes];
     {
         let mut inner = nc.inner.borrow_mut();
+        if cfg.read_cache {
+            for (id, ga) in inner.garrays.iter().enumerate() {
+                if ga.has_pending_writes() {
+                    local_inv |= 1u128 << id.min(127);
+                }
+            }
+        }
         for id in 0..inner.garrays.len() {
             for parcel in inner.garrays[id].drain_writes() {
                 dest_entries[parcel.dest] += parcel.entries;
@@ -743,6 +900,7 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         }
     }
     let mut applied_remote = 0u64;
+    let push_on = cfg.read_cache && nodes > 1 && nodes <= 64;
     {
         let mut inner = nc.inner.borrow_mut();
         // Every phase-`phase` read request has been serviced by now (per-link
@@ -753,10 +911,82 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         // whatever real-time moment the requests actually arrived at.
         let deferred = std::mem::take(&mut inner.deferred_service_ctrs);
         inner.counters = inner.counters.merge(&deferred);
+        // Fold the phase's serve log into the owner-side history. An
+        // element arms for refresh pushes on its SECOND serve within
+        // SERVE_TTL phases — a one-serve wonder never earns pushes, and
+        // stale history (read-once apps) is pruned so the map stays
+        // bounded by the hot working set. Pushes do not extend
+        // `last_serve`: armed elements must re-earn their pushes every
+        // TTL window (one two-miss hiccup per cycle; DESIGN.md §13).
+        let mut serves = std::mem::take(&mut inner.deferred_serves);
+        serves.sort_unstable();
+        serves.dedup();
+        for (peer, array, idx) in serves {
+            let h = inner.serve_hist.entry((array, idx)).or_insert(ServeHist {
+                last_serve: phase,
+                readers: 0,
+                armed: false,
+            });
+            if phase > h.last_serve + SERVE_TTL {
+                h.readers = 0;
+                h.armed = false;
+            }
+            if h.readers != 0 {
+                h.armed = true;
+            }
+            h.readers |= 1u64 << peer;
+            h.last_serve = phase;
+        }
+        inner
+            .serve_hist
+            .retain(|_, h| phase <= h.last_serve + SERVE_TTL);
+        let own_bit = 1u64 << me;
         for (array, mut parcels) in by_array {
             parcels.sort_by_key(|(src, _)| *src);
-            let n = inner.garrays[array as usize].apply_writes(parcels);
+            let (n, written) = inner.garrays[array as usize].apply_writes(parcels);
             applied_remote += n;
+            if !push_on {
+                continue;
+            }
+            // Rewritten elements that recently served remote readers get
+            // their post-apply values pushed on the upcoming barrier
+            // messages, refreshing peer caches without a request/response
+            // wave next phase.
+            let mut idxs: Vec<u64> = Vec::new();
+            let mut masks: Vec<u64> = Vec::new();
+            for idx in written {
+                if let Some(h) = inner.serve_hist.get(&(array, idx)) {
+                    let mut targets = h.readers & !own_bit;
+                    // Hop cutoff: a refresh pays its bytes once per
+                    // dissemination hop, and reader `t` sits
+                    // popcount((t - me) mod nodes) hops away on the
+                    // barrier's source routes. Beyond two hops the pushed
+                    // copies cost more wire than the fetch round-trip they
+                    // save, so distant readers keep fetching. Pure function
+                    // of node ids — identical on every host schedule.
+                    let mut far = targets;
+                    while far != 0 {
+                        let t = far.trailing_zeros() as usize;
+                        far &= far - 1;
+                        if ((t + nodes - me) % nodes).count_ones() > 2 {
+                            targets &= !(1u64 << t);
+                        }
+                    }
+                    if h.armed && targets != 0 {
+                        idxs.push(idx);
+                        masks.push(targets);
+                    }
+                }
+            }
+            if !idxs.is_empty() {
+                let values = inner.garrays[array as usize].refresh_collect(&idxs);
+                inner.pending_refresh.push(RefreshPart {
+                    array,
+                    idxs,
+                    masks,
+                    values,
+                });
+            }
         }
         // Node-shared writes made inside the global phase publish too.
         for na in inner.narrays.iter_mut() {
@@ -778,9 +1008,10 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     // 5. Charge the phase's modeled time.
     let charge = charge_phase_time(nc);
 
-    // 6. Clock-synchronizing dissemination barrier, then release the VPs.
+    // 6. Clock-synchronizing dissemination barrier — carrying the cache
+    //    invalidation bits and refresh pushes — then release the VPs.
     let barrier_start = nc.ep.clock.now();
-    clock_barrier(nc, phase);
+    clock_barrier(nc, phase, local_inv);
 
     {
         let mut inner = nc.inner.borrow_mut();
@@ -797,6 +1028,11 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
             .tracer
             .span("barrier", "phase", barrier_start, barrier_end, vec![]);
         let t = charge.traffic;
+        // Refresh pushes sent during the barrier that just closed this
+        // phase land in the live (already reset) traffic — read them
+        // there so the summary's bundle reconciliation stays exact
+        // (their *time* is charged next phase; see `Traffic` docs).
+        let refresh_out = nc.inner.borrow().traffic.refresh_bundles_out;
         emit_phase_summary(
             nc,
             "global_phase",
@@ -815,6 +1051,7 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
                 ("bytes_in", ArgValue::U64(charge.bytes_in)),
                 ("req_bundles_out", ArgValue::U64(t.req_bundles_out)),
                 ("write_bundles_out", ArgValue::U64(t.write_bundles_out)),
+                ("refresh_bundles_out", ArgValue::U64(refresh_out)),
                 ("rel_delay_ps", ArgValue::U64(t.rel_delay.as_ps())),
             ],
         );
@@ -855,8 +1092,14 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
         (compute, service, t)
     };
 
-    let mut bytes_out = t.req_bytes_out + t.resp_bytes_out + t.write_bytes_out;
-    let mut bytes_in = t.req_bytes_in + t.resp_bytes_in + t.write_bytes_in;
+    // Refresh pushes ride barrier messages; the previous barrier recorded
+    // their bytes into the (already reset) live Traffic, so they surface
+    // here one phase later — symmetrically on sender and receiver, hence
+    // still deterministic. The job's final barrier's refresh bytes are
+    // never charged as time (the counters still count them).
+    let mut bytes_out =
+        t.req_bytes_out + t.resp_bytes_out + t.write_bytes_out + t.refresh_bytes_out;
+    let mut bytes_in = t.req_bytes_in + t.resp_bytes_in + t.write_bytes_in + t.refresh_bytes_in;
     let (mut msgs_out, msgs_in) = if cfg.bundling {
         (
             t.req_bundles_out + t.resp_bundles_out + t.write_bundles_out,
@@ -884,7 +1127,17 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
     // Node-level sender: the runtime owns the NIC (share factor 1).
     let gap = net.gap_per_byte.scale(bytes_out.max(bytes_in));
     let overhead = net.overhead.scale(msgs_out + msgs_in);
-    let latency = net.latency.scale(2 * t.waves);
+    // Wave pipelining hides compute merged while a multi-destination wave
+    // was partially consumed under the wave's exposed response legs —
+    // capped by the hideable budget (one latency per >=2-destination
+    // wave), which is itself <= latency.scale(waves), so the subtraction
+    // cannot underflow. Both accumulators are zero with pipelining off.
+    let hidden = if cfg.wave_pipelining {
+        t.pipelined_compute.min(t.pipeline_hideable)
+    } else {
+        SimTime::ZERO
+    };
+    let latency = net.latency.scale(2 * t.waves) - hidden;
 
     let busy = compute + service;
     let busy_start = nc.ep.clock.now();
@@ -954,32 +1207,203 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
 /// Dissemination barrier among nodes that also propagates the maximum
 /// clock, so every node leaves the phase at a consistent (and
 /// deterministic) simulated instant.
-fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64) {
+///
+/// The read-cache coherence sidecar rides the same messages (DESIGN.md
+/// §13), adding zero messages of its own:
+///
+/// - `inv_bits` — each node's "arrays I wrote this phase" bits are
+///   OR-flooded; the dissemination pattern guarantees every node's bits
+///   reach every other node by the final round.
+/// - `refreshes` — owner-pushed post-apply values for armed elements,
+///   source-routed along the dissemination edges. At round `r` (edge
+///   `me → me+2^r`), an entry is forwarded for exactly the targets `t`
+///   whose offset `(t - holder) mod nodes` has bit `r` set. By induction,
+///   an entry held at the start of round `r` has all offset bits `< r`
+///   clear (each bit is consumed at its round, and a forward received in
+///   round `r` arrives with offset reduced by `2^r`), so every target
+///   receives each entry exactly once and nothing is left pending after
+///   the last round.
+///
+/// Barrier messages never count toward `msgs_sent`/`msgs_recv` (the
+/// pre-existing convention: barrier cost is modeled, not counted);
+/// non-empty refresh payloads DO count as a bundle and bytes so the
+/// fig-bench traffic columns reflect them honestly.
+fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128) {
     let me = nc.node_id();
     let nodes = nc.num_nodes();
     if nodes == 1 {
+        // Single node: every read is local, the cache holds nothing.
         return;
     }
-    let net = nc.config().machine.net;
+    let cfg = nc.config();
+    let net = cfg.machine.net;
+    let push_on = cfg.read_cache && nodes <= 64;
+    let own_bit: u64 = 1 << me;
+    let mut inv = local_inv;
+    // Refresh entries addressed to this node, absorbed only after the
+    // invalidation sweep (the pushed values are post-exchange truth and
+    // must survive it).
+    let mut collected: Vec<CollectedRefresh> = Vec::new();
+
     let mut d = 1usize;
     let mut round = 0u32;
     while d < nodes {
         let to = (me + d) % nodes;
         let from = (me + nodes - d) % nodes;
         nc.ep.clock.advance_comm(net.overhead);
+
+        // Split the pending refresh entries: targets whose offset has this
+        // round's bit set travel on this edge; the rest stay for a later
+        // round.
+        let mut refreshes: Vec<RefreshPart> = Vec::new();
+        let mut refresh_bytes = 0u64;
+        if push_on {
+            let mut rt: u64 = 0;
+            for t in 0..nodes {
+                if t != me && ((t + nodes - me) % nodes) & d != 0 {
+                    rt |= 1 << t;
+                }
+            }
+            let pending = {
+                let mut inner = nc.inner.borrow_mut();
+                std::mem::take(&mut inner.pending_refresh)
+            };
+            for part in pending {
+                let send_take: Vec<bool> = part.masks.iter().map(|&m| m & rt != 0).collect();
+                let keep_take: Vec<bool> = part.masks.iter().map(|&m| m & !rt != 0).collect();
+                let mut inner = nc.inner.borrow_mut();
+                let ga = &inner.garrays[part.array as usize];
+                if send_take.iter().any(|&b| b) {
+                    let (values, vbytes) = ga.refresh_select(part.values.as_ref(), &send_take);
+                    let (idxs, masks): (Vec<u64>, Vec<u64>) = part
+                        .idxs
+                        .iter()
+                        .zip(&part.masks)
+                        .zip(&send_take)
+                        .filter(|&(_, &take)| take)
+                        .map(|((&idx, &m), _)| (idx, m & rt))
+                        .unzip();
+                    // A refresh entry is (idx, value): no slot ticket
+                    // (nobody is waiting on it), the array id is amortized
+                    // into an 8-byte part header, and the indices are
+                    // sorted ascending (they come from `apply_writes`'
+                    // `written` list), so the wire format delta-varint
+                    // encodes them — charged at 4 bytes per index, versus
+                    // 12 for a random-access request entry.
+                    refresh_bytes += 8 + vbytes + idxs.len() as u64 * 4;
+                    refreshes.push(RefreshPart {
+                        array: part.array,
+                        idxs,
+                        masks,
+                        values,
+                    });
+                }
+                if keep_take.iter().any(|&b| b) {
+                    let (values, _) = ga.refresh_select(part.values.as_ref(), &keep_take);
+                    let (idxs, masks): (Vec<u64>, Vec<u64>) = part
+                        .idxs
+                        .iter()
+                        .zip(&part.masks)
+                        .zip(&keep_take)
+                        .filter(|&(_, &take)| take)
+                        .map(|((&idx, &m), _)| (idx, m & !rt))
+                        .unzip();
+                    inner.pending_refresh.push(RefreshPart {
+                        array: part.array,
+                        idxs,
+                        masks,
+                        values,
+                    });
+                }
+            }
+            if refresh_bytes > 0 {
+                // Refreshes ride a barrier message that is sent either
+                // way, so they are NOT a new bundle or message — only
+                // their bytes hit the wire. `refresh_bundles_out` counts
+                // barrier sends that carried a refresh payload.
+                let mut inner = nc.inner.borrow_mut();
+                inner.counters.bytes_sent += refresh_bytes;
+                inner.traffic.refresh_bytes_out += refresh_bytes;
+                inner.traffic.refresh_bundles_out += 1;
+            }
+        }
+
         let now = nc.ep.clock.now();
         let tag = msgs::tag(msgs::K_BARRIER, msgs::barrier_meta(phase, round));
         // `ts` is the arrival instant (send time + latency, plus any fault
         // delay added by the reliability layer in send_msg).
         nc.send_msg(
-            Message::new(me, to, tag, now + net.latency, 0, now),
+            Message::new(
+                me,
+                to,
+                tag,
+                now + net.latency,
+                refresh_bytes as usize,
+                BarrierMsg {
+                    inv_bits: inv,
+                    refreshes,
+                },
+            ),
             msgs::K_BARRIER,
         );
         let msg = nc.pump_recv(|m| m.tag == tag && m.src == from);
         nc.ep.clock.wait_until(msg.ts);
         nc.ep.clock.advance_comm(net.overhead);
+        let bytes_in = msg.bytes as u64;
+        let bm: BarrierMsg = msg.take();
+        inv |= bm.inv_bits;
+        if bytes_in > 0 {
+            let mut inner = nc.inner.borrow_mut();
+            inner.counters.bytes_recv += bytes_in;
+            inner.traffic.refresh_bytes_in += bytes_in;
+        }
+        for part in bm.refreshes {
+            let fwd_take: Vec<bool> = part.masks.iter().map(|&m| m & !own_bit != 0).collect();
+            let mine_take: Vec<bool> = part.masks.iter().map(|&m| m & own_bit != 0).collect();
+            if fwd_take.iter().any(|&b| b) {
+                let mut inner = nc.inner.borrow_mut();
+                let ga = &inner.garrays[part.array as usize];
+                let (values, _) = ga.refresh_select(part.values.as_ref(), &fwd_take);
+                let (idxs, masks): (Vec<u64>, Vec<u64>) = part
+                    .idxs
+                    .iter()
+                    .zip(&part.masks)
+                    .zip(&fwd_take)
+                    .filter(|&(_, &take)| take)
+                    .map(|((&idx, &m), _)| (idx, m & !own_bit))
+                    .unzip();
+                inner.pending_refresh.push(RefreshPart {
+                    array: part.array,
+                    idxs,
+                    masks,
+                    values,
+                });
+            }
+            if mine_take.iter().any(|&b| b) {
+                collected.push((part.array, part.idxs, part.values, mine_take));
+            }
+        }
         d <<= 1;
         round += 1;
+    }
+
+    if cfg.read_cache {
+        let mut inner = nc.inner.borrow_mut();
+        debug_assert!(
+            inner.pending_refresh.is_empty(),
+            "refresh entries survived the final dissemination round"
+        );
+        // Invalidate, THEN absorb: the pushed values are already
+        // post-exchange truth for the bits being invalidated.
+        let wholesale = inv & (1u128 << 127) != 0;
+        for (id, ga) in inner.garrays.iter_mut().enumerate() {
+            if wholesale || inv & (1u128 << id.min(127)) != 0 {
+                ga.cache_clear();
+            }
+        }
+        for (array, idxs, values, take) in collected {
+            inner.garrays[array as usize].refresh_absorb(&idxs, values.as_ref(), &take);
+        }
     }
 }
 

@@ -87,6 +87,35 @@ pub(crate) struct RespBundle {
     pub parts: Vec<RespPart>,
 }
 
+/// One array's worth of owner-pushed cache refreshes riding a barrier
+/// message (DESIGN.md §13). Values are post-exchange truth for the phase
+/// the barrier closes, routed along the dissemination edges: `masks`
+/// carries each entry's remaining destination set (bit = node id), and a
+/// holder forwards exactly the targets whose offset has the current
+/// round's bit set, so every target receives each entry once.
+pub(crate) struct RefreshPart {
+    pub array: u32,
+    /// Element indices, parallel to `values`.
+    pub idxs: Vec<u64>,
+    /// Remaining destination-node bits per entry, parallel to `idxs`.
+    pub masks: Vec<u64>,
+    /// `Vec<T>` for the array's element type, parallel to `idxs`.
+    /// `Sync` as well as `Send` because undelivered parts park in
+    /// [`crate::state::Inner::pending_refresh`] between rounds.
+    pub values: Box<dyn Any + Send + Sync>,
+}
+
+/// Clock-barrier payload. Pre-cache the barrier carried no payload a
+/// receiver consumed; the read-cache coherence sidecar rides these
+/// messages so the protocol adds no messages of its own: `inv_bits` is
+/// the OR-flood of "this array took writes this phase" (bit `min(id,127)`,
+/// bit 127 = id overflow → wholesale invalidation), and `refreshes` are
+/// owner-pushed values for remotely cached elements that were rewritten.
+pub(crate) struct BarrierMsg {
+    pub inv_bits: u128,
+    pub refreshes: Vec<RefreshPart>,
+}
+
 /// End-of-phase write bundle: buffered writes destined for one owner node.
 pub(crate) struct WriteBundleMsg {
     pub phase: u64,

@@ -465,6 +465,17 @@ impl<'a> NodeCtx<'a> {
         inner.deferred_service_ctrs.msgs_recv += 1;
         inner.deferred_service_ctrs.bytes_recv += req_bytes as u64;
 
+        // Refresh-push bookkeeping (DESIGN.md §13): remember who asked for
+        // what, so a later rewrite of a repeatedly-served element can push
+        // the new value to its readers. Folded into `serve_hist` at the
+        // phase end (arrival order here is a real-time accident; the fold
+        // sorts first). Masks are u64 node bits, so >64 nodes opt out.
+        if self.cfg.read_cache && self.cfg.nodes() <= 64 {
+            inner
+                .deferred_serves
+                .extend(bundle.entries.iter().map(|e| (src, e.array, e.idx)));
+        }
+
         // Group by array, preserving request order within each array.
         let mut order: Vec<u32> = Vec::new();
         let mut grouped: std::collections::HashMap<u32, (Vec<u64>, Vec<u64>)> =

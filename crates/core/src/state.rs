@@ -25,7 +25,7 @@
 //!   a programming error and panics.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ppm_simnet::{Counters, SimTime, WireSize};
@@ -51,6 +51,44 @@ pub(crate) struct WriteKey {
 pub(crate) enum WireWrite<T> {
     Assign(T, WriteKey),
     Accum(AccumOp, T, fn(AccumOp, T, T) -> T),
+}
+
+/// A buffered, not-yet-published write to one element. `Accum` keeps the
+/// raw `(contributing VP's global rank, value)` list rather than a single
+/// eagerly-folded running value: the contributions flat-fold in ascending
+/// (rank, program order) when the buffer drains, so the floating-point
+/// result depends only on each VP's program order — never on the
+/// poll-round structure that interleaved the VPs' merges. Wake-on-arrival
+/// pipelining changes that structure (DESIGN.md §13), so this is what
+/// keeps results bit-identical with pipelining on or off. The flat fold
+/// (not per-VP partials) also keeps a single node's fold order identical
+/// to a sequential ascending-rank schedule's left fold.
+enum Pending<T> {
+    Assign(T, WriteKey),
+    Accum {
+        op: AccumOp,
+        f: fn(AccumOp, T, T) -> T,
+        /// `(global VP rank, value)` per contribution, in merge-arrival
+        /// order (program order within each rank).
+        parts: Vec<(u64, T)>,
+    },
+}
+
+/// Fold a buffered element write into its wire form (assign as-is;
+/// accumulate contributions flat-folded in ascending global-rank order,
+/// program order within a rank — the stable sort keeps arrival order for
+/// equal ranks).
+fn resolve_pending<T: Elem>(p: Pending<T>) -> WireWrite<T> {
+    match p {
+        Pending::Assign(v, k) => WireWrite::Assign(v, k),
+        Pending::Accum { op, f, mut parts } => {
+            parts.sort_by_key(|p| p.0);
+            let mut it = parts.into_iter();
+            let (_, first) = it.next().expect("accum entry with no contributions");
+            let acc = it.fold(first, |acc, (_, v)| f(op, acc, v));
+            WireWrite::Accum(op, acc, f)
+        }
+    }
 }
 
 /// A read request queued in [`Inner`] for the next communication wave:
@@ -191,8 +229,8 @@ enum WOp<T> {
 pub(crate) trait ScratchWrites: Send {
     fn as_any(&mut self) -> &mut dyn Any;
     fn is_empty(&self) -> bool;
-    fn replay_global(&mut self, ga: &mut dyn GArrayObj);
-    fn replay_node(&mut self, na: &mut dyn NArrayObj);
+    fn replay_global(&mut self, ga: &mut dyn GArrayObj, rank: u64);
+    fn replay_node(&mut self, na: &mut dyn NArrayObj, rank: u64);
 }
 
 struct WOps<T: Elem> {
@@ -208,7 +246,7 @@ impl<T: Elem> ScratchWrites for WOps<T> {
         self.ops.is_empty()
     }
 
-    fn replay_global(&mut self, ga: &mut dyn GArrayObj) {
+    fn replay_global(&mut self, ga: &mut dyn GArrayObj, rank: u64) {
         let ga = ga
             .as_any()
             .downcast_mut::<GArray<T>>()
@@ -218,12 +256,12 @@ impl<T: Elem> ScratchWrites for WOps<T> {
         for (idx, op) in self.ops.drain(..) {
             match op {
                 WOp::Assign(v, k) => ga.buffer_assign(idx, v, k),
-                WOp::Accum(o, v, f) => ga.buffer_accum_with(idx, o, v, f),
+                WOp::Accum(o, v, f) => ga.buffer_accum_with(idx, o, v, f, rank),
             }
         }
     }
 
-    fn replay_node(&mut self, na: &mut dyn NArrayObj) {
+    fn replay_node(&mut self, na: &mut dyn NArrayObj, rank: u64) {
         let na = na
             .as_any()
             .downcast_mut::<NArray<T>>()
@@ -231,7 +269,7 @@ impl<T: Elem> ScratchWrites for WOps<T> {
         for (idx, op) in self.ops.drain(..) {
             match op {
                 WOp::Assign(v, k) => na.buffer_assign(idx, v, k),
-                WOp::Accum(o, v, f) => na.buffer_accum_with(idx, o, v, f),
+                WOp::Accum(o, v, f) => na.buffer_accum_with(idx, o, v, f, rank),
             }
         }
     }
@@ -388,6 +426,18 @@ impl VpCell {
                 "remote shared read inside a node phase (element {idx} is on node {owner}); \
                  use a global phase"
             );
+            // Phase-coherent read cache: a remote value learned earlier
+            // (response bundle or owner push) is this phase's frozen truth,
+            // so it can be returned without wire traffic. The checker event
+            // and sv_overhead above are recorded either way — the cache
+            // must never mask a conformance violation.
+            if self.cfg.read_cache {
+                if let Some(&v) = ga.rcache.get(&(idx as u64)) {
+                    s.counters.cache_hits += 1;
+                    return GetOutcome::Local(v);
+                }
+            }
+            s.counters.cache_misses += 1;
             let slot = s.slots.alloc();
             s.slots_alloced += 1;
             s.reqs.push(ScratchReq {
@@ -561,8 +611,10 @@ impl VpCell {
 /// Merge one VP's scratch into the node state. Called by the executor in
 /// ascending VP-rank order after every poll round, which reproduces the
 /// exact effect order of a sequential ascending-rank schedule — including
-/// per-element accumulate fold order and checker event order.
-pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) {
+/// per-element accumulate fold order and checker event order. Returns the
+/// compute this merge charged, so the executor can attribute compute that
+/// overlapped an in-flight wave (pipelining cost model, DESIGN.md §13).
+pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) -> SimTime {
     let mut s = cell.scratch();
     if let Some(kind) = s.pending_enter.take() {
         inner.enter_phase(kind);
@@ -596,8 +648,8 @@ pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) {
             continue;
         }
         match space {
-            Space::Global => w.replay_global(&mut *inner.garrays[*id as usize]),
-            Space::Node => w.replay_node(&mut *inner.narrays[*id as usize]),
+            Space::Global => w.replay_global(&mut *inner.garrays[*id as usize], cell.global_rank),
+            Space::Node => w.replay_node(&mut *inner.narrays[*id as usize], cell.global_rank),
         }
     }
     for r in s.reqs.drain(..) {
@@ -617,6 +669,7 @@ pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) {
         inner.phase.arrived += 1;
         inner.barrier_waiters.push(cell.id);
     }
+    compute
 }
 
 // ---------------------------------------------------------------------------
@@ -697,11 +750,16 @@ pub(crate) struct WriteParcel {
 }
 
 /// This node's partition of one global shared array plus its phase write
-/// buffer.
+/// buffer and phase-coherent remote-read cache.
 pub(crate) struct GArray<T: Elem> {
     pub dist: Dist,
     pub local: Vec<T>,
-    wbuf: HashMap<usize, WireWrite<T>>,
+    wbuf: HashMap<usize, Pending<T>>,
+    /// Remote elements whose phase-frozen value this node has learned —
+    /// from response bundles or owner-pushed refreshes — keyed by global
+    /// index. Consulted by [`VpCell::get_global`] before queueing a remote
+    /// read; cleared when the array takes writes (exec.rs invalidation).
+    rcache: HashMap<u64, T>,
 }
 
 impl<T: Elem> GArray<T> {
@@ -710,23 +768,24 @@ impl<T: Elem> GArray<T> {
             dist,
             local: vec![T::default(); dist.local_len(node)],
             wbuf: HashMap::new(),
+            rcache: HashMap::new(),
         }
     }
 
     pub fn buffer_assign(&mut self, idx: usize, val: T, key: WriteKey) {
         match self.wbuf.entry(idx) {
             std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
-                WireWrite::Assign(_, old_key) => {
+                Pending::Assign(_, old_key) => {
                     if key > *old_key {
-                        e.insert(WireWrite::Assign(val, key));
+                        e.insert(Pending::Assign(val, key));
                     }
                 }
-                WireWrite::Accum(..) => {
+                Pending::Accum { .. } => {
                     panic!("element {idx}: put and accumulate mixed in one phase")
                 }
             },
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireWrite::Assign(val, key));
+                e.insert(Pending::Assign(val, key));
             }
         }
     }
@@ -735,29 +794,37 @@ impl<T: Elem> GArray<T> {
 impl<T: Elem> GArray<T> {
     /// Like [`Self::buffer_accum`] but with an explicit combiner, so the
     /// type-erased scratch-replay path (`T: Elem` only) can buffer
-    /// accumulates recorded during VP polls.
+    /// accumulates recorded during VP polls. `rank` is the contributing
+    /// VP's global rank (see [`Pending`] for why partials are rank-keyed).
     pub fn buffer_accum_with(
         &mut self,
         idx: usize,
         op: AccumOp,
         val: T,
         f: fn(AccumOp, T, T) -> T,
+        rank: u64,
     ) {
         match self.wbuf.entry(idx) {
-            std::collections::hash_map::Entry::Occupied(mut e) => match *e.get() {
-                WireWrite::Accum(old_op, acc, f) => {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Pending::Accum {
+                    op: old_op, parts, ..
+                } => {
                     assert_eq!(
-                        old_op, op,
+                        *old_op, op,
                         "element {idx}: conflicting accumulate operators in one phase"
                     );
-                    e.insert(WireWrite::Accum(op, f(op, acc, val), f));
+                    parts.push((rank, val));
                 }
-                WireWrite::Assign(..) => {
+                Pending::Assign(..) => {
                     panic!("element {idx}: put and accumulate mixed in one phase")
                 }
             },
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireWrite::Accum(op, val, f));
+                e.insert(Pending::Accum {
+                    op,
+                    f,
+                    parts: vec![(rank, val)],
+                });
             }
         }
     }
@@ -765,9 +832,10 @@ impl<T: Elem> GArray<T> {
 
 #[cfg(test)]
 impl<T: AccumElem> GArray<T> {
-    /// Test convenience: accumulate with the element's own combiner.
+    /// Test convenience: accumulate with the element's own combiner as
+    /// VP rank 0.
     pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
-        self.buffer_accum_with(idx, op, val, T::combine);
+        self.buffer_accum_with(idx, op, val, T::combine, 0);
     }
 }
 
@@ -782,22 +850,43 @@ pub(crate) trait GArrayObj: Send + Sync {
     fn serve(&self, idxs: &[u64]) -> (Box<dyn Any + Send>, usize);
     /// Requester side: value `i` of the response fans out to every
     /// `(vp, slot)` waiter in `groups[i]` (request deduplication lets many
-    /// VPs share one wire entry for the same remote element). `fill`
-    /// delivers one boxed value to one waiter's slot.
+    /// VPs share one wire entry for the same remote element); `idxs[i]` is
+    /// the element's global index. With `cache` on, each value also
+    /// populates the read cache. `fill` delivers one boxed value to one
+    /// waiter's slot.
     fn fulfill_multi(
-        &self,
+        &mut self,
         values: Box<dyn Any + Send>,
+        idxs: &[u64],
         groups: &[Vec<(usize, u64)>],
+        cache: bool,
         fill: &mut dyn FnMut(usize, u64, Box<dyn Any + Send>),
     );
     /// Drain the write buffer into per-destination parcels (the destination
     /// may be this node itself).
     fn drain_writes(&mut self) -> Vec<WriteParcel>;
     /// Owner side: apply `(source node, payload)` parcels; resolution order
-    /// is deterministic. Returns the number of entries applied.
-    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> u64;
-    /// Whether any writes are buffered (used to assert clean phase ends).
+    /// is deterministic. Returns the number of entries applied and the
+    /// distinct written global indices in ascending order (feeds the
+    /// refresh-push protocol, DESIGN.md §13).
+    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> (u64, Vec<u64>);
+    /// Whether any writes are buffered (used to assert clean phase ends
+    /// and to compute per-array cache-invalidation bits).
     fn has_pending_writes(&self) -> bool;
+    /// Read the post-apply values at `idxs` (owned global indices) into a
+    /// refresh-push payload (`Vec<T>`). Like [`Self::serve`], but `Sync`
+    /// too: the entries park in [`Inner::pending_refresh`] between
+    /// dissemination rounds.
+    fn refresh_collect(&self, idxs: &[u64]) -> Box<dyn Any + Send + Sync>;
+    /// Copy the `take`-marked subset of a refresh payload (`Vec<T>`);
+    /// returns the subset payload and its modeled wire byte size.
+    fn refresh_select(&self, values: &dyn Any, take: &[bool]) -> (Box<dyn Any + Send + Sync>, u64);
+    /// Receiver side of an owner push: insert `idxs[i] → values[i]` into
+    /// the read cache for every `take`-marked entry.
+    fn refresh_absorb(&mut self, idxs: &[u64], values: &dyn Any, take: &[bool]);
+    /// Drop every cached remote value (invalidation at phase end when the
+    /// array took writes, and at construct entry).
+    fn cache_clear(&mut self);
     /// Copy the local partition for a super-step snapshot; returns the
     /// payload (`Vec<T>`) and its modeled byte size.
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64);
@@ -825,16 +914,22 @@ impl<T: Elem> GArrayObj for GArray<T> {
     }
 
     fn fulfill_multi(
-        &self,
+        &mut self,
         values: Box<dyn Any + Send>,
+        idxs: &[u64],
         groups: &[Vec<(usize, u64)>],
+        cache: bool,
         fill: &mut dyn FnMut(usize, u64, Box<dyn Any + Send>),
     ) {
         let values = values
             .downcast::<Vec<T>>()
             .expect("response payload type mismatch");
         debug_assert_eq!(values.len(), groups.len());
-        for (waiters, v) in groups.iter().zip(*values) {
+        debug_assert_eq!(values.len(), idxs.len());
+        for ((waiters, &idx), v) in groups.iter().zip(idxs).zip(*values) {
+            if cache {
+                self.rcache.insert(idx, v);
+            }
             for &(vp, slot) in waiters {
                 fill(vp, slot, Box::new(v));
             }
@@ -850,7 +945,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
             by_dest
                 .entry(self.dist.owner(idx))
                 .or_default()
-                .push((idx as u64, w));
+                .push((idx as u64, resolve_pending(w)));
         }
         let mut parcels: Vec<WriteParcel> = by_dest
             .into_iter()
@@ -877,7 +972,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
         parcels
     }
 
-    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> u64 {
+    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> (u64, Vec<u64>) {
         let mut all: Vec<(u64, u32, WireWrite<T>)> = Vec::new();
         for (src, payload) in parcels {
             let entries = payload
@@ -888,6 +983,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
         // Deterministic application order: by element, then by source node.
         all.sort_by_key(|(idx, src, _)| (*idx, *src));
         let applied = all.len() as u64;
+        let mut written = Vec::new();
         let mut i = 0;
         while i < all.len() {
             let idx = all[i].0;
@@ -898,13 +994,62 @@ impl<T: Elem> GArrayObj for GArray<T> {
             let resolved = resolve_conflicts(idx, &all[i..j]);
             let off = self.dist.local_offset(idx as usize);
             self.local[off] = resolved;
+            written.push(idx);
             i = j;
         }
-        applied
+        (applied, written)
     }
 
     fn has_pending_writes(&self) -> bool {
         !self.wbuf.is_empty()
+    }
+
+    fn refresh_collect(&self, idxs: &[u64]) -> Box<dyn Any + Send + Sync> {
+        let values: Vec<T> = idxs
+            .iter()
+            .map(|&i| self.local[self.dist.local_offset(i as usize)])
+            .collect();
+        Box::new(values)
+    }
+
+    fn refresh_select(&self, values: &dyn Any, take: &[bool]) -> (Box<dyn Any + Send + Sync>, u64) {
+        let values = values
+            .downcast_ref::<Vec<T>>()
+            .expect("refresh payload type mismatch");
+        debug_assert_eq!(values.len(), take.len());
+        let subset: Vec<T> = values
+            .iter()
+            .zip(take)
+            .filter_map(|(&v, &t)| t.then_some(v))
+            .collect();
+        let bytes = if subset.is_empty() {
+            0
+        } else {
+            subset.wire_size() as u64
+        };
+        (Box::new(subset), bytes)
+    }
+
+    fn refresh_absorb(&mut self, idxs: &[u64], values: &dyn Any, take: &[bool]) {
+        let values = values
+            .downcast_ref::<Vec<T>>()
+            .expect("refresh payload type mismatch");
+        debug_assert_eq!(values.len(), idxs.len());
+        debug_assert_eq!(values.len(), take.len());
+        for ((&idx, &v), &t) in idxs.iter().zip(values).zip(take) {
+            if t {
+                debug_assert_ne!(
+                    self.dist.owner(idx as usize),
+                    usize::MAX,
+                    "unreachable: owner() is total"
+                );
+                self.rcache.insert(idx, v);
+            }
+        }
+    }
+
+    fn cache_clear(&mut self) {
+        self.rcache.clear();
     }
 
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64) {
@@ -972,9 +1117,12 @@ fn resolve_conflicts<T: Elem>(idx: u64, run: &[(u64, u32, WireWrite<T>)]) -> T {
 // ---------------------------------------------------------------------------
 
 /// One node's instance of a node-shared array plus its phase write buffer.
+/// Buffered accumulates are rank-keyed [`Pending`] partials for the same
+/// reason as [`GArray`]: node-shared accumulates may happen inside a
+/// global phase, whose poll-round structure wave pipelining changes.
 pub(crate) struct NArray<T: Elem> {
     pub data: Vec<T>,
-    wbuf: HashMap<usize, WireWrite<T>>,
+    wbuf: HashMap<usize, Pending<T>>,
 }
 
 impl<T: Elem> NArray<T> {
@@ -988,17 +1136,17 @@ impl<T: Elem> NArray<T> {
     pub fn buffer_assign(&mut self, idx: usize, val: T, key: WriteKey) {
         match self.wbuf.entry(idx) {
             std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
-                WireWrite::Assign(_, old_key) => {
+                Pending::Assign(_, old_key) => {
                     if key > *old_key {
-                        e.insert(WireWrite::Assign(val, key));
+                        e.insert(Pending::Assign(val, key));
                     }
                 }
-                WireWrite::Accum(..) => {
+                Pending::Accum { .. } => {
                     panic!("node element {idx}: put and accumulate mixed in one phase")
                 }
             },
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireWrite::Assign(val, key));
+                e.insert(Pending::Assign(val, key));
             }
         }
     }
@@ -1012,19 +1160,29 @@ impl<T: Elem> NArray<T> {
         op: AccumOp,
         val: T,
         f: fn(AccumOp, T, T) -> T,
+        rank: u64,
     ) {
         match self.wbuf.entry(idx) {
-            std::collections::hash_map::Entry::Occupied(mut e) => match *e.get() {
-                WireWrite::Accum(old_op, acc, f) => {
-                    assert_eq!(old_op, op, "node element {idx}: conflicting accumulate ops");
-                    e.insert(WireWrite::Accum(op, f(op, acc, val), f));
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Pending::Accum {
+                    op: old_op, parts, ..
+                } => {
+                    assert_eq!(
+                        *old_op, op,
+                        "node element {idx}: conflicting accumulate ops"
+                    );
+                    parts.push((rank, val));
                 }
-                WireWrite::Assign(..) => {
+                Pending::Assign(..) => {
                     panic!("node element {idx}: put and accumulate mixed in one phase")
                 }
             },
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireWrite::Accum(op, val, f));
+                e.insert(Pending::Accum {
+                    op,
+                    f,
+                    parts: vec![(rank, val)],
+                });
             }
         }
     }
@@ -1032,9 +1190,10 @@ impl<T: Elem> NArray<T> {
 
 #[cfg(test)]
 impl<T: AccumElem> NArray<T> {
-    /// Test convenience: accumulate with the element's own combiner.
+    /// Test convenience: accumulate with the element's own combiner as
+    /// VP rank 0.
     pub fn buffer_accum(&mut self, idx: usize, op: AccumOp, val: T) {
-        self.buffer_accum_with(idx, op, val, T::combine);
+        self.buffer_accum_with(idx, op, val, T::combine, 0);
     }
 }
 
@@ -1063,10 +1222,10 @@ impl<T: Elem> NArrayObj for NArray<T> {
 
     fn apply(&mut self) -> u64 {
         let n = self.wbuf.len() as u64;
-        let mut entries: Vec<(usize, WireWrite<T>)> = self.wbuf.drain().collect();
+        let mut entries: Vec<(usize, Pending<T>)> = self.wbuf.drain().collect();
         entries.sort_by_key(|(i, _)| *i);
         for (idx, w) in entries {
-            self.data[idx] = match w {
+            self.data[idx] = match resolve_pending(w) {
                 WireWrite::Assign(v, _) => v,
                 WireWrite::Accum(_, v, _) => v,
             };
@@ -1158,6 +1317,26 @@ pub(crate) struct Traffic {
     pub write_entries_in: u64,
     pub write_bytes_in: u64,
     pub waves: u64,
+    /// Refresh-push bytes sent riding barrier messages (DESIGN.md §13).
+    /// Charged into the *next* phase's gap term for every party — the
+    /// barrier closes this phase, so its payload overlaps the following
+    /// phase's work, symmetrically and deterministically.
+    pub refresh_bytes_out: u64,
+    /// Refresh-push bytes received riding barrier messages.
+    pub refresh_bytes_in: u64,
+    /// Non-empty refresh payloads sent riding barrier messages (each also
+    /// counts once in `Counters::bundles_sent`; the tracer's phase summary
+    /// uses this so the bundle reconciliation stays exact).
+    pub refresh_bundles_out: u64,
+    /// Pipelining: compute merged while a wave had at least one destination
+    /// already consumed and at least one still pending — work genuinely
+    /// overlapped with in-flight responses.
+    pub pipelined_compute: SimTime,
+    /// Pipelining: response latency that overlapped compute could hide —
+    /// one response leg per completed multi-destination wave. The phase
+    /// cost formula subtracts `min(pipelined_compute, pipeline_hideable)`
+    /// from the wave latency term.
+    pub pipeline_hideable: SimTime,
     /// Reliability: extra virtual transmissions this phase (retransmitted
     /// attempts + duplicate copies) — each pays per-message overhead.
     /// Cumulative acks deliberately do *not* appear here: they are sent
@@ -1197,6 +1376,20 @@ pub(crate) struct Snapshots {
     pub garrays: Vec<Box<dyn Any + Send + Sync>>,
     /// One `Vec<T>` payload per node-shared array instance.
     pub narrays: Vec<Box<dyn Any + Send + Sync>>,
+}
+
+/// Serve history of one owned element, for the refresh-push side of the
+/// read cache (DESIGN.md §13). An element *arms* on its second serve
+/// within the TTL window: one serve is as likely read-once as read-again,
+/// two serves within a few phases is a reuse pattern worth pushing for.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServeHist {
+    /// `phase.global_seq` of the most recent serve (TTL pruning).
+    pub last_serve: u64,
+    /// Nodes that have requested this element (bit = node id).
+    pub readers: u64,
+    /// Whether rewrites of this element trigger an owner push.
+    pub armed: bool,
 }
 
 /// Outcome of a shared read issued by a VP.
@@ -1259,6 +1452,19 @@ pub(crate) struct Inner {
     /// tracer to attach per-phase [`Counters`] deltas to phase events.
     /// Only maintained while tracing is enabled.
     pub ctr_base: Counters,
+    /// Refresh-push: serve history per owned `(array, global idx)`, folded
+    /// from [`Self::deferred_serves`] at each global phase end and TTL-pruned.
+    /// A `BTreeMap` so arming/pruning iterate in deterministic order.
+    pub serve_hist: BTreeMap<(u32, u64), ServeHist>,
+    /// Peer read requests served since the last global phase end, as
+    /// `(requesting node, array, global idx)` — recorded by
+    /// `service_read_req` in arrival order, folded into [`Self::serve_hist`]
+    /// (deterministically: sorted first) at phase end.
+    pub deferred_serves: Vec<(usize, u32, u64)>,
+    /// Refresh-push entries awaiting dissemination: owner-pushed values for
+    /// armed rewritten elements, each with its remaining destination mask.
+    /// Drained into barrier messages round by round (exec.rs).
+    pub pending_refresh: Vec<crate::msgs::RefreshPart>,
 }
 
 impl Inner {
@@ -1284,6 +1490,9 @@ impl Inner {
             violations: Vec::new(),
             snapshots: None,
             ctr_base: Counters::default(),
+            serve_hist: BTreeMap::new(),
+            deferred_serves: Vec::new(),
+            pending_refresh: Vec::new(),
         }
     }
 
@@ -1403,12 +1612,13 @@ mod tests {
         ];
         let p1: Vec<(u64, WireWrite<f64>)> =
             vec![(2, WireWrite::Accum(AccumOp::Add, 2.0, f64::combine))];
-        let n = ga.apply_writes(vec![
+        let (n, written) = ga.apply_writes(vec![
             (2, Box::new(p2)),
             (0, Box::new(p0)),
             (1, Box::new(p1)),
         ]);
         assert_eq!(n, 4);
+        assert_eq!(written, vec![1, 2], "distinct written indices, ascending");
         assert_eq!(ga.local[1], 20.0, "assign with highest WriteKey wins");
         assert_eq!(ga.local[2], 3.0, "accumulates sum across sources");
         assert_eq!(ga.local[0], 0.0, "untouched elements stay default");

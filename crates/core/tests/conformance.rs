@@ -161,6 +161,96 @@ fn read_own_write_hazard_is_flagged() {
     assert!(msg.contains("snapshot"), "{msg}");
 }
 
+/// A read served from the phase-coherent read cache (DESIGN.md §13) is
+/// still a read: buffering a put to the element and then getting it must
+/// flag the read-own-write hazard even though no message is sent.
+#[test]
+fn cached_reads_still_flag_read_own_write() {
+    let report = run(cfg(2, 1).with_read_cache(true), |node| {
+        let a = node.alloc_global::<i64>(16); // node 1 owns 8..16
+        node.ppm_do(1, move |vp| async move {
+            let id = vp.node_id();
+            // Phase 1: populate the cache.
+            vp.global_phase(|ph| async move {
+                if id == 0 {
+                    let _ = ph.get(&a, 8).await;
+                }
+            })
+            .await;
+            // Phase 2: put-then-get the cached element on node 0.
+            vp.global_phase(|ph| async move {
+                if id == 0 {
+                    ph.put(&a, 8, 99);
+                    let snap = ph.get(&a, 8).await;
+                    assert_eq!(snap, 0, "cache hit is still the phase-start snapshot");
+                }
+            })
+            .await;
+        });
+        (node.take_violations(), node.ep_counters())
+    });
+    let (violations, counters) = &report.results[0];
+    assert!(
+        counters.cache_hits >= 1,
+        "the hazardous read must have been served from the cache"
+    );
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(
+        matches!(
+            violations[0],
+            PhaseViolation::ReadOwnWrite {
+                space: Space::Global,
+                index: 8,
+                vp: 0,
+                ..
+            }
+        ),
+        "{violations:?}"
+    );
+}
+
+/// Snapshot semantics with the cache: a cached element being rewritten by
+/// its owner in the same phase must still read as the phase-start value
+/// (not the in-flight write) with zero violations — and the next phase
+/// must see the new value, because the write invalidates the stale entry.
+#[test]
+fn cached_reads_see_phase_start_values() {
+    let report = run(cfg(2, 1).with_read_cache(true), |node| {
+        let a = node.alloc_global::<i64>(16);
+        node.ppm_do(1, move |vp| async move {
+            let id = vp.node_id();
+            // Phase 1: the reader caches a[8] (initial 0).
+            vp.global_phase(|ph| async move {
+                if id == 0 {
+                    assert_eq!(ph.get(&a, 8).await, 0);
+                }
+            })
+            .await;
+            // Phase 2: the owner rewrites it; the reader's cached read is
+            // legally the phase-start value, not the in-flight write.
+            vp.global_phase(|ph| async move {
+                if id == 0 {
+                    assert_eq!(ph.get(&a, 8).await, 0, "phase-start value");
+                } else {
+                    ph.put(&a, 8, 55);
+                }
+            })
+            .await;
+            // Phase 3: the write is visible (the stale entry was dropped).
+            vp.global_phase(|ph| async move {
+                if id == 0 {
+                    assert_eq!(ph.get(&a, 8).await, 55);
+                }
+            })
+            .await;
+        });
+        node.take_violations()
+    });
+    for v in &report.results {
+        assert!(v.is_empty(), "{v:?}");
+    }
+}
+
 /// Node-shared arrays get the same checking as global ones.
 #[test]
 fn node_array_conflicts_are_flagged_per_space() {

@@ -549,7 +549,11 @@ fn collective_do_with_zero_vps_panics() {
 
 #[test]
 fn phase_log_records_every_phase() {
-    let report = run(cfg(2, 2), move |node| {
+    // Read caching off: this test pins the phase log's per-phase wave
+    // accounting, so every phase must actually go to the wire (with the
+    // cache on, steady-state phases legitimately run zero waves — covered
+    // by the read-cache tests below).
+    let report = run(cfg(2, 2).with_read_cache(false), move |node| {
         let a = node.alloc_global::<u64>(16);
         node.ppm_do(4, move |vp| async move {
             let g = vp.global_rank();
@@ -597,6 +601,139 @@ fn phase_log_records_every_phase() {
         (first, second)
     });
     assert_eq!(report2.results[0], (1, 0));
+}
+
+#[test]
+fn read_cache_serves_repeat_fetches_across_waves() {
+    // Cross-wave dedup within one phase: VP 1 fetches elements 8 and 12 in
+    // the first wave; VP 0's dependent second read of 12 must then be a
+    // cache hit (no second wave) with the cache on, and a second wave with
+    // it off. Values are identical either way.
+    for cache in [true, false] {
+        let report = run(cfg(2, 1).with_read_cache(cache), move |node| {
+            let a = node.alloc_global::<u64>(16); // node 1 owns 8..16
+            if node.node_id() == 1 {
+                node.with_local_mut(&a, |s| {
+                    s[0] = 12; // a[8]: pointer to a[12]
+                    s[4] = 7; // a[12]
+                });
+            }
+            let k = if node.node_id() == 0 { 2 } else { 1 };
+            node.ppm_do(k, move |vp| async move {
+                let id = vp.node_id();
+                let r = vp.node_rank();
+                vp.global_phase(|ph| async move {
+                    if id != 0 {
+                        return;
+                    }
+                    if r == 0 {
+                        let next = ph.get(&a, 8).await;
+                        assert_eq!(next, 12);
+                        let v = ph.get(&a, next as usize).await;
+                        assert_eq!(v, 7);
+                    } else {
+                        let got = ph.get_many(&a, [8usize, 12]).await;
+                        assert_eq!(got, vec![12, 7]);
+                    }
+                })
+                .await;
+            });
+            node.ep_counters()
+        });
+        let c0 = &report.results[0];
+        assert_eq!(c0.dedup_reads, 1, "element 8 deduplicated within wave 1");
+        if cache {
+            assert_eq!(c0.waves, 1, "the dependent read is served locally");
+            assert_eq!(c0.cache_hits, 1);
+            assert_eq!(c0.cache_misses, 3);
+        } else {
+            assert_eq!(c0.waves, 2, "cache off: the repeat read re-fetches");
+            assert_eq!(c0.cache_hits, 0);
+            assert_eq!(c0.cache_misses, 4);
+        }
+    }
+}
+
+#[test]
+fn unwritten_remote_elements_are_fetched_at_most_once() {
+    // Phase-end invalidation is per array and only when the array took
+    // writes: a never-written element is fetched in the first phase and
+    // served locally in every later phase — zero waves in steady state.
+    for cache in [true, false] {
+        let report = run(cfg(2, 1).with_read_cache(cache), move |node| {
+            let a = node.alloc_global::<u64>(16);
+            if node.node_id() == 1 {
+                node.with_local_mut(&a, |s| s[0] = 42);
+            }
+            node.ppm_do(1, move |vp| async move {
+                let id = vp.node_id();
+                for _ in 0..3 {
+                    vp.global_phase(|ph| async move {
+                        if id == 0 {
+                            assert_eq!(ph.get(&a, 8).await, 42);
+                        }
+                    })
+                    .await;
+                }
+            });
+            (node.ep_counters(), node.take_phase_log())
+        });
+        let (c0, log0) = &report.results[0];
+        let waves: Vec<u64> = log0.iter().map(|p| p.waves).collect();
+        if cache {
+            assert_eq!(waves, vec![1, 0, 0], "repeat fetches are eliminated");
+            assert_eq!(c0.cache_hits, 2);
+            assert_eq!(c0.cache_misses, 1);
+        } else {
+            assert_eq!(waves, vec![1, 1, 1]);
+            assert_eq!(c0.cache_hits, 0);
+            assert_eq!(c0.cache_misses, 3);
+        }
+    }
+}
+
+#[test]
+fn refresh_push_keeps_rewritten_elements_coherent() {
+    // The owner rewrites an element every phase while a remote VP reads it
+    // every phase: every read must see the phase-start snapshot. After the
+    // second serve the owner arms the element and pushes the post-apply
+    // value with its barrier messages, so the reader's steady-state phases
+    // run zero waves — with no loss of coherence.
+    const PHASES: u64 = 6;
+    for cache in [true, false] {
+        let report = run(cfg(2, 1).with_read_cache(cache), move |node| {
+            let a = node.alloc_global::<u64>(16);
+            node.ppm_do(1, move |vp| async move {
+                let id = vp.node_id();
+                for p in 0..PHASES {
+                    vp.global_phase(|ph| async move {
+                        if id == 0 {
+                            // Phase-start value: the owner's write from the
+                            // previous phase (0 initially).
+                            assert_eq!(ph.get(&a, 8).await, p * 100);
+                        } else {
+                            ph.put(&a, 8, (p + 1) * 100);
+                        }
+                    })
+                    .await;
+                }
+            });
+            (node.ep_counters(), node.take_phase_log())
+        });
+        let (c0, log0) = &report.results[0];
+        let waves: Vec<u64> = log0.iter().map(|r| r.waves).collect();
+        if cache {
+            assert_eq!(
+                waves,
+                vec![1, 1, 0, 0, 0, 0],
+                "armed after the second serve; refresh-pushed thereafter"
+            );
+            assert_eq!(c0.cache_hits, 4);
+        } else {
+            assert_eq!(waves, vec![1; PHASES as usize]);
+            assert_eq!(c0.cache_hits, 0);
+        }
+    }
 }
 
 #[test]

@@ -45,6 +45,18 @@ pub struct Counters {
     pub acks_sent: u64,
     /// Phase-boundary crash recoveries performed.
     pub crash_recoveries: u64,
+    /// PPM: remote reads satisfied by the phase-coherent read cache
+    /// (no wire traffic).
+    pub cache_hits: u64,
+    /// PPM: remote reads that missed the read cache (or ran with it
+    /// disabled) and went to the wire.
+    pub cache_misses: u64,
+    /// PPM: duplicate remote reads merged into an already-queued wire
+    /// entry within a wave.
+    pub dedup_reads: u64,
+    /// PPM: wave completions where some VPs resumed while other
+    /// destinations of the same wave were still in flight.
+    pub partial_wakes: u64,
 }
 
 impl Counters {
@@ -82,7 +94,7 @@ impl Counters {
     /// single source of truth for exporters (e.g. per-phase deltas in the
     /// trace layer); a test pins its length to the struct size so a new
     /// field cannot be forgotten here.
-    pub fn named_fields(&self) -> [(&'static str, u64); 19] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 23] {
         [
             ("msgs_sent", self.msgs_sent),
             ("bytes_sent", self.bytes_sent),
@@ -103,6 +115,10 @@ impl Counters {
             ("dups_suppressed", self.dups_suppressed),
             ("acks_sent", self.acks_sent),
             ("crash_recoveries", self.crash_recoveries),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("dedup_reads", self.dedup_reads),
+            ("partial_wakes", self.partial_wakes),
         ]
     }
 
@@ -121,7 +137,7 @@ impl Counters {
         out
     }
 
-    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 19] {
+    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 23] {
         [
             ("msgs_sent", &mut self.msgs_sent),
             ("bytes_sent", &mut self.bytes_sent),
@@ -142,6 +158,10 @@ impl Counters {
             ("dups_suppressed", &mut self.dups_suppressed),
             ("acks_sent", &mut self.acks_sent),
             ("crash_recoveries", &mut self.crash_recoveries),
+            ("cache_hits", &mut self.cache_hits),
+            ("cache_misses", &mut self.cache_misses),
+            ("dedup_reads", &mut self.dedup_reads),
+            ("partial_wakes", &mut self.partial_wakes),
         ]
     }
 }
