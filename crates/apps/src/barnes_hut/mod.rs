@@ -52,6 +52,10 @@ pub struct BhParams {
     pub bodies_per_vp: usize,
     /// RNG seed for the Plummer sampler.
     pub seed: u64,
+    /// Clustered initial condition: a dense core holds most of the bodies
+    /// at the low indices (see [`clustered_plummer`]), so a block
+    /// partition is heavily walk-imbalanced. Off by default.
+    pub clustered: bool,
 }
 
 impl BhParams {
@@ -72,6 +76,16 @@ impl BhParams {
             steps: 2,
             bodies_per_vp: 16,
             seed: 0x5EED,
+            clustered: false,
+        }
+    }
+
+    /// The deliberately skewed fixture: same defaults, clustered initial
+    /// condition. Used by the adaptive-balance gates.
+    pub fn clustered(n: usize) -> Self {
+        BhParams {
+            clustered: true,
+            ..BhParams::new(n)
         }
     }
 }
@@ -215,6 +229,56 @@ pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
         .collect()
 }
 
+/// Sample a clustered configuration: a dense Plummer core (tiny radius)
+/// holding the low-index half of the bodies, plus a wide displaced halo at
+/// the high indices. Under a block partition the low-id nodes own the
+/// dense core — far more cell opens and direct interactions per body — so
+/// the walk load is heavily skewed toward them. Deterministic for a given
+/// seed.
+pub fn clustered_plummer(n: usize, seed: u64) -> Vec<Body> {
+    let core = n - n / 2;
+    let mut rng = SplitMix64::new(seed ^ 0xC1A5);
+    let m = 1.0 / n as f64;
+    let mut sample = |a: f64, cap: f64| -> Body {
+        let u: f64 = rng.gen_range_f64(1e-6, 1.0);
+        let r = (a / (u.powf(-2.0 / 3.0) - 1.0).sqrt()).min(cap);
+        let cos_t: f64 = rng.gen_range_f64(-1.0, 1.0);
+        let sin_t = (1.0 - cos_t * cos_t).sqrt();
+        let phi: f64 = rng.gen_range_f64(0.0, std::f64::consts::TAU);
+        let vscale = 0.1 / (1.0 + r);
+        Body {
+            x: r * sin_t * phi.cos(),
+            y: r * sin_t * phi.sin(),
+            z: r * cos_t,
+            vx: -vscale * phi.sin(),
+            vy: vscale * phi.cos(),
+            vz: 0.0,
+            mass: m,
+        }
+    };
+    (0..n)
+        .map(|i| {
+            if i < core {
+                sample(0.05, 0.4)
+            } else {
+                let mut b = sample(2.0, 8.0);
+                b.x += 4.0;
+                b
+            }
+        })
+        .collect()
+}
+
+/// The initial condition every version shares, dispatched on the fixture
+/// flag — so seq/MPI/PPM conformance holds for both configurations.
+pub fn initial_bodies(p: &BhParams) -> Vec<Body> {
+    if p.clustered {
+        clustered_plummer(p.n_bodies, p.seed)
+    } else {
+        plummer(p.n_bodies, p.seed)
+    }
+}
+
 /// One entry of the leaf index: a body projected to (Morton key, identity,
 /// position, mass) — what `Direct` leaf interactions read.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -288,6 +352,24 @@ mod tests {
         let s = a + b;
         assert_eq!(s.m, 1.5);
         assert_eq!(s.mz, 3.0);
+    }
+
+    #[test]
+    fn clustered_plummer_has_a_dense_low_index_core() {
+        let n = 400;
+        let bodies = clustered_plummer(n, 7);
+        assert_eq!(bodies, clustered_plummer(n, 7));
+        let total_mass: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((total_mass - 1.0).abs() < 1e-12);
+        let radius = |b: &Body| (b.x * b.x + b.y * b.y + b.z * b.z).sqrt();
+        let core = n - n / 2;
+        let core_mean: f64 = bodies[..core].iter().map(radius).sum::<f64>() / core as f64;
+        let halo_mean: f64 = bodies[core..].iter().map(radius).sum::<f64>() / (n - core) as f64;
+        // The low indices sit in a far denser region than the halo.
+        assert!(
+            core_mean * 10.0 < halo_mean,
+            "core mean radius {core_mean} vs halo {halo_mean}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use ppm_mps::Comm;
 use ppm_simnet::SimTime;
 
 use super::tree::{build_levels, force_on, LeafIndex};
-use super::{plummer, BBox, BhParams, Body, BUILD_FLOPS, DIRECT_FLOPS, STEP_FLOPS};
+use super::{initial_bodies, BBox, BhParams, Body, BUILD_FLOPS, DIRECT_FLOPS, STEP_FLOPS};
 
 fn block(n: usize, rank: usize, size: usize) -> std::ops::Range<usize> {
     let bs = n.div_ceil(size).max(1);
@@ -27,7 +27,7 @@ pub fn simulate(comm: &mut Comm<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
     let n = p.n_bodies;
     let range = block(n, comm.rank(), comm.size());
     let mut mine: Vec<Body> = {
-        let all = plummer(n, p.seed);
+        let all = initial_bodies(p);
         all[range.clone()].to_vec()
     };
 

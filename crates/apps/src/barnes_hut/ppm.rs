@@ -25,7 +25,7 @@ use ppm_simnet::SimTime;
 
 use super::tree::{direct_kernel, visit_cell, Visit};
 use super::{
-    plummer, BBox, BhParams, Body, Com, SortedBody, BUILD_FLOPS, DIRECT_FLOPS, STEP_FLOPS,
+    initial_bodies, BBox, BhParams, Body, Com, SortedBody, BUILD_FLOPS, DIRECT_FLOPS, STEP_FLOPS,
     VISIT_FLOPS,
 };
 
@@ -37,9 +37,12 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
     let depth = p.max_depth;
     let cells = 1usize << (3 * depth);
 
-    let bodies = node.alloc_global::<Body>(n);
+    let bodies = node.alloc_global_balanced::<Body>(n);
     let bbox = node.alloc_global::<f64>(6); // min xyz, max xyz
-    let sorted = node.alloc_global::<SortedBody>(n);
+                                            // Balanced like `bodies`: both arrays see the same length and the same
+                                            // load vector, so their bounds move in lockstep and the local record
+                                            // buffer below always matches the local body span.
+    let sorted = node.alloc_global_balanced::<SortedBody>(n);
     let leaf_start = node.alloc_global::<u64>(cells);
     let leaf_count = node.alloc_global::<u64>(cells);
     let levels: Arc<Vec<GlobalShared<Com>>> = Arc::new(
@@ -51,22 +54,29 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
     // Everyone samples the same deterministic distribution and keeps its
     // own block.
     let range = node.local_range(&bodies);
-    let (lo_node, n_local) = (range.start, range.len());
+    let n_local = range.len();
     {
-        let all = plummer(n, p.seed);
+        let all = initial_bodies(p);
         node.with_local_mut(&bodies, |s| s.copy_from_slice(&all[range]));
     }
 
     let bpv = params.bodies_per_vp.max(1);
+    // VP count is pinned to the initial (block-equal) bounds; the body
+    // partition itself can move between phases under adaptive balancing,
+    // so every phase re-derives its slice from the live bounds.
     let k = n_local.div_ceil(bpv).max(1);
+    let slice = move |r: std::ops::Range<usize>, vr: usize| {
+        let cpv = bpv.max(r.len().div_ceil(k));
+        let lo = (r.start + vr * cpv).min(r.end);
+        (lo, (lo + cpv).min(r.end))
+    };
 
     for _step in 0..params.steps {
         // --- 1. Shared bounding box. -----------------------------------
         node.ppm_do(k, move |vp| async move {
-            let lo = (lo_node + vp.node_rank() * bpv).min(lo_node + n_local);
-            let hi = (lo + bpv).min(lo_node + n_local);
             let v = vp.clone();
             vp.global_phase(|ph| async move {
+                let (lo, hi) = slice(v.local_range(&bodies), v.node_rank());
                 let mine = ph.get_many(&bodies, lo..hi).await;
                 for b in &mine {
                     for (d, val) in [b.x, b.y, b.z].into_iter().enumerate() {
@@ -85,12 +95,16 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
         };
 
         // --- 2. Refresh the Morton-sorted leaf index. -------------------
+        // The bodies' span may have moved at the last phase boundary, so
+        // the record identities come from the live range, not the initial
+        // one.
+        let body_lo = node.local_range(&bodies).start;
         let records: Vec<SortedBody> = node.with_local(&bodies, |s| {
             s.iter()
                 .enumerate()
                 .map(|(off, b)| SortedBody {
                     key: bb.key_of(b.x, b.y, b.z, depth),
-                    idx: (lo_node + off) as u64,
+                    idx: (body_lo + off) as u64,
                     x: b.x,
                     y: b.y,
                     z: b.z,
@@ -135,13 +149,11 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
         node.ppm_do(k, move |vp| {
             let levels = levels.clone();
             async move {
-                let lo = (lo_node + vp.node_rank() * bpv).min(lo_node + n_local);
-                let hi = (lo + bpv).min(lo_node + n_local);
-
                 // Phase build: scatter mass moments into every level and
                 // count leaf occupancy.
                 let (v, lv) = (vp.clone(), levels.clone());
                 vp.global_phase(|ph| async move {
+                    let (lo, hi) = slice(v.local_range(&bodies), v.node_rank());
                     let bb = read_bbox(&ph, &bbox).await;
                     let mine = ph.get_many(&bodies, lo..hi).await;
                     for b in &mine {
@@ -162,6 +174,7 @@ pub fn simulate(node: &mut NodeCtx<'_>, p: &BhParams) -> (Vec<Body>, SimTime) {
                 // clearing of the occupied cells.
                 let (v, lv) = (vp.clone(), levels.clone());
                 vp.global_phase(|ph| async move {
+                    let (lo, hi) = slice(v.local_range(&bodies), v.node_rank());
                     let bb = read_bbox(&ph, &bbox).await;
                     let edge = bb.edge();
                     let mine = ph.get_many(&bodies, lo..hi).await;

@@ -1,11 +1,11 @@
 //! Sequential Barnes–Hut reference.
 
 use super::tree::{build_levels, force_on, LeafIndex};
-use super::{plummer, BBox, BhParams, Body};
+use super::{initial_bodies, BBox, BhParams, Body};
 
 /// Simulate `p.steps` leapfrog steps; returns the final bodies.
 pub fn simulate(p: &BhParams) -> Vec<Body> {
-    let mut bodies = plummer(p.n_bodies, p.seed);
+    let mut bodies = initial_bodies(p);
     for _ in 0..p.steps {
         step(&mut bodies, p);
     }
@@ -42,7 +42,7 @@ mod tests {
         let a = simulate(&p);
         let b = simulate(&p);
         assert_eq!(a, b);
-        let initial = plummer(p.n_bodies, p.seed);
+        let initial = initial_bodies(&p);
         assert!(a.iter().zip(&initial).any(|(x, y)| x.x != y.x));
     }
 

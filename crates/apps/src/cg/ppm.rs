@@ -9,13 +9,11 @@
 //! code appears anywhere below.
 
 use std::ops::Range;
-use std::sync::Arc;
 
 use ppm_core::{AccumOp, GlobalShared, NodeCtx, Phase, Vp};
 use ppm_simnet::SimTime;
 
-use super::{CgOutcome, CgParams};
-use crate::sparse::Csr;
+use super::{CgOutcome, CgParams, Stencil27};
 
 /// Slots of the shared scalar accumulator.
 const RR: usize = 0;
@@ -26,30 +24,32 @@ const ITERS: usize = 3;
 
 /// Phase A body: `ap = A·p` (one bulk read for every p value this VP's
 /// rows touch) and the `p·Ap` partial.
-#[allow(clippy::too_many_arguments)]
+///
+/// The VP's rows can move between phases under adaptive balancing, so the
+/// CSR slice is rebuilt from the stencil per phase — matrix setup, like
+/// the original hoisted block build, is not part of the modeled cost.
 async fn spmv_phase(
     ph: &Phase,
-    am: &Csr,
-    rs: Range<usize>,
-    lo: usize,
+    prob: &Stencil27,
+    rows: Range<usize>,
     p: &GlobalShared<f64>,
     ap: &GlobalShared<f64>,
     scal: &GlobalShared<f64>,
     v: &Vp,
 ) {
-    let span = am.row_ptr[rs.start]..am.row_ptr[rs.end];
-    let pv = ph.get_many(p, am.col_idx[span].iter().copied()).await;
+    let am = prob.csr_block(rows.clone());
+    let pv = ph.get_many(p, am.col_idx.iter().copied()).await;
     let mut pap_part = 0.0;
     let mut at = 0;
-    for li in rs {
+    for (li, gi) in rows.enumerate() {
         let (cols, vals) = am.row(li);
         let mut acc = 0.0;
         for &val in vals {
             acc += val * pv[at];
             at += 1;
         }
-        ph.put(ap, lo + li, acc);
-        pap_part += ph.get(p, lo + li).await * acc;
+        ph.put(ap, gi, acc);
+        pap_part += ph.get(p, gi).await * acc;
         v.charge_flops(2 * cols.len() as u64 + 2);
     }
     ph.accumulate(scal, PAP, AccumOp::Add, pap_part);
@@ -64,33 +64,36 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
     let iters = params.iters;
     let tol = params.tol;
 
-    let x = node.alloc_global::<f64>(n);
-    let r = node.alloc_global::<f64>(n);
-    let p = node.alloc_global::<f64>(n);
-    let ap = node.alloc_global::<f64>(n);
+    let x = node.alloc_global_balanced::<f64>(n);
+    let r = node.alloc_global_balanced::<f64>(n);
+    let p = node.alloc_global_balanced::<f64>(n);
+    let ap = node.alloc_global_balanced::<f64>(n);
     let scal = node.alloc_global::<f64>(4);
 
-    let range = node.local_range(&x);
-    let lo = range.start;
-    let nrows = range.len();
-    let a = Arc::new(prob.csr_block(range));
+    let nrows = node.local_range(&x).len();
     let rpv = params.rows_per_vp.max(1);
+    // VP count is pinned to the initial (block-equal) bounds; each phase
+    // re-derives its row slice from the live bounds, so work follows the
+    // data when the adaptive balancer moves the partition.
     let k = nrows.div_ceil(rpv).max(1);
+    let slice = move |rg: Range<usize>, vr: usize| {
+        let cpv = rpv.max(rg.len().div_ceil(k));
+        let a = (rg.start + vr * cpv).min(rg.end);
+        a..(a + cpv).min(rg.end)
+    };
 
     node.ppm_do(k, move |vp| {
-        let a = a.clone();
         async move {
             let vr = vp.node_rank();
-            let rows = vr * rpv..((vr + 1) * rpv).min(nrows);
 
             // Initialization: r = p = b, rr = b·b.
-            let (v, rs) = (vp.clone(), rows.clone());
+            let v = vp.clone();
             vp.global_phase(|ph| async move {
                 let mut rr_part = 0.0;
-                for li in rs {
-                    let bi = prob.rhs_for_ones(lo + li);
-                    ph.put(&r, lo + li, bi);
-                    ph.put(&p, lo + li, bi);
+                for gi in slice(v.local_range(&r), vr) {
+                    let bi = prob.rhs_for_ones(gi);
+                    ph.put(&r, gi, bi);
+                    ph.put(&p, gi, bi);
                     rr_part += bi * bi;
                     v.charge_flops(29);
                 }
@@ -103,19 +106,20 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
                 // Phase A. With a tolerance set, the shared residual is
                 // consulted first — every VP reads the same value, so the
                 // early exit is taken uniformly across the whole cluster.
-                let (v, rs, am) = (vp.clone(), rows.clone(), a.clone());
+                let v = vp.clone();
                 let (proceed, lim) = vp
                     .global_phase(|ph| async move {
+                        let rows = slice(v.local_range(&p), vr);
                         if let Some(t) = tol {
                             let rr_cur = ph.get(&scal, RR).await;
                             let lim = limit.unwrap_or(t * t * rr_cur);
                             if rr_cur <= lim {
                                 return (false, lim);
                             }
-                            spmv_phase(&ph, &am, rs, lo, &p, &ap, &scal, &v).await;
+                            spmv_phase(&ph, &prob, rows, &p, &ap, &scal, &v).await;
                             (true, lim)
                         } else {
-                            spmv_phase(&ph, &am, rs, lo, &p, &ap, &scal, &v).await;
+                            spmv_phase(&ph, &prob, rows, &p, &ap, &scal, &v).await;
                             (true, 0.0)
                         }
                     })
@@ -126,13 +130,12 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
                 }
 
                 // Phase B: x += α·p, r -= α·ap, rr_new = r·r.
-                let (v, rs) = (vp.clone(), rows.clone());
+                let v = vp.clone();
                 vp.global_phase(|ph| async move {
                     let s = ph.get_many(&scal, [RR, PAP]).await;
                     let alpha = s[0] / s[1];
                     let mut rr_part = 0.0;
-                    for li in rs {
-                        let gi = lo + li;
+                    for gi in slice(v.local_range(&x), vr) {
                         let xi = ph.get(&x, gi).await;
                         let pi = ph.get(&p, gi).await;
                         let ri = ph.get(&r, gi).await;
@@ -149,12 +152,11 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
 
                 // Phase C: p = r + β·p; roll rr (and the iteration count)
                 // forward.
-                let (v, rs) = (vp.clone(), rows.clone());
+                let v = vp.clone();
                 vp.global_phase(|ph| async move {
                     let s = ph.get_many(&scal, [RR_NEW, RR]).await;
                     let (rr_new, beta) = (s[0], s[0] / s[1]);
-                    for li in rs {
-                        let gi = lo + li;
+                    for gi in slice(v.local_range(&p), vr) {
                         let pi = ph.get(&p, gi).await;
                         let ri = ph.get(&r, gi).await;
                         ph.put(&p, gi, ri + beta * pi);

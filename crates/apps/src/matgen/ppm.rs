@@ -16,36 +16,36 @@ use super::{coef, quad_value, read_idx, MatGenParams};
 pub fn generate(node: &mut NodeCtx<'_>, p: &MatGenParams) -> (Vec<f64>, SimTime) {
     let params = *p;
     let n = p.n();
-    let table = node.alloc_global::<f64>(n);
-    let rowsum = node.alloc_global::<f64>(n);
-
-    let my_rows = node.local_range(&rowsum);
-    let dist = node.dist_of(&table);
-    let me = node.node_id();
+    let table = node.alloc_global_balanced::<f64>(n);
+    let rowsum = node.alloc_global_balanced::<f64>(n);
 
     for l in 0..p.levels {
         let off = params.offset(l);
         let w = params.width(l);
-        // Table slots of level l that this node owns.
-        let my_block = dist.block_range(me);
-        let slot_base = my_block.start.max(off);
-        let slot_end = my_block.end.min(off + w).max(slot_base);
-        // Rows of level >= l that this node owns.
-        let row_base = my_rows.start.max(off);
-        let row_end = my_rows.end.max(row_base);
+        // Rows of level >= l that this node owns right now: fixes the
+        // level's VP count. Under adaptive balancing the spans can move at
+        // any later phase boundary, so the phases below re-derive their
+        // slices from the live bounds.
+        let my_rows = node.local_range(&rowsum);
+        let row_base0 = my_rows.start.max(off);
+        let row_end0 = my_rows.end.max(row_base0);
 
         let rpv = params.rows_per_vp.max(1);
-        let k = ((row_end - row_base).div_ceil(rpv)).max(1);
-        let spv = (slot_end - slot_base).div_ceil(k).max(1);
+        let k = ((row_end0 - row_base0).div_ceil(rpv)).max(1);
 
         node.ppm_do(k, move |vp| async move {
             let vr = vp.node_rank();
 
-            // Phase 1: numerical integration into the shared table.
-            let slot_lo = (slot_base + vr * spv).min(slot_end);
-            let slot_hi = (slot_lo + spv).min(slot_end);
+            // Phase 1: numerical integration into the shared table —
+            // each VP fills a slice of the level-l slots this node owns.
             let v = vp.clone();
             vp.global_phase(|ph| async move {
+                let mine = v.local_range(&table);
+                let slot_base = mine.start.max(off);
+                let slot_end = mine.end.min(off + w).max(slot_base);
+                let spv = (slot_end - slot_base).div_ceil(k).max(1);
+                let slot_lo = (slot_base + vr * spv).min(slot_end);
+                let slot_hi = (slot_lo + spv).min(slot_end);
                 for g in slot_lo..slot_hi {
                     ph.put(&table, g, quad_value(l, g - off));
                     v.charge_flops(params.quad_flops);
@@ -54,10 +54,14 @@ pub fn generate(node: &mut NodeCtx<'_>, p: &MatGenParams) -> (Vec<f64>, SimTime)
             .await;
 
             // Phase 2: this level's entries, one bulk read per VP.
-            let row_lo = (row_base + vr * rpv).min(row_end);
-            let row_hi = (row_lo + rpv).min(row_end);
             let v = vp.clone();
             vp.global_phase(|ph| async move {
+                let mine = v.local_range(&rowsum);
+                let row_base = mine.start.max(off);
+                let row_end = mine.end.max(row_base);
+                let cpv = rpv.max((row_end - row_base).div_ceil(k));
+                let row_lo = (row_base + vr * cpv).min(row_end);
+                let row_hi = (row_lo + cpv).min(row_end);
                 let c_per = params.per_level_entries;
                 let m_per = params.terms;
                 let reads: Vec<usize> = (row_lo..row_hi)

@@ -33,6 +33,11 @@ pub struct PrParams {
     pub vertices_per_vp: usize,
     /// Edge-hash seed.
     pub seed: u64,
+    /// Power-law out-degree curve: when set, degree falls off as
+    /// `max_degree·head/(v+head)` so the low-id vertices do almost all the
+    /// pushing — a deliberately imbalanced workload for the adaptive
+    /// repartitioner. Off by default (the uniform hash-skew graph).
+    pub power_law: bool,
 }
 
 impl PrParams {
@@ -45,6 +50,19 @@ impl PrParams {
             iters: 20,
             vertices_per_vp: 32,
             seed: 0xBEEF,
+            power_law: false,
+        }
+    }
+
+    /// A deliberately skewed fixture: power-law out-degrees with a tall
+    /// head, so under a block partition the low-id nodes carry several
+    /// times the compute of the high-id ones. Used by the adaptive-balance
+    /// gates.
+    pub fn skewed(n: usize) -> Self {
+        PrParams {
+            max_degree: 64,
+            power_law: true,
+            ..PrParams::new(n)
         }
     }
 }
@@ -52,6 +70,16 @@ impl PrParams {
 /// Out-degree of vertex `v` (deterministic, 1..=max_degree, skewed so low
 /// ids behave like hubs).
 pub fn out_degree(p: &PrParams, v: usize) -> usize {
+    if p.power_law {
+        // Integer Zipf-style head: degree ~ max_degree·head/(v+head) plus
+        // a seeded jitter of 0..=2. Integer arithmetic only, so the curve
+        // (and therefore every version's ranks) is bit-identical on every
+        // platform.
+        let head = (p.n / 16).max(1);
+        let base = p.max_degree * head / (v + head);
+        let jit = (splitmix64(p.seed ^ (v as u64).wrapping_mul(0x9E37) ^ 0x5EED) % 3) as usize;
+        return (base + jit).clamp(1, p.max_degree);
+    }
     let h = splitmix64(p.seed ^ (v as u64).wrapping_mul(0x9E37));
     // Square the uniform draw to skew toward small degrees, then invert
     // for a heavy head.
@@ -100,5 +128,24 @@ mod tests {
         let head: usize = indeg[..p.n / 8].iter().sum();
         let tail: usize = indeg[p.n / 8..].iter().sum();
         assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn power_law_degrees_are_front_loaded() {
+        let p = PrParams::skewed(1024);
+        let quarter = |r: std::ops::Range<usize>| -> usize { r.map(|v| out_degree(&p, v)).sum() };
+        let first = quarter(0..p.n / 4);
+        let last = quarter(3 * p.n / 4..p.n);
+        // The whole point of the fixture: a block partition is badly
+        // imbalanced (well past the 9/8 rebalance threshold).
+        assert!(
+            first * 2 > last * 5,
+            "first-quarter degree mass {first} vs last {last}"
+        );
+        for v in 0..p.n {
+            let d = out_degree(&p, v);
+            assert!((1..=p.max_degree).contains(&d));
+            assert_eq!(d, out_degree(&p, v));
+        }
     }
 }

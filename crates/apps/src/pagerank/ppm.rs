@@ -16,24 +16,29 @@ use super::{neighbour, out_degree, PrParams};
 pub fn rank(node: &mut NodeCtx<'_>, p: &PrParams) -> (Vec<f64>, SimTime) {
     let params = *p;
     let n = p.n;
-    let cur = node.alloc_global::<f64>(n);
-    let contrib = node.alloc_global::<f64>(n);
+    let cur = node.alloc_global_balanced::<f64>(n);
+    let contrib = node.alloc_global_balanced::<f64>(n);
 
-    let range = node.local_range(&cur);
-    let (lo, len) = (range.start, range.len());
+    let len = node.local_range(&cur).len();
     node.with_local_mut(&cur, |s| s.fill(1.0 / n as f64));
 
     let vpv = params.vertices_per_vp.max(1);
+    // The VP count is fixed from the initial (block-equal) bounds; under
+    // adaptive balancing the node's span can move between phases, so each
+    // phase re-derives its slice — work follows the data.
     let k = len.div_ceil(vpv).max(1);
+    let slice = move |r: std::ops::Range<usize>, vr: usize| {
+        let cpv = vpv.max(r.len().div_ceil(k));
+        let a = (r.start + vr * cpv).min(r.end);
+        (a, (a + cpv).min(r.end))
+    };
 
     for _ in 0..params.iters {
         node.ppm_do(k, move |vp| async move {
-            let a = (lo + vp.node_rank() * vpv).min(lo + len);
-            let b = (a + vpv).min(lo + len);
-
             // Phase 1: push shares along the out-edges.
             let v2 = vp.clone();
             vp.global_phase(|ph| async move {
+                let (a, b) = slice(v2.local_range(&cur), v2.node_rank());
                 for v in a..b {
                     let d = out_degree(&params, v);
                     let share = ph.get(&cur, v).await / d as f64;
@@ -48,6 +53,7 @@ pub fn rank(node: &mut NodeCtx<'_>, p: &PrParams) -> (Vec<f64>, SimTime) {
             // Phase 2: teleport mix (all local).
             let v2 = vp.clone();
             vp.global_phase(|ph| async move {
+                let (a, b) = slice(v2.local_range(&contrib), v2.node_rank());
                 let teleport = (1.0 - params.damping) / n as f64;
                 for v in a..b {
                     let c = ph.get(&contrib, v).await;

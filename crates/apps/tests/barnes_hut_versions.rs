@@ -52,6 +52,37 @@ fn mpi_matches_sequential_bitwise() {
     }
 }
 
+/// The clustered Plummer fixture: all three versions reproduce the same
+/// trajectories bit-for-bit, including PPM runs where the adaptive
+/// balancer migrates body partitions between steps.
+#[test]
+fn clustered_fixture_versions_agree_bitwise() {
+    let mut p0 = BhParams::clustered(256);
+    p0.steps = 2;
+    let reference = bh::seq::simulate(&p0);
+    for nodes in [1u32, 2, 3, 4] {
+        for adaptive in [false, true] {
+            let p = p0;
+            let cfg = PpmConfig::new(MachineConfig::new(nodes, 2)).with_adaptive_balance(adaptive);
+            let report = ppm_core::run(cfg, move |node| bh::ppm::simulate(node, &p).0);
+            for got in &report.results {
+                assert_eq!(
+                    pos_bits(got),
+                    pos_bits(&reference),
+                    "nodes={nodes} adaptive={adaptive}: clustered trajectories diverged"
+                );
+            }
+        }
+    }
+    let p = p0;
+    let report = ppm_mps::run(MachineConfig::new(3, 2), move |comm| {
+        bh::mpi::simulate(comm, &p).0
+    });
+    for got in &report.results {
+        assert_eq!(pos_bits(got), pos_bits(&reference), "mpi clustered 3x2");
+    }
+}
+
 #[test]
 fn figure3_character_ppm_scales_replicated_mpi_does_not() {
     // Figure 3 discussion: the replicated method's allgather volume grows

@@ -155,6 +155,77 @@ fn soak_matrix_is_bit_identical_across_knobs_and_opts_never_cost_time() {
     }
 }
 
+/// Adaptive repartitioning (DESIGN.md §14) under the soak matrix: on the
+/// skewed fixture — where the balancer genuinely migrates partitions —
+/// every (schedule × adaptive knob) cell must produce the bit-identical
+/// ranks. (The makespan *win* is gated in balance_gates.rs on the larger
+/// fixture; at this soak size migration is exercised but not required to
+/// pay off.)
+#[test]
+fn adaptive_soak_matrix_is_bit_identical_across_schedules() {
+    let p = PrParams::skewed(400);
+    let run = |cfg: PpmConfig| {
+        run_app(cfg, move |node| {
+            let (ranks, _) = pagerank::ppm::rank(node, &p);
+            ranks.iter().map(|v| v.to_bits()).collect()
+        })
+    };
+    let (clean, _, _) = run(base_cfg().with_adaptive_balance(true));
+    let schedules: Vec<(String, PpmConfig)> = std::iter::once(("clean".to_string(), base_cfg()))
+        .chain([5u64, 23, 71].into_iter().map(|seed| {
+            (
+                format!("faults seed {seed}"),
+                base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03)),
+            )
+        }))
+        .collect();
+    for (desc, cfg) in schedules {
+        let (r_on, t_on, _) = run(cfg.with_adaptive_balance(true));
+        let (r_off, t_off, _) = run(cfg.with_adaptive_balance(false));
+        assert_eq!(r_on, clean, "{desc}: adaptive changed the ranks");
+        assert_eq!(r_off, clean, "{desc}: static disagrees with adaptive");
+        if desc == "clean" {
+            // Migration really engaged: the adaptive schedule is a
+            // different schedule (moved partitions change the timeline
+            // even though the solution bits cannot move).
+            assert_ne!(
+                t_on, t_off,
+                "{desc}: adaptive run never migrated on the skewed fixture"
+            );
+        }
+    }
+}
+
+/// A crash at the boundaries around the first migration window: recovery
+/// restores the post-migration snapshot line, so the replayed run must
+/// still land on the bit-identical adaptive solution.
+#[test]
+fn pagerank_recovers_from_a_crash_mid_migration() {
+    let p = PrParams::skewed(400);
+    let run = |cfg: PpmConfig| {
+        run_app(cfg, move |node| {
+            let (ranks, _) = pagerank::ppm::rank(node, &p);
+            ranks.iter().map(|v| v.to_bits()).collect()
+        })
+    };
+    let (clean, clean_t, _) = run(base_cfg().with_adaptive_balance(true));
+    for phase in [4u64, 5, 6] {
+        let cfg = base_cfg()
+            .with_adaptive_balance(true)
+            .with_faults(FaultConfig::NONE.with_crash(1, phase));
+        let (out, t, c) = run(cfg);
+        assert_eq!(
+            out, clean,
+            "crash at phase {phase}: recovered ranks must be bit-identical"
+        );
+        assert_eq!(c.crash_recoveries, 1, "crash at phase {phase}");
+        assert!(
+            t > clean_t,
+            "crash at phase {phase}: reboot + redone compute must cost time"
+        );
+    }
+}
+
 #[test]
 fn cg_survives_the_ci_seed() {
     // CI's fault-soak job sweeps PPM_FAULT_SEED over a small matrix; the

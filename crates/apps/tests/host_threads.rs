@@ -95,18 +95,26 @@ fn assert_thread_count_invariant(
 
 /// A clean config plus one seeded fault schedule per `FAULT_SEEDS` entry —
 /// each cell with the read cache + wave pipelining (DESIGN.md §13) both on
-/// (pinned explicitly, not via the env defaults) and both off, so
-/// host-thread bit-identity holds on both sides of every knob.
+/// (pinned explicitly, not via the env defaults) and both off, and each of
+/// those with adaptive repartitioning (DESIGN.md §14) on and off — so
+/// host-thread bit-identity holds on both sides of every knob, including
+/// runs that migrate partitions mid-job.
 fn soak_cfgs() -> Vec<(String, PpmConfig)> {
     let mut cfgs = Vec::new();
     for (kdesc, on) in [("opts on", true), ("opts off", false)] {
-        let knobbed = |c: PpmConfig| c.with_read_cache(on).with_wave_pipelining(on);
-        cfgs.push((format!("clean, {kdesc}"), knobbed(base_cfg())));
-        for seed in FAULT_SEEDS {
-            cfgs.push((
-                format!("faults seed {seed}, {kdesc}"),
-                knobbed(base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03))),
-            ));
+        for (adesc, adaptive) in [("adaptive", true), ("static", false)] {
+            let knobbed = |c: PpmConfig| {
+                c.with_read_cache(on)
+                    .with_wave_pipelining(on)
+                    .with_adaptive_balance(adaptive)
+            };
+            cfgs.push((format!("clean, {kdesc}, {adesc}"), knobbed(base_cfg())));
+            for seed in FAULT_SEEDS {
+                cfgs.push((
+                    format!("faults seed {seed}, {kdesc}, {adesc}"),
+                    knobbed(base_cfg().with_faults(FaultConfig::seeded(seed, 0.05, 0.03, 0.03))),
+                ));
+            }
         }
     }
     cfgs
@@ -139,7 +147,8 @@ fn matgen_is_bit_identical_across_host_thread_counts() {
 
 #[test]
 fn pagerank_is_bit_identical_across_host_thread_counts() {
-    let p = PrParams::new(200);
+    // The skewed fixture, so the adaptive matrix cells really migrate.
+    let p = PrParams::skewed(200);
     assert_thread_count_invariant("pagerank", &soak_cfgs(), &move |cfg, label| {
         run_app(cfg, label, move |node| {
             let (ranks, _) = pagerank::ppm::rank(node, &p);
@@ -150,7 +159,8 @@ fn pagerank_is_bit_identical_across_host_thread_counts() {
 
 #[test]
 fn barnes_hut_is_bit_identical_across_host_thread_counts() {
-    let mut p = BhParams::new(128);
+    // The clustered fixture, so the adaptive matrix cells really migrate.
+    let mut p = BhParams::clustered(128);
     p.steps = 2;
     assert_thread_count_invariant("barnes_hut", &soak_cfgs(), &move |cfg, label| {
         run_app(cfg, label, move |node| {
@@ -194,5 +204,35 @@ fn cg_crash_recovery_is_host_thread_count_independent() {
     assert_thread_count_invariant("cg-crash", &cfgs, &run);
     // And the recovery really happened (at the pooled count too).
     let got = run(cfgs[0].1.with_host_threads(8), "cg-crash");
+    assert_eq!(got.counters.crash_recoveries, 1);
+}
+
+/// A crash landing in the middle of an adaptively rebalancing run must
+/// replay identically at every host thread count: the recovery line is
+/// post-migration, so the restored partitions are the migrated ones.
+#[test]
+fn adaptive_crash_recovery_is_host_thread_count_independent() {
+    let p = PrParams::skewed(200);
+    let run = move |cfg: PpmConfig, label: &str| {
+        run_app(cfg, label, move |node| {
+            let (ranks, _) = pagerank::ppm::rank(node, &p);
+            ranks.iter().map(|v| v.to_bits()).collect()
+        })
+    };
+    // Crash right around the first rebalance window (the decision fires
+    // once `MIN_WINDOW = 4` phases of loads are banked).
+    let cfgs: Vec<(String, PpmConfig)> = [4u64, 5, 6]
+        .into_iter()
+        .map(|phase| {
+            (
+                format!("crash node 1 at phase {phase}, adaptive"),
+                base_cfg()
+                    .with_adaptive_balance(true)
+                    .with_faults(FaultConfig::NONE.with_crash(1, phase)),
+            )
+        })
+        .collect();
+    assert_thread_count_invariant("pagerank-adaptive-crash", &cfgs, &run);
+    let got = run(cfgs[0].1.with_host_threads(8), "pagerank-adaptive-crash");
     assert_eq!(got.counters.crash_recoveries, 1);
 }

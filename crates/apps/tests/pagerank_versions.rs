@@ -54,6 +54,34 @@ fn mpi_matches_sequential_to_ulp() {
     }
 }
 
+/// The skewed power-law fixture: all three versions agree on it, and the
+/// PPM version agrees even while the adaptive balancer is migrating the
+/// partition under the iteration loop.
+#[test]
+fn skewed_fixture_versions_agree() {
+    let p = PrParams::skewed(400);
+    let reference = pagerank::seq::rank(&p);
+    for nodes in [1u32, 2, 3] {
+        for adaptive in [false, true] {
+            let cfg = PpmConfig::new(MachineConfig::new(nodes, 2)).with_adaptive_balance(adaptive);
+            let report = ppm_core::run(cfg, move |node| pagerank::ppm::rank(node, &p).0);
+            for got in &report.results {
+                assert_close(
+                    got,
+                    &reference,
+                    &format!("ppm skewed nodes={nodes} adaptive={adaptive}"),
+                );
+            }
+        }
+    }
+    let report = ppm_mps::run(MachineConfig::new(3, 2), move |comm| {
+        pagerank::mpi::rank(comm, &p).0
+    });
+    for got in &report.results {
+        assert_close(got, &reference, "mpi skewed 3x2");
+    }
+}
+
 #[test]
 fn ppm_pagerank_is_bitwise_deterministic() {
     let p = PrParams::new(300);

@@ -14,10 +14,16 @@
 //!   (DESIGN.md §13). `--ablate-cache` / `--ablate-pipeline` restrict the
 //!   sweep to the full runtime plus just that ablation (the CI artifact
 //!   job runs these; EXPERIMENTS.md records the deltas).
+//! * **adaptive repartitioning** — trace-guided weighted repartitioning at
+//!   phase boundaries (DESIGN.md §14). `--ablate-balance` prints the
+//!   skewed fixtures (power-law PageRank, clustered-Plummer Barnes–Hut)
+//!   with the balancer on vs off; the solutions are bit-identical either
+//!   way, only placement and time move.
 //!
 //! ```text
 //! cargo run --release -p ppm-bench --bin ablations [-- --nodes 8 --g 16]
 //! cargo run --release -p ppm-bench --bin ablations -- --ablate-cache
+//! cargo run --release -p ppm-bench --bin ablations -- --ablate-balance
 //! ```
 //!
 //! `--trace <path>` / `PPM_TRACE=<path>` records every ablation run as one
@@ -26,6 +32,7 @@
 
 use ppm_apps::barnes_hut::{self as bh, BhParams};
 use ppm_apps::cg::{self, CgParams};
+use ppm_apps::pagerank::{self, PrParams};
 use ppm_apps::stencil27::Stencil27;
 use ppm_bench::{header, max_time, ms, row, write_trace, Args, TraceSink};
 use ppm_core::PpmConfig;
@@ -68,7 +75,8 @@ fn main() {
     // everything.
     let ablate_cache = args.flag("--ablate-cache");
     let ablate_pipeline = args.flag("--ablate-pipeline");
-    let all = !(ablate_cache || ablate_pipeline);
+    let ablate_balance = args.flag("--ablate-balance");
+    let all = !(ablate_cache || ablate_pipeline || ablate_balance);
 
     println!("# Runtime ablations on {nodes} nodes (4 cores each)\n");
     header(&["configuration", "CG ms", "Barnes–Hut ms"]);
@@ -144,6 +152,43 @@ fn main() {
             ms(cg_time("coarse-vps", base, fat)),
             ms(bh_time("coarse-vps", base, fat_bh)),
         ]);
+    }
+
+    if all || ablate_balance {
+        // Skewed fixtures, where the static block layout leaves the
+        // low-rank nodes with most of the work. The balancer needs a few
+        // phases of load history before it fires, so the Barnes–Hut run
+        // takes several steps.
+        let pr = PrParams::skewed(4096);
+        let mut cb = BhParams::clustered(args.usize("--n", 4096) / 2);
+        cb.steps = 4;
+        let pr_time = move |label: &str, cfg: PpmConfig| -> SimTime {
+            let body = move |node: &mut ppm_core::NodeCtx<'_>| pagerank::ppm::rank(node, &pr).1;
+            max_time(&match trace_ref {
+                Some((sink, _)) => {
+                    ppm_core::run_traced(cfg, sink, &format!("pagerank {label}"), body)
+                }
+                None => ppm_core::run(cfg, body),
+            })
+        };
+        println!("\n# Adaptive repartitioning on skewed fixtures (DESIGN.md \u{a7}14)\n");
+        header(&[
+            "configuration",
+            "skewed PageRank ms",
+            "clustered B\u{2013}H ms",
+        ]);
+        for (desc, on) in [
+            ("adaptive repartitioning", true),
+            ("static block layout", false),
+        ] {
+            let cfg = base.with_adaptive_balance(on);
+            let tag = if on { "adaptive" } else { "static" };
+            row(&[
+                desc.into(),
+                ms(pr_time(tag, cfg)),
+                ms(bh_time(tag, cfg, cb)),
+            ]);
+        }
     }
 
     println!("\n(the first row should be the fastest on every column)");

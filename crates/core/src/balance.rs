@@ -1,0 +1,188 @@
+//! Trace-guided adaptive repartitioning: the decision function
+//! (DESIGN.md §14).
+//!
+//! At each global phase boundary the clock barrier's free loads sidecar
+//! leaves every node holding the identical per-node load vector (compute +
+//! service picoseconds, accumulated over the hysteresis window). This
+//! module turns that vector plus an array's current partition bounds into
+//! new bounds — or `None` to leave the layout alone.
+//!
+//! Everything here is exact integer arithmetic on replicated inputs, so
+//! every node computes the same answer with no agreement round, and the
+//! answer cannot depend on host thread count, fault seed, or message
+//! timing. That is the whole determinism story of the balancer: decide
+//! from replicated counters, migrate synchronously at the boundary.
+//!
+//! ## The model behind the cut
+//!
+//! Treat the observed load of node `n` as uniformly spread over the
+//! elements of its *current* span (a piecewise-constant density). The new
+//! cut `x_k` is the smallest index where the cumulative density reaches
+//! `k/nodes` of the total — i.e. the exact equal-load partition under the
+//! observed densities. Within segment `n` (span `s_n = cur[n+1]-cur[n]`,
+//! load `l_n`, prefix load `P_n`), the cut solves
+//!
+//! ```text
+//! P_n·nodes·s_n + l_n·(x−cur[n])·nodes ≥ k·total·s_n
+//! ```
+//!
+//! with a ceiling division — all in `u128`, so nothing rounds and nothing
+//! overflows (loads ≤ 2⁶⁴, spans ≤ 2⁶⁴ are never multiplied together more
+//! than twice with a small node count).
+
+/// Global phases that must accumulate into the load window before the
+/// balancer evaluates it (and then resets it). Keeps one noisy phase from
+/// thrashing the layout.
+pub(crate) const MIN_WINDOW: u64 = 4;
+
+/// Hysteresis gate: rebalance only when `max/mean > 9/8` — i.e. the most
+/// loaded node is more than 12.5% above the average. Integer form:
+/// `max·nodes·8 > total·9`.
+pub(crate) fn imbalanced(loads: &[u64]) -> bool {
+    let total: u128 = loads.iter().map(|&l| l as u128).sum();
+    let max = loads.iter().copied().max().unwrap_or(0) as u128;
+    max * loads.len() as u128 * 8 > total * 9
+}
+
+/// Compute new partition bounds for an array currently cut at `cur`
+/// (`nodes+1` monotone entries from 0 to len, every span non-empty) from
+/// the replicated per-node load vector. Returns `None` when the layout
+/// should not change: fewer than two nodes, too few elements to give every
+/// node one, zero or balanced load, a degenerate current layout, or a cut
+/// that lands exactly where it already is.
+///
+/// The result is always a valid partition (monotone, 0..len) that gives
+/// every node at least one element — so a `ppm_do`'s fixed VP count per
+/// node always has work to index, and `owner()` stays total.
+pub(crate) fn rebalance_bounds(cur: &[usize], loads: &[u64]) -> Option<Vec<usize>> {
+    let nodes = cur.len().checked_sub(1)?;
+    let len = cur[nodes];
+    if nodes < 2 || loads.len() != nodes || len < nodes {
+        return None;
+    }
+    // A balanced array starts on block bounds and this function preserves
+    // ≥1 element per node, so empty spans mean someone rebound the layout
+    // behind our back — refuse rather than divide by a zero span.
+    if (0..nodes).any(|n| cur[n + 1] <= cur[n]) {
+        return None;
+    }
+    if !imbalanced(loads) {
+        return None;
+    }
+    let total: u128 = loads.iter().map(|&l| l as u128).sum();
+    if total == 0 {
+        return None;
+    }
+    let nn = nodes as u128;
+    let mut prefix = vec![0u128; nodes + 1];
+    for n in 0..nodes {
+        prefix[n + 1] = prefix[n] + loads[n] as u128;
+    }
+    let mut out = vec![0usize; nodes + 1];
+    out[nodes] = len;
+    for k in 1..nodes {
+        // Scaled target: cut where cumulative·nodes first reaches k·total.
+        let target = k as u128 * total;
+        let mut n = 0;
+        while n < nodes && prefix[n + 1] * nn < target {
+            n += 1;
+        }
+        debug_assert!(n < nodes, "target beyond total load");
+        // The loop invariant gives prefix[n]·nodes < target ≤
+        // prefix[n+1]·nodes, so segment n carries load (l_n > 0).
+        let span = (cur[n + 1] - cur[n]) as u128;
+        let l_n = loads[n] as u128;
+        let num = target * span - prefix[n] * span * nn;
+        let den = l_n * nn;
+        let step = num.div_ceil(den);
+        let x = cur[n] + usize::try_from(step).expect("cut step exceeds span");
+        // Clamp to one element per node on both sides. `len ≥ nodes`
+        // guarantees lo ≤ hi by induction on out[k-1]'s own clamp.
+        let lo = out[k - 1] + 1;
+        let hi = len - (nodes - k);
+        out[k] = x.clamp(lo, hi);
+    }
+    if out == cur {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_loads_leave_layout_alone() {
+        assert_eq!(rebalance_bounds(&[0, 50, 100], &[100, 100]), None);
+        // 9/8 hysteresis: 110 vs 90 is max/mean = 1.1 < 1.125.
+        assert_eq!(rebalance_bounds(&[0, 50, 100], &[110, 90]), None);
+        assert!(!imbalanced(&[110, 90]));
+        assert!(imbalanced(&[130, 70]));
+    }
+
+    #[test]
+    fn skewed_loads_shift_the_cut_toward_the_loaded_node() {
+        // Node 0 carries 3× node 1's load: its span shrinks.
+        let nb = rebalance_bounds(&[0, 50, 100], &[300, 100]).expect("imbalanced");
+        // Exact: density 6/elem then 2/elem; cut at cumulative 200 → 34
+        // (ceil of 200/6).
+        assert_eq!(nb, vec![0, 34, 100]);
+    }
+
+    #[test]
+    fn result_is_a_valid_partition_with_min_one_element() {
+        for loads in [
+            vec![1_000_000u64, 1, 1, 1],
+            vec![1, 1_000_000, 1, 1],
+            vec![7, 900, 3, 90],
+            vec![u64::MAX / 4, 1, u64::MAX / 4, 1],
+        ] {
+            for len in [4usize, 5, 17, 1000] {
+                let cur = crate::dist::Dist::block(len, 4).bounds();
+                if let Some(nb) = rebalance_bounds(&cur, &loads) {
+                    assert_eq!(nb.len(), 5);
+                    assert_eq!(nb[0], 0);
+                    assert_eq!(nb[4], len);
+                    for k in 0..4 {
+                        assert!(nb[k] < nb[k + 1], "empty span: {nb:?} loads={loads:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_refuse() {
+        // Too few elements for one per node.
+        assert_eq!(rebalance_bounds(&[0, 1, 1, 2], &[9, 0, 1]), None);
+        // Single node.
+        assert_eq!(rebalance_bounds(&[0, 10], &[5]), None);
+        // Zero total load.
+        assert_eq!(rebalance_bounds(&[0, 5, 10], &[0, 0]), None);
+        // Load vector of the wrong arity.
+        assert_eq!(rebalance_bounds(&[0, 5, 10], &[1, 2, 3]), None);
+        // Zero-length array.
+        assert_eq!(rebalance_bounds(&[0, 0, 0], &[5, 1]), None);
+    }
+
+    #[test]
+    fn clamped_cut_equal_to_current_returns_none() {
+        // Two elements, two nodes: the one-element-per-node clamp pins the
+        // only legal cut at 1, which is where it already is — the balancer
+        // must signal "no change" rather than a zero-element migration.
+        assert!(imbalanced(&[1000, 1]));
+        assert_eq!(rebalance_bounds(&[0, 1, 2], &[1000, 1]), None);
+    }
+
+    #[test]
+    fn cut_lands_at_the_exact_equal_load_point() {
+        // Density 10/elem then 1/elem over [0,80,100): total 820, target
+        // 410 → 41 elements of segment 0.
+        assert_eq!(
+            rebalance_bounds(&[0, 80, 100], &[800, 20]),
+            Some(vec![0, 41, 100])
+        );
+    }
+}

@@ -79,6 +79,15 @@ pub struct PpmConfig {
     /// merged during that window hides response latency. On by default;
     /// `PPM_WAVE_PIPELINE=0` disables it for ablations.
     pub wave_pipelining: bool,
+    /// Trace-guided adaptive repartitioning (DESIGN.md §14): at each global
+    /// phase boundary the runtime may recut the weighted partitions of
+    /// arrays allocated with [`crate::NodeCtx::alloc_global_balanced`],
+    /// migrating elements toward less-loaded nodes. The decision is a pure
+    /// function of replicated simulated-time load counters, so results stay
+    /// bit-identical across host thread counts and fault seeds. Off by
+    /// default; `PPM_ADAPTIVE=1` (or [`Self::with_adaptive_balance`])
+    /// enables it.
+    pub adaptive_balance: bool,
 }
 
 impl PpmConfig {
@@ -104,6 +113,7 @@ impl PpmConfig {
             host_threads: 0,
             read_cache: env_flag("PPM_READ_CACHE", true),
             wave_pipelining: env_flag("PPM_WAVE_PIPELINE", true),
+            adaptive_balance: env_flag("PPM_ADAPTIVE", false),
         }
     }
 
@@ -156,6 +166,13 @@ impl PpmConfig {
     /// overrides the `PPM_WAVE_PIPELINE` environment default).
     pub fn with_wave_pipelining(mut self, on: bool) -> Self {
         self.wave_pipelining = on;
+        self
+    }
+
+    /// Enable or disable trace-guided adaptive repartitioning (overrides
+    /// the `PPM_ADAPTIVE` environment default, which is off).
+    pub fn with_adaptive_balance(mut self, on: bool) -> Self {
+        self.adaptive_balance = on;
         self
     }
 
@@ -231,6 +248,18 @@ mod tests {
         assert!(!off.wave_pipelining);
         assert!(off.with_read_cache(true).read_cache);
         assert!(off.with_wave_pipelining(true).wave_pipelining);
+    }
+
+    #[test]
+    fn adaptive_balance_defaults_off_and_toggles() {
+        let c = PpmConfig::franklin(2);
+        assert!(!c.adaptive_balance, "adaptive repartitioning is opt-in");
+        assert!(c.with_adaptive_balance(true).adaptive_balance);
+        assert!(
+            !c.with_adaptive_balance(true)
+                .with_adaptive_balance(false)
+                .adaptive_balance
+        );
     }
 
     #[test]

@@ -16,10 +16,11 @@ impl<T> Elem for T where T: Copy + Send + Sync + Default + WireSize + std::fmt::
 /// Combining operators for `accumulate` writes.
 ///
 /// Accumulating writes from many VPs to the same element are merged by the
-/// runtime (locally before shipping, then at the owner), so e.g. a global
-/// sum costs one bundle entry per node. All operators are associative and
-/// commutative; the runtime nevertheless applies them in a fixed
-/// deterministic order so floating-point results are bit-reproducible.
+/// runtime at the owner, so e.g. a global sum costs one bundle entry per
+/// node. All operators are associative and commutative; the runtime
+/// nevertheless applies them in a canonical deterministic order (ascending
+/// contributing-VP rank; see `state.rs`) so floating-point results are
+/// bit-reproducible, whatever the data distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccumOp {
     /// Addition.

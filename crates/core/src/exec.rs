@@ -35,7 +35,11 @@ use std::task::{Context, Poll, Waker};
 
 use ppm_simnet::{ArgValue, Message, SimTime};
 
-use crate::msgs::{self, BarrierMsg, RefreshPart, ReqBundle, RespBundle, WriteBundleMsg};
+use crate::balance;
+use crate::dist::Dist;
+use crate::msgs::{
+    self, BarrierMsg, MigrateMsg, RefreshPart, ReqBundle, RespBundle, WriteBundleMsg,
+};
 use crate::nodectx::NodeCtx;
 use crate::state::{merge_vp, DoMode, PhaseKind, ServeHist, Traffic, VpCell};
 use crate::vp::Vp;
@@ -999,6 +1003,16 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         inner.phase.global_seq += 1;
     }
 
+    // 4a. Trace-guided adaptive repartitioning (DESIGN.md §14): every node
+    //     holds the identical load window (the barrier's loads sidecar)
+    //     and identical bounds, so all nodes compute the same cuts with no
+    //     agreement round; elements migrate here — after writes applied,
+    //     before the snapshot line advances — so crash recovery always
+    //     restores post-migration partitions.
+    if cfg.adaptive_balance {
+        maybe_rebalance(nc, phase);
+    }
+
     // 4b. Advance the crash-recovery line: the arrays now ARE the next
     //     super-step's consistent state.
     if nc.snapshots_enabled() {
@@ -1009,9 +1023,15 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     let charge = charge_phase_time(nc);
 
     // 6. Clock-synchronizing dissemination barrier — carrying the cache
-    //    invalidation bits and refresh pushes — then release the VPs.
+    //    invalidation bits, refresh pushes, and the balancer's loads
+    //    sidecar — then release the VPs.
     let barrier_start = nc.ep.clock.now();
-    clock_barrier(nc, phase, local_inv);
+    clock_barrier(
+        nc,
+        phase,
+        local_inv,
+        (charge.compute + charge.service).as_ps(),
+    );
 
     {
         let mut inner = nc.inner.borrow_mut();
@@ -1100,7 +1120,12 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
     let mut bytes_out =
         t.req_bytes_out + t.resp_bytes_out + t.write_bytes_out + t.refresh_bytes_out;
     let mut bytes_in = t.req_bytes_in + t.resp_bytes_in + t.write_bytes_in + t.refresh_bytes_in;
-    let (mut msgs_out, msgs_in) = if cfg.bundling {
+    // Migration payloads (adaptive repartitioning, DESIGN.md §14) are
+    // runtime bulk transfers — one bundle per peer regardless of the
+    // bundling ablation — charged in the rebalancing phase's gap term.
+    bytes_out += t.migr_bytes_out;
+    bytes_in += t.migr_bytes_in;
+    let (mut msgs_out, mut msgs_in) = if cfg.bundling {
         (
             t.req_bundles_out + t.resp_bundles_out + t.write_bundles_out,
             t.req_bundles_in + t.resp_bundles_in + t.write_bundles_in,
@@ -1117,6 +1142,9 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
             t.req_entries_in + t.req_entries_out + t.write_entries_in,
         )
     };
+
+    msgs_out += t.migr_bundles_out;
+    msgs_in += t.migr_bundles_in;
 
     // Reliability layer (zero when disabled): retransmitted/duplicate
     // envelopes pay per-message overhead, and backoff/fault delay is
@@ -1228,11 +1256,28 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
 /// pre-existing convention: barrier cost is modeled, not counted);
 /// non-empty refresh payloads DO count as a bundle and bytes so the
 /// fig-bench traffic columns reflect them honestly.
-fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128) {
+///
+/// A third sidecar rides the same messages: `loads` — each node's
+/// compute+service time for the phase the barrier closes, forwarded whole
+/// each round (an allgather). After the final round every node holds the
+/// identical per-node load vector, which feeds the adaptive
+/// repartitioner's decision function one phase later (DESIGN.md §14).
+/// Like `inv_bits`, modeled free: it changes no clock and no counter, so
+/// makespans are bit-identical whether `adaptive_balance` is on or off —
+/// until a migration actually fires.
+fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64) {
     let me = nc.node_id();
     let nodes = nc.num_nodes();
     if nodes == 1 {
-        // Single node: every read is local, the cache holds nothing.
+        // Single node: every read is local, the cache holds nothing. Still
+        // feed the balancer's window so its counters are uniform across
+        // node counts (rebalancing one node is a no-op anyway).
+        let mut inner = nc.inner.borrow_mut();
+        if inner.load_acc.len() != 1 {
+            inner.load_acc = vec![0; 1];
+        }
+        inner.load_acc[0] = inner.load_acc[0].saturating_add(my_load);
+        inner.load_window += 1;
         return;
     }
     let cfg = nc.config();
@@ -1244,6 +1289,10 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128) {
     // invalidation sweep (the pushed values are post-exchange truth and
     // must survive it).
     let mut collected: Vec<CollectedRefresh> = Vec::new();
+    // Loads allgather state: every (node, load) pair this node knows.
+    // Round r's receive doubles the coverage, so the final round leaves
+    // all `nodes` entries here (asserted below).
+    let mut known_loads: Vec<(u32, u64)> = vec![(me as u32, my_load)];
 
     let mut d = 1usize;
     let mut round = 0u32;
@@ -1342,6 +1391,7 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128) {
                 BarrierMsg {
                     inv_bits: inv,
                     refreshes,
+                    loads: known_loads.clone(),
                 },
             ),
             msgs::K_BARRIER,
@@ -1352,6 +1402,11 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128) {
         let bytes_in = msg.bytes as u64;
         let bm: BarrierMsg = msg.take();
         inv |= bm.inv_bits;
+        for &(n, l) in &bm.loads {
+            if !known_loads.iter().any(|&(kn, _)| kn == n) {
+                known_loads.push((n, l));
+            }
+        }
         if bytes_in > 0 {
             let mut inner = nc.inner.borrow_mut();
             inner.counters.bytes_recv += bytes_in;
@@ -1385,6 +1440,26 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128) {
         }
         d <<= 1;
         round += 1;
+    }
+
+    // Fold the complete load vector into the balancer's window. Every node
+    // folds the identical vector at the identical boundary, so the window
+    // stays replicated without ever being exchanged itself.
+    {
+        let mut inner = nc.inner.borrow_mut();
+        debug_assert_eq!(
+            known_loads.len(),
+            nodes,
+            "loads sidecar incomplete after the final dissemination round"
+        );
+        if inner.load_acc.len() != nodes {
+            inner.load_acc = vec![0; nodes];
+        }
+        for &(n, l) in &known_loads {
+            let slot = &mut inner.load_acc[n as usize];
+            *slot = slot.saturating_add(l);
+        }
+        inner.load_window += 1;
     }
 
     if cfg.read_cache {
@@ -1465,6 +1540,191 @@ fn recover_from_crash(nc: &mut NodeCtx<'_>, phase: u64) {
                 ("phase", ArgValue::U64(phase)),
                 ("restored_bytes", ArgValue::U64(bytes)),
                 ("redo_ps", ArgValue::U64(redo.as_ps())),
+            ],
+        );
+    }
+}
+
+/// Step 4a of [`global_phase_end`]: trace-guided adaptive repartitioning
+/// (DESIGN.md §14).
+///
+/// Decide from the replicated load window (every node folded the identical
+/// loads vector out of the barrier sidecar), recut the balanced arrays'
+/// weighted bounds with [`balance::rebalance_bounds`], then swap the moved
+/// stretches: one (possibly empty) [`K_MIGRATE`] bundle per peer — the
+/// empty ones are free end-of-rebalance tokens, mirroring the empty
+/// `K_WRITE` convention — collected before any partition rebinds.
+///
+/// Determinism: every input to the decision (load window, bounds, array
+/// ids) is replicated, so all nodes compute the same plan with no
+/// agreement round; the migrated stretches are disjoint by construction
+/// (old spans are disjoint, new spans are disjoint), so rebind order
+/// cannot matter — sources are still applied in ascending node order. No
+/// phase-`phase+1` read request can arrive mid-migration: a peer issues
+/// those only after its clock barrier completes, which transitively
+/// requires this node's first barrier send — and that happens after this
+/// hook returns.
+///
+/// [`K_MIGRATE`]: msgs::K_MIGRATE
+fn maybe_rebalance(nc: &mut NodeCtx<'_>, phase: u64) {
+    let me = nc.node_id();
+    let nodes = nc.num_nodes();
+    let cfg = nc.config();
+    // Decide: a pure function of the replicated window. `(id, old, new)`
+    // per balanced array whose cut moves.
+    let (evaluated, plan): (bool, Vec<(u32, Dist, Dist)>) = {
+        let inner = nc.inner.borrow();
+        if nodes < 2 || inner.balanced.is_empty() || inner.load_window < balance::MIN_WINDOW {
+            (false, Vec::new())
+        } else {
+            let plan = inner
+                .balanced
+                .iter()
+                .filter_map(|&id| {
+                    let old = inner.garrays[id as usize].dist().clone();
+                    let cur = old.bounds();
+                    balance::rebalance_bounds(&cur, &inner.load_acc).map(|nb| {
+                        let new = Dist::weighted(old.len, old.nodes, Arc::new(nb));
+                        (id, old, new)
+                    })
+                })
+                .collect();
+            (true, plan)
+        }
+    };
+    if evaluated {
+        // The window was consumed by a decision (either way): restart it so
+        // the next evaluation sees only post-decision phases.
+        let mut inner = nc.inner.borrow_mut();
+        inner.load_acc.iter_mut().for_each(|l| *l = 0);
+        inner.load_window = 0;
+    }
+    if plan.is_empty() {
+        return;
+    }
+
+    // Ship: one bundle per peer with every stretch leaving this node.
+    let mut moved_out = 0u64;
+    let mut bytes_out_total = 0u64;
+    for dest in 0..nodes {
+        if dest == me {
+            continue;
+        }
+        let mut parts: Vec<(u32, u64, Box<dyn std::any::Any + Send>)> = Vec::new();
+        let mut payload_bytes = 0u64;
+        {
+            let inner = nc.inner.borrow();
+            for (id, old, new) in &plan {
+                let mine = old.owned_range(me);
+                let theirs = new.owned_range(dest);
+                let lo = mine.start.max(theirs.start);
+                let hi = mine.end.min(theirs.end);
+                if lo < hi {
+                    let (payload, b) = inner.garrays[*id as usize].migrate_extract(lo..hi);
+                    payload_bytes += b;
+                    moved_out += (hi - lo) as u64;
+                    parts.push((*id, lo as u64, payload));
+                }
+            }
+        }
+        let bytes = if parts.is_empty() {
+            0
+        } else {
+            cfg.bundle_header_bytes + payload_bytes as usize
+        };
+        bytes_out_total += bytes as u64;
+        {
+            let mut inner = nc.inner.borrow_mut();
+            if !parts.is_empty() {
+                inner.traffic.migr_bundles_out += 1;
+                inner.traffic.migr_bytes_out += bytes as u64;
+                inner.counters.bundles_sent += 1;
+            }
+            inner.counters.msgs_sent += 1;
+            inner.counters.bytes_sent += bytes as u64;
+        }
+        let now = nc.ep.clock.now();
+        nc.send_msg(
+            Message::new(
+                me,
+                dest,
+                msgs::tag(msgs::K_MIGRATE, phase),
+                now,
+                bytes,
+                MigrateMsg { phase, parts },
+            ),
+            msgs::K_MIGRATE,
+        );
+    }
+
+    // Collect every peer's bundle (empty ones included: receivers count
+    // rather than guess).
+    let mut incoming: Vec<(u32, MigrateMsg)> = Vec::with_capacity(nodes - 1);
+    while incoming.len() < nodes - 1 {
+        let msg = nc.pump_recv(|m| m.tag == msgs::tag(msgs::K_MIGRATE, phase));
+        let src = msg.src as u32;
+        let bytes = msg.bytes as u64;
+        let bundle: MigrateMsg = msg.take();
+        debug_assert_eq!(bundle.phase, phase);
+        let mut inner = nc.inner.borrow_mut();
+        if !bundle.parts.is_empty() {
+            inner.traffic.migr_bundles_in += 1;
+            inner.traffic.migr_bytes_in += bytes;
+        }
+        inner.counters.msgs_recv += 1;
+        inner.counters.bytes_recv += bytes;
+        drop(inner);
+        incoming.push((src, bundle));
+    }
+    incoming.sort_by_key(|&(src, _)| src);
+
+    // Rebind: install the new layouts, retained overlap plus arrived
+    // stretches, per balanced array.
+    type ArrivedParts = Vec<(usize, Box<dyn std::any::Any + Send>)>;
+    let mut by_array: BTreeMap<u32, ArrivedParts> = BTreeMap::new();
+    for (_src, bundle) in incoming {
+        for (id, start, payload) in bundle.parts {
+            let start = usize::try_from(start).expect("migration start exceeds usize");
+            by_array.entry(id).or_default().push((start, payload));
+        }
+    }
+    let moved_in = {
+        let mut inner = nc.inner.borrow_mut();
+        let mut moved_in = 0u64;
+        for (id, _old, new) in &plan {
+            let parts = by_array.remove(id).unwrap_or_default();
+            moved_in += inner.garrays[*id as usize].migrate_rebind(me, new.clone(), parts);
+        }
+        debug_assert!(
+            by_array.is_empty(),
+            "migration payload for an unplanned array"
+        );
+        // Serve history keys owner-side elements; ownership moved, so drop
+        // the migrated arrays' entries (refresh pushes re-arm from fresh
+        // serves under the new layout). Remote-read caches are kept:
+        // migration moves ownership, not values, and the owner check
+        // shadows any entry this node now owns.
+        let planned: Vec<u32> = plan.iter().map(|p| p.0).collect();
+        inner.serve_hist.retain(|&(a, _), _| !planned.contains(&a));
+        // Installing arrived elements is owner-side work, charged like
+        // write application.
+        inner.service_time += cfg.service_overhead.scale(moved_in);
+        moved_in
+    };
+
+    if nc.ep.tracer.enabled() {
+        let moved_vps = nc.inner.borrow().live_vps as u64;
+        nc.ep.tracer.instant(
+            "rebalance",
+            "runtime",
+            nc.ep.clock.now(),
+            vec![
+                ("phase", ArgValue::U64(phase)),
+                ("arrays", ArgValue::U64(plan.len() as u64)),
+                ("moved_elems_out", ArgValue::U64(moved_out)),
+                ("moved_elems_in", ArgValue::U64(moved_in)),
+                ("moved_bytes", ArgValue::U64(bytes_out_total)),
+                ("moved_vps", ArgValue::U64(moved_vps)),
             ],
         );
     }

@@ -87,6 +87,7 @@
 //! }
 //! ```
 
+mod balance;
 pub mod check;
 mod config;
 mod dist;

@@ -19,6 +19,8 @@ pub const K_BARRIER: u64 = 4;
 pub const K_COLL: u64 = 5;
 /// Reliability-layer cumulative acknowledgement (meta = acked watermark).
 pub const K_ACK: u64 = 6;
+/// Adaptive-repartitioning migration bundle (one per peer per rebalance).
+pub const K_MIGRATE: u64 = 7;
 
 /// Human-readable name of a message kind (watchdog / panic diagnostics).
 pub fn kind_name(kind: u64) -> &'static str {
@@ -29,6 +31,7 @@ pub fn kind_name(kind: u64) -> &'static str {
         K_BARRIER => "BARRIER",
         K_COLL => "COLL",
         K_ACK => "ACK",
+        K_MIGRATE => "MIGRATE",
         _ => "UNKNOWN",
     }
 }
@@ -114,6 +117,14 @@ pub(crate) struct RefreshPart {
 pub(crate) struct BarrierMsg {
     pub inv_bits: u128,
     pub refreshes: Vec<RefreshPart>,
+    /// Loads sidecar for the adaptive repartitioner (DESIGN.md §14): every
+    /// `(node, compute+service picoseconds)` pair the sender knows for the
+    /// phase this barrier closes. Forwarded whole each dissemination round
+    /// (an allgather), so after the barrier every node holds the identical
+    /// load vector. Like `inv_bits`, modeled free — it rides messages the
+    /// barrier sends anyway, keeping makespans bit-identical whether the
+    /// balance knob is on or off (until a migration actually happens).
+    pub loads: Vec<(u32, u64)>,
 }
 
 /// End-of-phase write bundle: buffered writes destined for one owner node.
@@ -125,20 +136,38 @@ pub(crate) struct WriteBundleMsg {
     pub parts: Vec<(u32, Box<dyn Any + Send>)>,
 }
 
+/// Repartitioning migration bundle: the elements this node hands over to
+/// one peer (possibly empty — every node sends exactly one per peer per
+/// rebalance, so receivers can count instead of guessing).
+pub(crate) struct MigrateMsg {
+    /// Global phase sequence of the rebalancing boundary (protocol check).
+    pub phase: u64,
+    /// `(array id, global start index, Vec<T> payload)` per moved stretch.
+    pub parts: Vec<(u32, u64, Box<dyn Any + Send>)>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn kind_names_are_distinct() {
-        let names: std::collections::HashSet<_> = (1..=6).map(kind_name).collect();
-        assert_eq!(names.len(), 6);
+        let names: std::collections::HashSet<_> = (1..=7).map(kind_name).collect();
+        assert_eq!(names.len(), 7);
         assert_eq!(kind_name(99), "UNKNOWN");
     }
 
     #[test]
     fn tag_roundtrip() {
-        for kind in [K_READ_REQ, K_READ_RESP, K_WRITE, K_BARRIER, K_COLL, K_ACK] {
+        for kind in [
+            K_READ_REQ,
+            K_READ_RESP,
+            K_WRITE,
+            K_BARRIER,
+            K_COLL,
+            K_ACK,
+            K_MIGRATE,
+        ] {
             for meta in [0u64, 1, 12345, META_MASK] {
                 assert_eq!(untag(tag(kind, meta)), (kind, meta));
             }

@@ -130,11 +130,34 @@ impl<'a> NodeCtx<'a> {
 
     /// Declare a global shared array with an explicit distribution layout.
     pub fn alloc_global_with<T: Elem>(&mut self, len: usize, layout: Layout) -> GlobalShared<T> {
-        let mut inner = self.inner.borrow_mut();
+        let nodes = self.cfg.nodes();
         let dist = match layout {
-            Layout::Block => Dist::block(len, self.cfg.nodes()),
-            Layout::Cyclic => Dist::cyclic(len, self.cfg.nodes()),
+            Layout::Block => Dist::block(len, nodes),
+            Layout::Cyclic => Dist::cyclic(len, nodes),
+            Layout::Weighted(bounds) => Dist::weighted(len, nodes, bounds),
         };
+        self.alloc_global_dist(dist)
+    }
+
+    /// Declare a global shared array opted into trace-guided adaptive
+    /// repartitioning ([`PpmConfig::adaptive_balance`], DESIGN.md §14). It
+    /// starts on exactly the block boundaries (so with the knob off, or
+    /// until the first rebalance, behavior is identical to
+    /// [`Self::alloc_global`] bit for bit), but carries a weighted layout
+    /// the runtime may recut at global phase boundaries. Collective, like
+    /// all allocation.
+    pub fn alloc_global_balanced<T: Elem>(&mut self, len: usize) -> GlobalShared<T> {
+        let nodes = self.cfg.nodes();
+        let block = Dist::block(len, nodes);
+        let dist = Dist::weighted(len, nodes, std::sync::Arc::new(block.bounds()));
+        let g = self.alloc_global_dist::<T>(dist);
+        self.inner.borrow_mut().balanced.push(g.id);
+        g
+    }
+
+    fn alloc_global_dist<T: Elem>(&mut self, dist: Dist) -> GlobalShared<T> {
+        let len = dist.len;
+        let mut inner = self.inner.borrow_mut();
         let id = u32::try_from(inner.garrays.len()).expect("too many global shared arrays");
         inner
             .garrays
@@ -153,17 +176,22 @@ impl<'a> NodeCtx<'a> {
 
     // -- direct (node-level) data access ------------------------------------
 
-    /// Global index range owned by this node (block layout).
+    /// Global index range owned by this node (any contiguous layout —
+    /// block, or the weighted layout of a balanced array; panics for
+    /// cyclic). For balanced arrays the range can change at global phase
+    /// boundaries — query it when needed rather than hoisting it across
+    /// phases.
     pub fn local_range<T: Elem>(&self, g: &GlobalShared<T>) -> std::ops::Range<usize> {
         let inner = self.inner.borrow();
         let ga = garray_ref::<T>(&inner, g.id);
-        ga.dist.block_range(self.node_id())
+        ga.dist.owned_range(self.node_id())
     }
 
-    /// Distribution of a global array.
+    /// Distribution of a global array (a snapshot: balanced arrays may be
+    /// recut at global phase boundaries).
     pub fn dist_of<T: Elem>(&self, g: &GlobalShared<T>) -> Dist {
         let inner = self.inner.borrow();
-        garray_ref::<T>(&inner, g.id).dist
+        garray_ref::<T>(&inner, g.id).dist.clone()
     }
 
     /// Read this node's partition of a global array.

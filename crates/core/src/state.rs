@@ -18,9 +18,16 @@
 //!   arrays are never mutated during a phase body);
 //! * `put` conflicts resolve deterministically by [`WriteKey`] (global VP
 //!   rank, program order) — last writer wins;
-//! * `accumulate` writes are pre-combined locally (one bundle entry per
-//!   node per element) and applied at the owner in ascending source-node
-//!   order, so floating-point results are bit-reproducible;
+//! * `accumulate` writes ship as rank-keyed raw contributions (one bundle
+//!   *entry* per node per element, carrying that node's contribution list)
+//!   and the owner flat-folds the concatenation in ascending (global VP
+//!   rank, program order) — a *canonical* order independent of where
+//!   partition boundaries fall, so floating-point results are
+//!   bit-reproducible and **placement-invariant**: any contiguous
+//!   repartitioning (see `balance.rs`) folds the same contributions in the
+//!   same order and produces the same bits. Wire cost still charges one
+//!   combined value per entry — combining is modeled as done sender-side,
+//!   the rank tags ride free like other protocol sidecars;
 //! * mixing `put` and `accumulate` on the same element in the same phase is
 //!   a programming error and panics.
 
@@ -46,11 +53,25 @@ pub(crate) struct WriteKey {
 /// A buffered write, as shipped in write bundles.
 ///
 /// `Accum` carries the monomorphized combiner so the type-erased apply path
-/// can merge values without knowing `T: AccumElem`.
-#[derive(Debug, Clone, Copy)]
+/// can merge values without knowing `T: AccumElem`, plus the raw
+/// `(global VP rank, value)` contribution list sorted by rank: the owner
+/// concatenates the lists from all source nodes and flat-folds in ascending
+/// rank order, which is the canonical fold order of a sequential
+/// ascending-rank schedule. Because the contribution order is keyed by VP
+/// rank — not by which node happened to own the writer — the fold is
+/// invariant under repartitioning. The modeled wire cost of an entry stays
+/// one combined value (see `drain_writes`); the rank tags are free protocol
+/// sidecar, like write keys.
+#[derive(Debug, Clone)]
 pub(crate) enum WireWrite<T> {
     Assign(T, WriteKey),
-    Accum(AccumOp, T, fn(AccumOp, T, T) -> T),
+    Accum {
+        op: AccumOp,
+        f: fn(AccumOp, T, T) -> T,
+        /// `(global VP rank, value)` contributions, ascending by rank,
+        /// program order within a rank.
+        parts: Vec<(u64, T)>,
+    },
 }
 
 /// A buffered, not-yet-published write to one element. `Accum` keeps the
@@ -74,19 +95,34 @@ enum Pending<T> {
     },
 }
 
-/// Fold a buffered element write into its wire form (assign as-is;
-/// accumulate contributions flat-folded in ascending global-rank order,
+/// Turn a buffered element write into its wire form (assign as-is;
+/// accumulate contributions sorted into ascending global-rank order,
 /// program order within a rank — the stable sort keeps arrival order for
-/// equal ranks).
+/// equal ranks). The contributions ship raw, rank-keyed: folding happens
+/// once, at the owner, over the concatenation from all source nodes
+/// (`resolve_conflicts`), so the fold order never depends on which node a
+/// contributing VP lived on.
 fn resolve_pending<T: Elem>(p: Pending<T>) -> WireWrite<T> {
     match p {
         Pending::Assign(v, k) => WireWrite::Assign(v, k),
         Pending::Accum { op, f, mut parts } => {
             parts.sort_by_key(|p| p.0);
+            WireWrite::Accum { op, f, parts }
+        }
+    }
+}
+
+/// Flat-fold one wire write into its final value (rank order for
+/// accumulates; the parts of a single [`WireWrite::Accum`] are already
+/// sorted). Used where a single source's write resolves alone (node-shared
+/// apply).
+fn fold_wire<T: Elem>(w: WireWrite<T>) -> T {
+    match w {
+        WireWrite::Assign(v, _) => v,
+        WireWrite::Accum { op, f, parts } => {
             let mut it = parts.into_iter();
             let (_, first) = it.next().expect("accum entry with no contributions");
-            let acc = it.fold(first, |acc, (_, v)| f(op, acc, v));
-            WireWrite::Accum(op, acc, f)
+            it.fold(first, |acc, (_, v)| f(op, acc, v))
         }
     }
 }
@@ -764,9 +800,10 @@ pub(crate) struct GArray<T: Elem> {
 
 impl<T: Elem> GArray<T> {
     pub fn new(dist: Dist, node: usize) -> Self {
+        let local = vec![T::default(); dist.local_len(node)];
         GArray {
             dist,
-            local: vec![T::default(); dist.local_len(node)],
+            local,
             wbuf: HashMap::new(),
             rcache: HashMap::new(),
         }
@@ -887,6 +924,24 @@ pub(crate) trait GArrayObj: Send + Sync {
     /// Drop every cached remote value (invalidation at phase end when the
     /// array took writes, and at construct entry).
     fn cache_clear(&mut self);
+    /// Current distribution of the array (layout + length + nodes).
+    fn dist(&self) -> &Dist;
+    /// Repartitioning: copy the owned elements in `range` (a contiguous
+    /// global range inside this node's current span) into a migration
+    /// payload (`Vec<T>`); returns the payload and its modeled byte size.
+    fn migrate_extract(&self, range: std::ops::Range<usize>) -> (Box<dyn Any + Send>, u64);
+    /// Repartitioning: rebind this node's partition to `dist` (a contiguous
+    /// layout), keeping the elements retained from the old span and
+    /// installing `parts` — `(global start index, Vec<T> payload)` received
+    /// from peers — into the acquired stretch. Requires an empty write
+    /// buffer (the hook runs after writes apply). Returns the number of
+    /// elements that arrived from peers.
+    fn migrate_rebind(
+        &mut self,
+        node: usize,
+        dist: Dist,
+        parts: Vec<(usize, Box<dyn Any + Send>)>,
+    ) -> u64;
     /// Copy the local partition for a super-step snapshot; returns the
     /// payload (`Vec<T>`) and its modeled byte size.
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64);
@@ -951,12 +1006,20 @@ impl<T: Elem> GArrayObj for GArray<T> {
             .into_iter()
             .map(|(dest, mut entries)| {
                 entries.sort_by_key(|(i, _)| *i);
+                // One combined value per entry: an accumulate entry is
+                // modeled as pre-combined on the wire (its rank-keyed
+                // contribution list is free sidecar), so repartitioning
+                // changes neither entry counts nor bytes.
                 let bytes: usize = entries
                     .iter()
                     .map(|(_, w)| {
                         9 + match w {
                             WireWrite::Assign(v, _) => v.wire_size(),
-                            WireWrite::Accum(_, v, _) => v.wire_size(),
+                            WireWrite::Accum { parts, .. } => parts
+                                .first()
+                                .expect("accum entry with no contributions")
+                                .1
+                                .wire_size(),
                         }
                     })
                     .sum();
@@ -991,7 +1054,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
             while j < all.len() && all[j].0 == idx {
                 j += 1;
             }
-            let resolved = resolve_conflicts(idx, &all[i..j]);
+            let resolved = resolve_conflicts(idx, &mut all[i..j]);
             let off = self.dist.local_offset(idx as usize);
             self.local[off] = resolved;
             written.push(idx);
@@ -1052,6 +1115,63 @@ impl<T: Elem> GArrayObj for GArray<T> {
         self.rcache.clear();
     }
 
+    fn dist(&self) -> &Dist {
+        &self.dist
+    }
+
+    fn migrate_extract(&self, range: std::ops::Range<usize>) -> (Box<dyn Any + Send>, u64) {
+        let values: Vec<T> = if range.is_empty() {
+            Vec::new()
+        } else {
+            // Contiguous layouts keep local offsets dense, so the whole
+            // stretch starts at the first element's offset.
+            let base = self.dist.local_offset(range.start);
+            (0..range.len()).map(|k| self.local[base + k]).collect()
+        };
+        let bytes = if values.is_empty() {
+            0
+        } else {
+            values.wire_size() as u64
+        };
+        (Box::new(values), bytes)
+    }
+
+    fn migrate_rebind(
+        &mut self,
+        node: usize,
+        dist: Dist,
+        parts: Vec<(usize, Box<dyn Any + Send>)>,
+    ) -> u64 {
+        debug_assert!(
+            self.wbuf.is_empty(),
+            "repartitioning with unapplied buffered writes"
+        );
+        let old_range = self.dist.owned_range(node);
+        let new_range = dist.owned_range(node);
+        let mut local = vec![T::default(); new_range.len()];
+        // Retained overlap of the old and new spans.
+        let lo = old_range.start.max(new_range.start);
+        let hi = old_range.end.min(new_range.end);
+        for g in lo..hi {
+            local[g - new_range.start] = self.local[g - old_range.start];
+        }
+        let mut arrived = 0u64;
+        for (start, payload) in parts {
+            let values = payload
+                .downcast::<Vec<T>>()
+                .expect("migration payload type mismatch");
+            arrived += values.len() as u64;
+            for (k, v) in values.into_iter().enumerate() {
+                let g = start + k;
+                debug_assert!(new_range.contains(&g), "migrated element {g} not acquired");
+                local[g - new_range.start] = v;
+            }
+        }
+        self.local = local;
+        self.dist = dist;
+        arrived
+    }
+
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64) {
         let copy = self.local.clone();
         let bytes = copy.wire_size() as u64;
@@ -1073,41 +1193,51 @@ impl<T: Elem> GArrayObj for GArray<T> {
 }
 
 /// Fold one element's writes (already in deterministic order) into a value.
-fn resolve_conflicts<T: Elem>(idx: u64, run: &[(u64, u32, WireWrite<T>)]) -> T {
-    let mut iter = run.iter().map(|(_, _, w)| *w);
-    let first = iter.next().expect("non-empty run");
+///
+/// Assigns resolve by highest [`WriteKey`]. Accumulates resolve in the
+/// *canonical* order: the rank-keyed contribution lists of every source are
+/// concatenated, stable-sorted by global VP rank, and flat-folded ascending
+/// — exactly the fold a single-node (or sequential) run performs, whatever
+/// the partitioning. A rank's contributions all come from the one node that
+/// hosted it, already in program order, so the stable sort never has to
+/// break a tie across sources.
+fn resolve_conflicts<T: Elem>(idx: u64, run: &mut [(u64, u32, WireWrite<T>)]) -> T {
+    let (_, _, first) = run.first().expect("non-empty run");
     match first {
-        WireWrite::Assign(v, k) => {
-            let (mut best_v, mut best_k) = (v, k);
-            for w in iter {
+        WireWrite::Assign(..) => {
+            let mut best: Option<(T, WriteKey)> = None;
+            for (_, _, w) in run.iter() {
                 match w {
                     WireWrite::Assign(v, k) => {
-                        if k > best_k {
-                            best_v = v;
-                            best_k = k;
+                        if best.is_none_or(|(_, bk)| *k > bk) {
+                            best = Some((*v, *k));
                         }
                     }
-                    WireWrite::Accum(..) => {
+                    WireWrite::Accum { .. } => {
                         panic!("element {idx}: put and accumulate mixed across nodes in one phase")
                     }
                 }
             }
-            best_v
+            best.expect("non-empty run").0
         }
-        WireWrite::Accum(op, v, f) => {
-            let mut acc = v;
-            for w in iter {
+        WireWrite::Accum { op, f, .. } => {
+            let (op, f) = (*op, *f);
+            let mut all: Vec<(u64, T)> = Vec::new();
+            for (_, _, w) in run.iter_mut() {
                 match w {
-                    WireWrite::Accum(op2, v2, _) => {
-                        assert_eq!(op, op2, "element {idx}: conflicting accumulate operators");
-                        acc = f(op, acc, v2);
+                    WireWrite::Accum { op: op2, parts, .. } => {
+                        assert_eq!(op, *op2, "element {idx}: conflicting accumulate operators");
+                        all.append(parts);
                     }
                     WireWrite::Assign(..) => {
                         panic!("element {idx}: put and accumulate mixed across nodes in one phase")
                     }
                 }
             }
-            acc
+            all.sort_by_key(|p| p.0);
+            let mut it = all.into_iter();
+            let (_, acc0) = it.next().expect("accum run with no contributions");
+            it.fold(acc0, |acc, (_, v)| f(op, acc, v))
         }
     }
 }
@@ -1225,10 +1355,7 @@ impl<T: Elem> NArrayObj for NArray<T> {
         let mut entries: Vec<(usize, Pending<T>)> = self.wbuf.drain().collect();
         entries.sort_by_key(|(i, _)| *i);
         for (idx, w) in entries {
-            self.data[idx] = match resolve_pending(w) {
-                WireWrite::Assign(v, _) => v,
-                WireWrite::Accum(_, v, _) => v,
-            };
+            self.data[idx] = fold_wire(resolve_pending(w));
         }
         n
     }
@@ -1316,6 +1443,14 @@ pub(crate) struct Traffic {
     pub write_bundles_in: u64,
     pub write_entries_in: u64,
     pub write_bytes_in: u64,
+    /// Adaptive repartitioning (DESIGN.md §14): non-empty migration
+    /// bundles and their bytes, charged into the rebalancing phase's gap
+    /// and overhead terms by the executor's cost formula. Empty bundles
+    /// are free end-of-rebalance tokens (the empty-`K_WRITE` convention).
+    pub migr_bundles_out: u64,
+    pub migr_bytes_out: u64,
+    pub migr_bundles_in: u64,
+    pub migr_bytes_in: u64,
     pub waves: u64,
     /// Refresh-push bytes sent riding barrier messages (DESIGN.md §13).
     /// Charged into the *next* phase's gap term for every party — the
@@ -1465,6 +1600,18 @@ pub(crate) struct Inner {
     /// armed rewritten elements, each with its remaining destination mask.
     /// Drained into barrier messages round by round (exec.rs).
     pub pending_refresh: Vec<crate::msgs::RefreshPart>,
+    /// Ids of global arrays opted into adaptive repartitioning
+    /// (`NodeCtx::alloc_global_balanced`). Allocation order, hence
+    /// identical on every node.
+    pub balanced: Vec<u32>,
+    /// Per-node load (compute + service picoseconds) accumulated since the
+    /// last rebalance, replicated identically on every node by the free
+    /// loads sidecar of the clock barrier (`exec.rs`). Indexed by node id;
+    /// sized on first use.
+    pub load_acc: Vec<u64>,
+    /// Global phases folded into [`Self::load_acc`] since the last
+    /// rebalance — the balancer's hysteresis window.
+    pub load_window: u64,
 }
 
 impl Inner {
@@ -1493,6 +1640,9 @@ impl Inner {
             serve_hist: BTreeMap::new(),
             deferred_serves: Vec::new(),
             pending_refresh: Vec::new(),
+            balanced: Vec::new(),
+            load_acc: Vec::new(),
+            load_window: 0,
         }
     }
 
@@ -1601,6 +1751,14 @@ mod tests {
         ga.buffer_accum(0, AccumOp::Add, 1);
     }
 
+    fn accum_parts(parts: &[(u64, f64)]) -> WireWrite<f64> {
+        WireWrite::Accum {
+            op: AccumOp::Add,
+            f: f64::combine,
+            parts: parts.to_vec(),
+        }
+    }
+
     #[test]
     fn apply_resolves_across_sources_deterministically() {
         let mut ga: GArray<f64> = GArray::new(Dist::block(4, 1), 0);
@@ -1608,10 +1766,9 @@ mod tests {
         let p2: Vec<(u64, WireWrite<f64>)> = vec![(1, WireWrite::Assign(20.0, key(9, 0)))];
         let p0: Vec<(u64, WireWrite<f64>)> = vec![
             (1, WireWrite::Assign(10.0, key(2, 3))),
-            (2, WireWrite::Accum(AccumOp::Add, 1.0, f64::combine)),
+            (2, accum_parts(&[(0, 1.0)])),
         ];
-        let p1: Vec<(u64, WireWrite<f64>)> =
-            vec![(2, WireWrite::Accum(AccumOp::Add, 2.0, f64::combine))];
+        let p1: Vec<(u64, WireWrite<f64>)> = vec![(2, accum_parts(&[(5, 2.0)]))];
         let (n, written) = ga.apply_writes(vec![
             (2, Box::new(p2)),
             (0, Box::new(p0)),
@@ -1624,13 +1781,53 @@ mod tests {
         assert_eq!(ga.local[0], 0.0, "untouched elements stay default");
     }
 
+    /// The canonical accumulate fold runs in ascending VP rank order across
+    /// sources — NOT per-source-node partials. The values below are picked
+    /// so the two orders give different f64 bits: ranks 0 and 1 cancel
+    /// exactly before rank 2 lands, which only happens when rank 1 (from
+    /// the *other* node) folds between its neighbors.
+    #[test]
+    fn accum_fold_is_rank_canonical_across_sources() {
+        let mut ga: GArray<f64> = GArray::new(Dist::block(1, 1), 0);
+        let from0: Vec<(u64, WireWrite<f64>)> = vec![(0, accum_parts(&[(0, 1e16), (2, 1.0)]))];
+        let from1: Vec<(u64, WireWrite<f64>)> = vec![(0, accum_parts(&[(1, -1e16)]))];
+        ga.apply_writes(vec![(0, Box::new(from0)), (1, Box::new(from1))]);
+        assert_eq!(
+            ga.local[0], 1.0,
+            "(1e16 + -1e16) + 1.0 — node-partial folding would give 0.0"
+        );
+    }
+
+    /// Repartitioning round-trip: extract a stretch, rebind to new bounds,
+    /// and confirm values land at the right global indices on both sides.
+    #[test]
+    fn migrate_extract_rebind_moves_elements() {
+        use std::sync::Arc;
+        let bounds0 = Arc::new(vec![0usize, 4, 8]);
+        let bounds1 = Arc::new(vec![0usize, 2, 8]);
+        // Node 0 starts owning 0..4 with values 10..14.
+        let mut n0: GArray<u64> = GArray::new(Dist::weighted(8, 2, bounds0.clone()), 0);
+        n0.local.copy_from_slice(&[10, 11, 12, 13]);
+        // Node 1 starts owning 4..8 with values 14..18.
+        let mut n1: GArray<u64> = GArray::new(Dist::weighted(8, 2, bounds0), 1);
+        n1.local.copy_from_slice(&[14, 15, 16, 17]);
+        // New layout gives node 1 the stretch 2..4.
+        let (payload, bytes) = GArrayObj::migrate_extract(&n0, 2..4);
+        assert_eq!(bytes, (vec![0u64; 2]).wire_size() as u64);
+        let arrived = n0.migrate_rebind(0, Dist::weighted(8, 2, bounds1.clone()), vec![]);
+        assert_eq!(arrived, 0);
+        assert_eq!(n0.local, vec![10, 11], "node 0 keeps only 0..2");
+        let arrived = n1.migrate_rebind(1, Dist::weighted(8, 2, bounds1), vec![(2, payload)]);
+        assert_eq!(arrived, 2);
+        assert_eq!(n1.local, vec![12, 13, 14, 15, 16, 17], "2..8 in order");
+    }
+
     #[test]
     #[should_panic(expected = "mixed across nodes")]
     fn apply_detects_cross_node_mix() {
         let mut ga: GArray<f64> = GArray::new(Dist::block(2, 1), 0);
         let a: Vec<(u64, WireWrite<f64>)> = vec![(0, WireWrite::Assign(1.0, key(0, 0)))];
-        let b: Vec<(u64, WireWrite<f64>)> =
-            vec![(0, WireWrite::Accum(AccumOp::Add, 1.0, f64::combine))];
+        let b: Vec<(u64, WireWrite<f64>)> = vec![(0, accum_parts(&[(1, 1.0)]))];
         ga.apply_writes(vec![(0, Box::new(a)), (1, Box::new(b))]);
     }
 

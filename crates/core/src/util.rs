@@ -14,19 +14,21 @@ use crate::shared::GlobalShared;
 
 /// Guard for the combine-order contract of [`reduce_global`] and
 /// [`scan_global`]: both document ascending-global-index application of
-/// `op`, which the node-local storage order delivers only under a block
-/// distribution. A cyclic partition stores global indices
+/// `op`, which the node-local storage order delivers only under a
+/// contiguous distribution (block, or the weighted layout of a balanced
+/// array). A cyclic partition stores global indices
 /// `node, node + p, node + 2p, …` contiguously, so folding local runs and
 /// combining across nodes would silently apply `op` in a scrambled order —
 /// wrong for any non-commutative `op`. Reject loudly instead.
-fn require_block_layout<T: Elem>(node: &NodeCtx<'_>, g: &GlobalShared<T>, what: &str) {
+fn require_contiguous_layout<T: Elem>(node: &NodeCtx<'_>, g: &GlobalShared<T>, what: &str) {
     let dist = node.dist_of(g);
     assert!(
-        matches!(dist.layout, Layout::Block),
-        "{what} requires a block-distributed array: the documented \
-         ascending-global-index combine order cannot be recovered from a \
-         cyclic layout's local storage (allocate with Layout::Block, or \
-         gather and fold explicitly for cyclic data)"
+        !matches!(dist.layout, Layout::Cyclic),
+        "{what} requires a block-distributed array (or any contiguous \
+         layout): the documented ascending-global-index combine order \
+         cannot be recovered from a cyclic layout's local storage \
+         (allocate with Layout::Block, or gather and fold explicitly for \
+         cyclic data)"
     );
 }
 
@@ -135,7 +137,7 @@ where
     T: Elem,
     F: Fn(T, T) -> T,
 {
-    require_block_layout(node, g, "reduce_global");
+    require_contiguous_layout(node, g, "reduce_global");
     let local = node.with_local(g, |s| s.iter().fold(identity, |a, &b| op(a, b)));
     node.charge_mem_ops(node.with_local(g, |s| s.len()) as u64);
     node.allreduce_nodes(local, op)
@@ -150,10 +152,10 @@ where
     T: Elem,
     F: Fn(T, T) -> T + Copy,
 {
-    // Block-distributed only (panics otherwise): the local-scan + carry
+    // Contiguous layouts only (panics otherwise): the local-scan + carry
     // scheme below is only a prefix combine in ascending global-index
-    // order when each node's storage is one contiguous global block.
-    require_block_layout(node, g, "scan_global");
+    // order when each node's storage is one contiguous global stretch.
+    require_contiguous_layout(node, g, "scan_global");
 
     // 1. Local inclusive scan.
     let total = node.with_local_mut(g, |s| {

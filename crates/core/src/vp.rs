@@ -88,6 +88,23 @@ impl Vp {
         self.cell.cfg.cores_per_node()
     }
 
+    /// Global index range this VP's node currently owns in `g` (any
+    /// contiguous layout; panics for cyclic). Zero modeled cost: it reads
+    /// runtime metadata, not shared data.
+    ///
+    /// For arrays allocated with
+    /// [`NodeCtx::alloc_global_balanced`](crate::NodeCtx::alloc_global_balanced)
+    /// the range can change at any global phase boundary (work follows
+    /// data, DESIGN.md §14) — re-derive it inside each phase instead of
+    /// hoisting it across phases, and split it among the node's VPs by
+    /// [`Self::node_rank`].
+    pub fn local_range<T: Elem>(&self, g: &GlobalShared<T>) -> std::ops::Range<usize> {
+        let inner = self.inner.borrow();
+        inner.garrays[g.id as usize]
+            .dist()
+            .owned_range(self.cell.node)
+    }
+
     /// Charge `n` floating-point operations of VP-private computation.
     pub fn charge_flops(&self, n: u64) {
         self.cell.charge_flops(n);

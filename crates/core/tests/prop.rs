@@ -257,6 +257,92 @@ fn distributions_are_bijections() {
     );
 }
 
+/// `Layout::Weighted` is a bijection for arbitrary prefix-summed bounds:
+/// owner/offset round-trip through `global_index`, and the per-node
+/// ranges tile `0..len` with no gaps or overlaps — including zero-length
+/// spans and `len < nodes` shapes (generated deltas may all be zero).
+#[test]
+fn weighted_distributions_are_bijections() {
+    forall(
+        "weighted_distributions_are_bijections",
+        64,
+        |g| g.vec(1..10, |g| g.usize_in(0..12)),
+        |deltas| {
+            if deltas.is_empty() {
+                return Ok(());
+            }
+            let nodes = deltas.len();
+            let mut bounds = vec![0usize];
+            for &d in deltas {
+                bounds.push(bounds.last().unwrap() + d);
+            }
+            let len = *bounds.last().unwrap();
+            let d = Dist::weighted(len, nodes, std::sync::Arc::new(bounds));
+            let mut counts = vec![0usize; nodes];
+            for i in 0..len {
+                let n = d.owner(i);
+                let off = d.local_offset(i);
+                prop_assert!(n < nodes);
+                prop_assert!(off < d.local_len(n));
+                prop_assert_eq!(d.global_index(n, off), i);
+                counts[n] += 1;
+            }
+            // The owned ranges tile the array exactly, zero-length nodes
+            // included.
+            let mut cursor = 0usize;
+            for (n, &count) in counts.iter().enumerate() {
+                let r = d.owned_range(n);
+                prop_assert_eq!(r.start, cursor);
+                prop_assert_eq!(r.len(), d.local_len(n));
+                prop_assert_eq!(count, d.local_len(n));
+                cursor = r.end;
+            }
+            prop_assert_eq!(cursor, len);
+            Ok(())
+        },
+    );
+}
+
+/// `Dist::weighted_shares` is total for arbitrary weight vectors (zeros,
+/// spikes, `len < nodes`) and degenerates to exactly the `Block`
+/// boundaries under uniform — including all-zero — weights, so switching
+/// the balancer on cannot perturb an already balanced layout.
+#[test]
+fn weighted_shares_cover_and_degenerate_to_block() {
+    forall(
+        "weighted_shares_cover_and_degenerate_to_block",
+        64,
+        |g| {
+            (
+                g.usize_in(0..60),
+                g.vec(1..10, |g| g.u64_in(0..100)),
+                g.u64_in(0..100),
+            )
+        },
+        |(len, weights, w)| {
+            if weights.is_empty() {
+                return Ok(());
+            }
+            let (len, nodes) = (*len, weights.len());
+            let d = Dist::weighted_shares(len, nodes, weights);
+            let b = d.bounds();
+            prop_assert_eq!(b.len(), nodes + 1);
+            prop_assert_eq!(b[0], 0);
+            prop_assert_eq!(b[nodes], len);
+            prop_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+            // A node with positive weight gets a nonempty span whenever
+            // elements remain to its left (greedy ceiling shares).
+            let total: usize = (0..nodes).map(|n| d.local_len(n)).sum();
+            prop_assert_eq!(total, len);
+            // Uniform weights (any constant, zero included) reproduce the
+            // Block boundaries bit-for-bit.
+            let uniform = Dist::weighted_shares(len, nodes, &vec![*w; nodes]);
+            prop_assert_eq!(uniform.bounds(), Dist::block(len, nodes).bounds());
+            Ok(())
+        },
+    );
+}
+
 /// The distributed sample sort agrees with std sort for arbitrary data
 /// and shapes.
 #[test]
@@ -307,7 +393,7 @@ fn layout_is_transparent() {
             let sum_of = |layout: Layout| {
                 let vals = vals.clone();
                 run(PpmConfig::new(MachineConfig::new(nodes, 1)), move |node| {
-                    let a = node.alloc_global_with::<i64>(n, layout);
+                    let a = node.alloc_global_with::<i64>(n, layout.clone());
                     let acc = node.alloc_global::<i64>(1);
                     let dist = node.dist_of(&a);
                     let me = node.node_id();
