@@ -88,6 +88,19 @@ pub struct PpmConfig {
     /// default; `PPM_ADAPTIVE=1` (or [`Self::with_adaptive_balance`])
     /// enables it.
     pub adaptive_balance: bool,
+    /// Buddy snapshot replication for fail-stop tolerance (DESIGN.md §15):
+    /// every node streams its super-step snapshot to a buddy (rank+1 mod
+    /// N) as delta frames piggybacked on end-of-phase write bundles, so a
+    /// permanently dead node's partitions can fail over to the buddy and
+    /// the job finish bit-identical. Off by default (the fault-free fast
+    /// path stays byte-identical); `PPM_REPLICATION=1` (or
+    /// [`Self::with_replication`]) enables it.
+    pub replication: bool,
+    /// Failure detector: simulated time a survivor spends retransmitting
+    /// into a dead peer's silence before suspecting it (charged once per
+    /// detected death; the suspicion is confirmed on the next clock
+    /// barrier).
+    pub suspect_timeout: SimTime,
 }
 
 impl PpmConfig {
@@ -114,6 +127,8 @@ impl PpmConfig {
             read_cache: env_flag("PPM_READ_CACHE", true),
             wave_pipelining: env_flag("PPM_WAVE_PIPELINE", true),
             adaptive_balance: env_flag("PPM_ADAPTIVE", false),
+            replication: env_flag("PPM_REPLICATION", false),
+            suspect_timeout: SimTime::from_us(400),
         }
     }
 
@@ -173,6 +188,14 @@ impl PpmConfig {
     /// the `PPM_ADAPTIVE` environment default, which is off).
     pub fn with_adaptive_balance(mut self, on: bool) -> Self {
         self.adaptive_balance = on;
+        self
+    }
+
+    /// Enable or disable buddy snapshot replication for fail-stop
+    /// tolerance (overrides the `PPM_REPLICATION` environment default,
+    /// which is off).
+    pub fn with_replication(mut self, on: bool) -> Self {
+        self.replication = on;
         self
     }
 
@@ -260,6 +283,15 @@ mod tests {
                 .with_adaptive_balance(false)
                 .adaptive_balance
         );
+    }
+
+    #[test]
+    fn replication_defaults_off_and_toggles() {
+        let c = PpmConfig::franklin(2);
+        assert!(!c.replication, "snapshot replication is opt-in");
+        assert!(c.with_replication(true).replication);
+        assert!(!c.with_replication(true).with_replication(false).replication);
+        assert!(c.suspect_timeout > SimTime::ZERO);
     }
 
     #[test]

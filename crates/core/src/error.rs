@@ -1,0 +1,85 @@
+//! Structured runtime errors for the failure-recovery paths (DESIGN.md §15).
+//!
+//! The PPM runtime's normal error discipline is fail-fast panics with
+//! protocol dumps — fine for runtime bugs, wrong for *modeled machine
+//! failures* a caller may want to observe programmatically. Recovery-path
+//! failures therefore raise a [`RecoveryError`] via
+//! [`std::panic::panic_any`]: the typed payload survives the cluster
+//! driver's panic propagation (`resume_unwind`), so tests and harnesses can
+//! `catch_unwind` the job and `downcast_ref::<RecoveryError>()` to learn
+//! *which node* failed at *which phase* and why, instead of string-matching
+//! a panic message.
+
+use std::fmt;
+
+/// A node-level recovery failure: the runtime could not (or, without
+/// replication, cannot by design) continue past a fault. Carries the id of
+/// the node whose state is the problem and the global phase sequence at
+/// which recovery was attempted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// Node whose death or snapshot made recovery impossible (not
+    /// necessarily the node that raised the error: on an unreplicated
+    /// permanent death every survivor raises an identical error naming
+    /// the dead node).
+    pub node: usize,
+    /// `global_seq` of the super-step at which recovery was attempted.
+    pub phase: u64,
+    /// Human-readable cause (missing snapshot, shape mismatch,
+    /// unreplicated permanent death, …).
+    pub reason: String,
+}
+
+impl RecoveryError {
+    /// Raise this error as a typed panic payload (see module docs).
+    pub fn raise(self) -> ! {
+        std::panic::panic_any(self)
+    }
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery failed for node {} at global phase {}: {}",
+            self.node, self.phase, self.reason
+        )
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_node_phase_and_reason() {
+        let e = RecoveryError {
+            node: 2,
+            phase: 17,
+            reason: "snapshot shape does not match the partition".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 2"), "{s}");
+        assert!(s.contains("phase 17"), "{s}");
+        assert!(s.contains("shape does not match"), "{s}");
+    }
+
+    #[test]
+    fn raise_payload_downcasts_back() {
+        let err = std::panic::catch_unwind(|| {
+            RecoveryError {
+                node: 1,
+                phase: 3,
+                reason: "test".into(),
+            }
+            .raise()
+        })
+        .expect_err("raise must panic");
+        let e = err
+            .downcast_ref::<RecoveryError>()
+            .expect("typed payload survives the unwind");
+        assert_eq!((e.node, e.phase), (1, 3));
+    }
+}

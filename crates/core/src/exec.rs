@@ -37,8 +37,9 @@ use ppm_simnet::{ArgValue, Message, SimTime};
 
 use crate::balance;
 use crate::dist::Dist;
+use crate::error::RecoveryError;
 use crate::msgs::{
-    self, BarrierMsg, MigrateMsg, RefreshPart, ReqBundle, RespBundle, WriteBundleMsg,
+    self, BarrierMsg, MigrateMsg, RefreshPart, ReplicaFrame, ReqBundle, RespBundle, WriteBundleMsg,
 };
 use crate::nodectx::NodeCtx;
 use crate::state::{merge_vp, DoMode, PhaseKind, ServeHist, Traffic, VpCell};
@@ -54,7 +55,7 @@ const SERVE_TTL: u64 = 8;
 /// Per-phase counter-delta argument names, aligned with
 /// [`ppm_simnet::Counters::named_fields`] (the `debug_assert` in
 /// [`emit_phase_summary`] keeps the two in lockstep).
-const DELTA_ARG_NAMES: [&str; 23] = [
+const DELTA_ARG_NAMES: [&str; 27] = [
     "d_msgs_sent",
     "d_bytes_sent",
     "d_msgs_recv",
@@ -78,6 +79,10 @@ const DELTA_ARG_NAMES: [&str; 23] = [
     "d_cache_misses",
     "d_dedup_reads",
     "d_partial_wakes",
+    "d_peers_suspected",
+    "d_peers_confirmed_dead",
+    "d_failovers",
+    "d_replica_bytes",
 ];
 
 /// Record a phase-summary span `[start, now]` carrying the phase's time
@@ -176,7 +181,11 @@ where
             // Collective prologue: learn every node's VP count so global
             // ranks and `PPM_VP_global_rank` work (k may differ per node).
             let ks = nc.allgather_nodes(k as u64);
-            (ks[..me].iter().sum(), ks.iter().sum())
+            let split = (ks[..me].iter().sum(), ks.iter().sum());
+            // Kept for the failover trace instant's payload (how many VPs
+            // a buddy adopts with a dead rank's partitions, DESIGN.md §15).
+            nc.inner.borrow_mut().peer_vps = ks;
+            split
         }
         // Asynchronous mode: no cross-node coordination; ranks are
         // node-local.
@@ -208,9 +217,10 @@ where
 
     // Crash recovery line: direct mutation between `ppm_do`s
     // (`with_local_mut`) may have changed the arrays since the last
-    // phase-end snapshot, so refresh it at construct entry.
+    // phase-end snapshot, so refresh it at construct entry. Untracked
+    // mutation means the whole copy is charged.
     if nc.snapshots_enabled() {
-        nc.take_snapshot();
+        nc.take_snapshot(None);
     }
 
     // Instantiate the VPs: a shared identity/scratch cell per VP, plus its
@@ -788,6 +798,18 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         recover_from_crash(nc, phase);
     }
 
+    // Seeded permanent death (fail-stop, DESIGN.md §15): victims scheduled
+    // to die at the end of this phase are detected here, deterministically,
+    // from the replicated fault plan — the modeled equivalent of "this
+    // peer's retransmit attempts crossed the suspect timeout". With
+    // replication off a death is unsurvivable and every node raises the
+    // identical structured error; with it on, survivors charge the
+    // detection stall, the victim's endpoint continues as its buddy's
+    // hosted persona (restored from the replica), and the suspicion bits
+    // OR-flood on the clock barrier below so every live node confirms the
+    // death at the same phase boundary.
+    let local_suspect = detect_permanent_deaths(nc, phase);
+
     // 0. Flush the conformance checker: the phase body is over, so its
     //    access record is complete.
     {
@@ -1014,23 +1036,79 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     }
 
     // 4b. Advance the crash-recovery line: the arrays now ARE the next
-    //     super-step's consistent state.
+    //     super-step's consistent state. Phase-end refreshes are
+    //     incremental: only the bytes the exchange just wrote into this
+    //     node's partitions (plus migration arrivals) cost copy time.
+    let dirty = dest_bytes[me] as u64 + {
+        let inner = nc.inner.borrow();
+        inner.traffic.write_bytes_in + inner.traffic.migr_bytes_in
+    };
     if nc.snapshots_enabled() {
-        nc.take_snapshot();
+        nc.take_snapshot(Some(dirty));
     }
+
+    // 4c. Buddy replication (DESIGN.md §15): stream the fresh recovery
+    //     line to the cyclic successor as a frame riding the round-0
+    //     barrier message — whose destination IS the buddy. The first
+    //     frame (and the first after any death re-homes replicas) ships
+    //     the full snapshot; later frames ship only the bytes written
+    //     into this node's partitions this phase (own write parcels,
+    //     peers' write bundles, migration arrivals — node-shared deltas
+    //     ride free, like the barrier's other sidecars). Read before
+    //     step 5 resets the traffic totals.
+    let replica: Option<ReplicaFrame> = if cfg.replication && nodes > 1 {
+        let mut inner = nc.inner.borrow_mut();
+        let snap = inner
+            .snapshots
+            .as_ref()
+            .expect("replication maintains snapshots");
+        let (snap_phase, full) = (snap.phase, snap.bytes);
+        let base = !inner.replica_base_sent;
+        let bytes = if base {
+            full
+        } else {
+            dest_bytes[me] as u64 + inner.traffic.write_bytes_in + inner.traffic.migr_bytes_in
+        };
+        inner.replica_base_sent = true;
+        Some(ReplicaFrame {
+            phase: snap_phase,
+            bytes,
+            base,
+        })
+    } else {
+        None
+    };
 
     // 5. Charge the phase's modeled time.
     let charge = charge_phase_time(nc);
 
     // 6. Clock-synchronizing dissemination barrier — carrying the cache
-    //    invalidation bits, refresh pushes, and the balancer's loads
-    //    sidecar — then release the VPs.
+    //    invalidation bits, refresh pushes, the balancer's loads sidecar,
+    //    and the failure-tolerance sidecars (suspicions, replica frame,
+    //    hosted-persona compute) — then release the VPs.
+    let my_load = (charge.compute + charge.service).as_ps();
+    let hosted_ps = {
+        let mut inner = nc.inner.borrow_mut();
+        if inner.hosted {
+            // The buddy serializes this dead rank's re-executed VPs after
+            // its own: this phase's busy time, plus the one-shot failover
+            // cost the phase it died.
+            let extra = inner.hosted_extra;
+            inner.hosted_extra = SimTime::ZERO;
+            my_load + extra.as_ps()
+        } else {
+            0
+        }
+    };
     let barrier_start = nc.ep.clock.now();
     clock_barrier(
         nc,
         phase,
         local_inv,
-        (charge.compute + charge.service).as_ps(),
+        my_load,
+        local_suspect,
+        replica,
+        hosted_ps,
     );
 
     {
@@ -1125,6 +1203,14 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
     // bundling ablation — charged in the rebalancing phase's gap term.
     bytes_out += t.migr_bytes_out;
     bytes_in += t.migr_bytes_in;
+    // Replica frames ride barrier messages like refresh pushes and are
+    // recorded into the live (already reset) Traffic during the barrier,
+    // so their time likewise surfaces one phase later — but only on the
+    // RECEIVING end (the buddy ingesting the frame into its replica
+    // store): the sender streams the frame during the barrier gap it is
+    // already paying, so the send side is modeled free. The final
+    // barrier's frame is never charged as time.
+    bytes_in += t.replica_bytes_in;
     let (mut msgs_out, mut msgs_in) = if cfg.bundling {
         (
             t.req_bundles_out + t.resp_bundles_out + t.write_bundles_out,
@@ -1265,7 +1351,23 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
 /// Like `inv_bits`, modeled free: it changes no clock and no counter, so
 /// makespans are bit-identical whether `adaptive_balance` is on or off —
 /// until a migration actually fires.
-fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64) {
+/// Failure-tolerance sidecars (DESIGN.md §15) ride the same messages too:
+/// `suspect_bits` OR-floods like `inv_bits` so every live node confirms a
+/// death at the same boundary; the round-0 message (destination = cyclic
+/// successor = the replication buddy) additionally carries the snapshot
+/// `replica` frame and the `hosted_compute_ps` a hosted persona charges to
+/// its host. Replica bytes are accounted here explicitly (they must not
+/// ride `Message::bytes`, which the receive path attributes to refresh
+/// traffic); newly confirmed deaths are folded after the final round.
+fn clock_barrier(
+    nc: &mut NodeCtx<'_>,
+    phase: u64,
+    local_inv: u128,
+    my_load: u64,
+    local_suspect: u128,
+    mut replica: Option<ReplicaFrame>,
+    hosted_ps: u64,
+) {
     let me = nc.node_id();
     let nodes = nc.num_nodes();
     if nodes == 1 {
@@ -1293,6 +1395,8 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
     // Round r's receive doubles the coverage, so the final round leaves
     // all `nodes` entries here (asserted below).
     let mut known_loads: Vec<(u32, u64)> = vec![(me as u32, my_load)];
+    // Suspicion OR-flood state, seeded with this node's own detections.
+    let mut suspects = local_suspect;
 
     let mut d = 1usize;
     let mut round = 0u32;
@@ -1377,6 +1481,18 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
             }
         }
 
+        // The replica frame and hosted-persona compute ride only the
+        // round-0 edge: its destination, the cyclic successor, IS the
+        // buddy. Frame bytes are accounted out-of-band (not on
+        // `Message::bytes`: the receive path below credits those to
+        // refresh traffic).
+        let frame = if round == 0 { replica.take() } else { None };
+        if let Some(fr) = &frame {
+            let mut inner = nc.inner.borrow_mut();
+            inner.counters.bytes_sent += fr.bytes;
+            inner.counters.replica_bytes += fr.bytes;
+            inner.traffic.replica_bytes_out += fr.bytes;
+        }
         let now = nc.ep.clock.now();
         let tag = msgs::tag(msgs::K_BARRIER, msgs::barrier_meta(phase, round));
         // `ts` is the arrival instant (send time + latency, plus any fault
@@ -1390,6 +1506,9 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
                 refresh_bytes as usize,
                 BarrierMsg {
                     inv_bits: inv,
+                    suspect_bits: suspects,
+                    replica: frame,
+                    hosted_compute_ps: if round == 0 { hosted_ps } else { 0 },
                     refreshes,
                     loads: known_loads.clone(),
                 },
@@ -1402,6 +1521,7 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
         let bytes_in = msg.bytes as u64;
         let bm: BarrierMsg = msg.take();
         inv |= bm.inv_bits;
+        suspects |= bm.suspect_bits;
         for &(n, l) in &bm.loads {
             if !known_loads.iter().any(|&(kn, _)| kn == n) {
                 known_loads.push((n, l));
@@ -1411,6 +1531,20 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
             let mut inner = nc.inner.borrow_mut();
             inner.counters.bytes_recv += bytes_in;
             inner.traffic.refresh_bytes_in += bytes_in;
+        }
+        if let Some(fr) = bm.replica {
+            let mut inner = nc.inner.borrow_mut();
+            inner.counters.bytes_recv += fr.bytes;
+            inner.traffic.replica_bytes_in += fr.bytes;
+            inner.replica_in = Some((fr.phase, fr.bytes, fr.base));
+        }
+        if bm.hosted_compute_ps > 0 {
+            // This node hosts its predecessor's persona: the dead rank's
+            // re-executed work serializes after ours, so our clock (and
+            // through later rounds, the global makespan) reflects it.
+            nc.ep
+                .clock
+                .advance_compute(SimTime::from_ps(bm.hosted_compute_ps));
         }
         for part in bm.refreshes {
             let fwd_take: Vec<bool> = part.masks.iter().map(|&m| m & !own_bit != 0).collect();
@@ -1462,6 +1596,87 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
         inner.load_window += 1;
     }
 
+    // Confirm deaths (DESIGN.md §15): after the final round every node
+    // holds the identical suspicion union, so each newly suspected node is
+    // confirmed dead by all survivors at this same boundary. The dead
+    // rank's partitions and VPs re-home onto its *effective buddy* — the
+    // first cyclic successor not itself dead — which counts the failover,
+    // emits the trace instant with the adopted footprint, and (on any
+    // confirmation) restarts replica streams from a fresh base frame.
+    let newly = {
+        let mut inner = nc.inner.borrow_mut();
+        let newly = suspects & !inner.dead_bits;
+        if newly != 0 {
+            inner.dead_bits |= newly;
+            inner.replica_base_sent = false;
+            inner.counters.peers_confirmed_dead += u64::from((newly & !(1u128 << me)).count_ones());
+        }
+        newly
+    };
+    if newly != 0 && !cfg.replication {
+        // Unsurvivable: no replica stream exists, so the dead rank's
+        // partitions are gone. The barrier is already complete — every
+        // node stands at this same confirmation point with nothing left
+        // in flight — so every node (victim included) raises the
+        // IDENTICAL structured error naming the dead node, and whichever
+        // endpoint's panic the cluster driver re-raises first, the caller
+        // sees the same payload. Victims black-hole their inbox first so
+        // defensive late traffic can never observe a hung-up peer.
+        let victim = newly.trailing_zeros() as usize;
+        if newly & (1u128 << me) != 0 {
+            nc.ep.net.mark_dead();
+        }
+        RecoveryError {
+            node: victim,
+            phase,
+            reason: "node died permanently with replication disabled \
+                     (enable PpmConfig::with_replication / PPM_REPLICATION \
+                     to survive fail-stop faults)"
+                .into(),
+        }
+        .raise();
+    }
+    if newly != 0 {
+        let dead = nc.inner.borrow().dead_bits;
+        for v in 0..nodes {
+            if newly & (1u128 << v) == 0 {
+                continue;
+            }
+            let mut buddy = (v + 1) % nodes;
+            while dead & (1u128 << buddy) != 0 {
+                buddy = (buddy + 1) % nodes;
+            }
+            if buddy != me {
+                continue;
+            }
+            let (elems, bytes, vps) = {
+                let mut inner = nc.inner.borrow_mut();
+                inner.counters.failovers += 1;
+                let mut elems = 0u64;
+                let mut bytes = 0u64;
+                for ga in inner.garrays.iter() {
+                    let r = ga.dist().owned_range(v);
+                    elems += (r.end - r.start) as u64;
+                    bytes += ga.owned_bytes(v);
+                }
+                let vps = inner.peer_vps.get(v).copied().unwrap_or(0);
+                (elems, bytes, vps)
+            };
+            nc.ep.tracer.instant(
+                "failover",
+                "runtime",
+                nc.ep.clock.now(),
+                vec![
+                    ("phase", ArgValue::U64(phase)),
+                    ("victim", ArgValue::U64(v as u64)),
+                    ("adopted_elems", ArgValue::U64(elems)),
+                    ("adopted_bytes", ArgValue::U64(bytes)),
+                    ("adopted_vps", ArgValue::U64(vps)),
+                ],
+            );
+        }
+    }
+
     if cfg.read_cache {
         let mut inner = nc.inner.borrow_mut();
         debug_assert!(
@@ -1495,44 +1710,176 @@ fn clock_barrier(nc: &mut NodeCtx<'_>, phase: u64, local_inv: u128, my_load: u64
 /// [`CrashFault`]: ppm_simnet::CrashFault
 fn recover_from_crash(nc: &mut NodeCtx<'_>, phase: u64) {
     let cfg = nc.config();
+    let me = nc.node_id();
     let t0 = nc.ep.clock.now();
-    let (redo, bytes) = {
-        let mut inner = nc.inner.borrow_mut();
-        let snaps = inner
-            .snapshots
-            .take()
-            .expect("crash fault fired with no snapshot (runtime bug)");
-        assert_eq!(
-            snaps.phase, phase,
-            "snapshot is not the crashed super-step's recovery line"
-        );
-        let mut bytes = 0u64;
-        for (ga, s) in inner.garrays.iter_mut().zip(&snaps.garrays) {
-            bytes += ga.restore_local(s.as_ref());
-        }
-        for (na, s) in inner.narrays.iter_mut().zip(&snaps.narrays) {
-            bytes += na.restore_local(s.as_ref());
-        }
-        inner.snapshots = Some(snaps);
-        inner.counters.crash_recoveries += 1;
-        // The phase body's compute still sits uncharged in the per-core
-        // accumulators; the redo costs that much again.
-        let redo = inner
-            .core_compute
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max);
-        (redo, bytes)
-    };
+    let (redo, bytes) = restore_from_snapshot(nc, me, phase);
+    nc.inner.borrow_mut().counters.crash_recoveries += 1;
     nc.ep.clock.advance_compute(cfg.crash_reboot);
+    // Restore is a streaming copy back out of the snapshot store: charged
+    // at cache-line granularity like the capture itself.
     nc.ep
         .clock
-        .advance_compute(cfg.machine.core.mem_ops(bytes / 8));
+        .advance_compute(cfg.machine.core.mem_ops(bytes / 64));
     nc.ep.clock.advance_compute(redo);
 
     if nc.ep.tracer.enabled() {
         nc.ep.tracer.span(
             "crash_recovery",
+            "reliability",
+            t0,
+            nc.ep.clock.now(),
+            vec![
+                ("phase", ArgValue::U64(phase)),
+                ("restored_bytes", ArgValue::U64(bytes)),
+                ("redo_ps", ArgValue::U64(redo.as_ps())),
+            ],
+        );
+    }
+}
+
+/// Restore every shared array from the last super-step snapshot and
+/// return the pending redo compute (the crashed phase body's uncharged
+/// per-core maximum) plus the bytes restored. Any inconsistency — missing
+/// snapshot, wrong recovery line, payload/shape mismatch — raises the
+/// structured [`RecoveryError`] naming `node` and `phase` instead of a
+/// bare panic, so harnesses can observe recovery failures programmatically.
+fn restore_from_snapshot(nc: &mut NodeCtx<'_>, node: usize, phase: u64) -> (SimTime, u64) {
+    let fail = |reason: String| -> ! {
+        RecoveryError {
+            node,
+            phase,
+            reason,
+        }
+        .raise()
+    };
+    let mut inner = nc.inner.borrow_mut();
+    let snaps = match inner.snapshots.take() {
+        Some(s) => s,
+        None => fail("crash fault fired with no snapshot (runtime bug)".into()),
+    };
+    if snaps.phase != phase {
+        fail(format!(
+            "snapshot is not the crashed super-step's recovery line \
+             (snapshot phase {}, crashed phase {phase})",
+            snaps.phase
+        ));
+    }
+    let mut bytes = 0u64;
+    for (ga, s) in inner.garrays.iter_mut().zip(&snaps.garrays) {
+        bytes += ga.restore_local(s.as_ref()).unwrap_or_else(|e| fail(e));
+    }
+    for (na, s) in inner.narrays.iter_mut().zip(&snaps.narrays) {
+        bytes += na.restore_local(s.as_ref()).unwrap_or_else(|e| fail(e));
+    }
+    inner.snapshots = Some(snaps);
+    // The phase body's compute still sits uncharged in the per-core
+    // accumulators; the redo costs that much again.
+    let redo = inner
+        .core_compute
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    (redo, bytes)
+}
+
+/// Entry hook of [`global_phase_end`] for seeded permanent deaths
+/// (DESIGN.md §15). Returns this node's local suspicion bits for the
+/// clock barrier's OR-flood (zero when nothing died here).
+///
+/// Detection is a pure function of the replicated fault plan — the
+/// deterministic stand-in for "retransmit attempts to this peer crossed
+/// [`PpmConfig::suspect_timeout`] of simulated time" — so every node
+/// suspects the same victims at the same phase boundary without
+/// exchanging anything beyond the barrier sidecar. Survivors charge the
+/// timeout as reliability stall; retry counters are untouched (no real
+/// retransmissions happen, and `retries == faults_dropped` must keep
+/// holding).
+///
+/// [`PpmConfig::suspect_timeout`]: crate::PpmConfig
+fn detect_permanent_deaths(nc: &mut NodeCtx<'_>, phase: u64) -> u128 {
+    let victims = match nc.rel.as_deref() {
+        Some(r) => r.perm_victims_at(phase),
+        None => return 0,
+    };
+    if victims.is_empty() {
+        return 0;
+    }
+    debug_assert!(
+        victims.iter().all(|&v| phase == 0
+            || !nc
+                .rel
+                .as_deref()
+                .is_some_and(|r| r.perm_dead_by(v, phase - 1))),
+        "a node can die only once (enforced by FaultConfig::with_permanent_crash)"
+    );
+    let me = nc.node_id();
+    let nodes = nc.num_nodes();
+    let cfg = nc.config();
+    if nodes == 1 {
+        // No barrier rounds will run to confirm the death, and a lone
+        // node has no buddy even with replication on: fail here with the
+        // structured error.
+        nc.inner.borrow_mut().dead_bits |= 1u128 << victims[0];
+        nc.ep.net.mark_dead();
+        RecoveryError {
+            node: victims[0],
+            phase,
+            reason: "single-node job cannot survive a permanent death \
+                     (no buddy exists to host a replica)"
+                .into(),
+        }
+        .raise();
+    }
+    let survivable = cfg.replication;
+    let mut bits = 0u128;
+    for &v in &victims {
+        bits |= 1u128 << v;
+        if v == me {
+            if survivable {
+                fail_over_self(nc, phase);
+            }
+            // Unsurvivable deaths carry the suspicion through the barrier
+            // and abort at the confirmation point (clock_barrier), where
+            // every node raises the identical error with nobody blocked.
+        } else {
+            let mut inner = nc.inner.borrow_mut();
+            inner.counters.peers_suspected += 1;
+            inner.traffic.rel_delay += cfg.suspect_timeout;
+        }
+    }
+    bits
+}
+
+/// This node just died permanently — and becomes its buddy's *hosted
+/// persona* (DESIGN.md §15): the endpoint thread continues as the
+/// deterministic reconstruction the buddy performs from its replica.
+/// Logical computation is unchanged (the replica is byte-identical to the
+/// victim's own snapshot by construction, so the restore uses the local
+/// copy), which is what makes results bit-identical to the fault-free
+/// run; only the cost model changes. The persona charges the detection
+/// stall plus the restore-and-redo here, and from now on ships its
+/// per-phase busy time to the buddy via the barrier's
+/// `hosted_compute_ps` sidecar (the buddy serializes the persona's VPs
+/// after its own).
+fn fail_over_self(nc: &mut NodeCtx<'_>, phase: u64) {
+    let cfg = nc.config();
+    let me = nc.node_id();
+    let t0 = nc.ep.clock.now();
+    let (redo, bytes) = restore_from_snapshot(nc, me, phase);
+    let restore = cfg.machine.core.mem_ops(bytes / 64);
+    // Nobody restores anything until the suspect timeout has confirmed
+    // the death; no reboot is charged (the buddy is already up).
+    nc.ep.clock.advance_comm(cfg.suspect_timeout);
+    nc.ep.clock.advance_compute(restore);
+    nc.ep.clock.advance_compute(redo);
+    {
+        let mut inner = nc.inner.borrow_mut();
+        inner.hosted = true;
+        inner.hosted_extra = restore + redo;
+    }
+    if nc.ep.tracer.enabled() {
+        nc.ep.tracer.span(
+            "failover_restore",
             "reliability",
             t0,
             nc.ep.clock.now(),

@@ -92,6 +92,7 @@ pub mod check;
 mod config;
 mod dist;
 mod elem;
+pub mod error;
 mod exec;
 pub mod msgs;
 mod nodecoll;
@@ -107,6 +108,7 @@ pub use check::{PhaseViolation, Space};
 pub use config::PpmConfig;
 pub use dist::{Dist, Layout};
 pub use elem::{AccumElem, AccumOp, Elem};
+pub use error::RecoveryError;
 pub use nodectx::NodeCtx;
 pub use shared::{GlobalShared, NodeShared};
 pub use state::{PhaseKind, PhaseRecord};

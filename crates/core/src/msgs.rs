@@ -116,6 +116,21 @@ pub(crate) struct RefreshPart {
 /// owner-pushed values for remotely cached elements that were rewritten.
 pub(crate) struct BarrierMsg {
     pub inv_bits: u128,
+    /// Failure-detector sidecar (DESIGN.md §15): OR-flood of "I suspect
+    /// node `i` permanently dead" bits (bit = node id). After the barrier
+    /// every node holds the identical union, so deaths are confirmed by
+    /// all survivors at the same phase boundary — a pure function of
+    /// message history. Rides messages the barrier sends anyway.
+    pub suspect_bits: u128,
+    /// Buddy snapshot-replication sidecar (DESIGN.md §15), attached only
+    /// to the round-0 dissemination message — whose destination,
+    /// `(me+1) % nodes`, is exactly the buddy.
+    pub replica: Option<ReplicaFrame>,
+    /// Hosted-persona compute (picoseconds) a dead rank charges to the
+    /// buddy that hosts it, attached only to the round-0 message: the
+    /// buddy serializes the dead rank's re-executed VPs after its own, so
+    /// it advances its clock by this much inside the barrier.
+    pub hosted_compute_ps: u64,
     pub refreshes: Vec<RefreshPart>,
     /// Loads sidecar for the adaptive repartitioner (DESIGN.md §14): every
     /// `(node, compute+service picoseconds)` pair the sender knows for the
@@ -125,6 +140,24 @@ pub(crate) struct BarrierMsg {
     /// barrier sends anyway, keeping makespans bit-identical whether the
     /// balance knob is on or off (until a migration actually happens).
     pub loads: Vec<(u32, u64)>,
+}
+
+/// One snapshot-replica delta frame streamed to the buddy (DESIGN.md §15).
+/// Metadata only: the simulator never needs the payload bytes on the wire
+/// (a failover restores from the victim's own snapshot, which is
+/// byte-identical to the buddy's replica by construction), so the frame
+/// carries just the modeled size for cost accounting and the
+/// `replica_bytes` counter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplicaFrame {
+    /// Global phase sequence of the snapshot this frame brings the buddy's
+    /// replica up to.
+    pub phase: u64,
+    /// Modeled frame bytes: the full snapshot on the first (base) frame,
+    /// the bytes written since the previous snapshot on delta frames.
+    pub bytes: u64,
+    /// Whether this is a base (full-snapshot) frame.
+    pub base: bool,
 }
 
 /// End-of-phase write bundle: buffered writes destined for one owner node.

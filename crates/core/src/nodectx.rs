@@ -14,6 +14,7 @@ use ppm_simnet::{ArgValue, EndpointCtx, Message, RelMeta, SimTime};
 use crate::config::PpmConfig;
 use crate::dist::{Dist, Layout};
 use crate::elem::Elem;
+use crate::error::RecoveryError;
 use crate::msgs::{self, RespBundle, RespPart};
 use crate::reliable::Reliability;
 use crate::shared::{GlobalShared, NodeShared};
@@ -314,7 +315,28 @@ impl<'a> NodeCtx<'a> {
 
     /// Raw blocking receive with the stall watchdog's protocol-state dump
     /// attached.
+    ///
+    /// Fail-fast guard (DESIGN.md §15): with replication off, a peer
+    /// confirmed permanently dead can never send again — its traffic is
+    /// black-holed — so blocking here could only end in the stall
+    /// watchdog. Raise the structured [`RecoveryError`] immediately
+    /// instead; the watchdog never fires for a confirmed-dead peer.
     fn recv_raw(&mut self) -> Message {
+        if !self.cfg.replication {
+            let dead = self.inner.try_borrow().map_or(0, |i| i.dead_bits);
+            if dead != 0 {
+                let victim = dead.trailing_zeros() as usize;
+                let phase = self.inner.try_borrow().map_or(0, |i| i.phase.global_seq);
+                RecoveryError {
+                    node: victim,
+                    phase,
+                    reason: "peer confirmed permanently dead with replication \
+                             disabled; a blocking receive cannot complete"
+                        .into(),
+                }
+                .raise();
+            }
+        }
         let node = self.ep.id();
         let inner = &self.inner;
         let stash = &self.stash;
@@ -422,19 +444,29 @@ impl<'a> NodeCtx<'a> {
 
     // -- crash-recovery snapshots ---------------------------------------------
 
-    /// Whether super-step snapshots are being maintained (a crash fault is
-    /// configured).
+    /// Whether super-step snapshots are being maintained (a crash or
+    /// permanent-death fault is configured, or buddy replication is on —
+    /// the snapshot doubles as the replica's source of truth).
     pub(crate) fn snapshots_enabled(&self) -> bool {
-        self.rel
-            .as_deref()
-            .is_some_and(Reliability::snapshots_enabled)
+        self.cfg.replication
+            || self
+                .rel
+                .as_deref()
+                .is_some_and(Reliability::snapshots_enabled)
     }
 
-    /// Capture the super-step snapshot of every shared array, charging the
-    /// copy as owner-side service time.
-    pub(crate) fn take_snapshot(&mut self) {
+    /// Capture the super-step snapshot of every shared array.
+    ///
+    /// The snapshot store is maintained copy-on-write, so refreshing it
+    /// costs only the bytes actually written since the previous capture —
+    /// the same dirty set the replica delta frames ship (DESIGN.md §15).
+    /// `dirty: Some(n)` charges `n` bytes of copying (capped at the full
+    /// size); `dirty: None` — the first capture, or a construct-entry
+    /// refresh after untracked direct mutation — charges the full copy.
+    pub(crate) fn take_snapshot(&mut self, dirty: Option<u64>) {
         let core = self.cfg.machine.core;
         let mut inner = self.inner.borrow_mut();
+        let had_snapshot = inner.snapshots.is_some();
         let phase = inner.phase.global_seq;
         let mut bytes = 0u64;
         let garrays: Vec<_> = inner
@@ -459,8 +491,15 @@ impl<'a> NodeCtx<'a> {
             phase,
             garrays,
             narrays,
+            bytes,
         });
-        inner.service_time += core.mem_ops(bytes / 8);
+        let charged = match dirty {
+            Some(d) if had_snapshot => d.min(bytes),
+            _ => bytes,
+        };
+        // Streaming cache-line copies, not random-access element ops: one
+        // charged memory operation per 64-byte line.
+        inner.service_time += core.mem_ops(charged / 64);
     }
 
     /// Serve a bundle of read requests against this node's partitions.
@@ -596,6 +635,20 @@ fn protocol_dump(
                 i.outstanding_reads,
                 i.reqs.values().filter(|v| !v.is_empty()).count()
             );
+            if i.dead_bits == 0 {
+                let _ = writeln!(out, "  confirmed dead: none");
+            } else {
+                let dead: Vec<usize> = (0..128)
+                    .filter(|b| i.dead_bits & (1u128 << b) != 0)
+                    .collect();
+                let _ = writeln!(out, "  confirmed dead: {dead:?}");
+            }
+            if let Some((ph, bytes, base)) = i.replica_in {
+                let _ = writeln!(
+                    out,
+                    "  buddy replica held: snapshot phase {ph} ({bytes} bytes, base={base})"
+                );
+            }
         }
         None => {
             let _ = writeln!(out, "  <runtime state borrowed at stall time>");

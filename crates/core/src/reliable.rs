@@ -142,11 +142,24 @@ impl Reliability {
         self.plan.crash_at(self.me, phase)
     }
 
-    /// Whether super-step snapshots must be maintained (a crash is
-    /// configured for *some* node; every node snapshots so the survivor
-    /// set is symmetric and costs are uniform).
+    /// Whether super-step snapshots must be maintained (a transient crash
+    /// or a permanent death is configured for *some* node; every node
+    /// snapshots so the survivor set is symmetric and costs are uniform).
     pub fn snapshots_enabled(&self) -> bool {
-        self.plan.config().crash.is_some()
+        let cfg = self.plan.config();
+        cfg.crash.is_some() || cfg.any_permanent_crash()
+    }
+
+    /// Nodes scheduled to die permanently at the end of global phase
+    /// `phase` (ascending; replicated plan, so identical on every node).
+    pub fn perm_victims_at(&self, phase: u64) -> Vec<usize> {
+        self.plan.perm_victims_at(phase)
+    }
+
+    /// Whether `node` has died permanently at or before the end of global
+    /// phase `phase`.
+    pub fn perm_dead_by(&self, node: usize, phase: u64) -> bool {
+        self.plan.perm_dead_by(node, phase)
     }
 
     /// Process an outgoing envelope to `dst`: assign its sequence number,
@@ -369,5 +382,18 @@ mod tests {
         let dump = rel.dump();
         assert!(dump.contains("peer 0"));
         assert!(!dump.contains("peer 2"), "no self link in the dump");
+    }
+
+    #[test]
+    fn permanent_death_gates_snapshots_and_reports_victims() {
+        let cfg = cfg_with(FaultConfig::NONE.with_permanent_crash(1, 4));
+        let rel = Reliability::new(0, &cfg);
+        assert!(rel.snapshots_enabled(), "permanent deaths need snapshots");
+        assert_eq!(rel.perm_victims_at(4), vec![1]);
+        assert!(rel.perm_victims_at(3).is_empty());
+        assert!(!rel.perm_dead_by(1, 3));
+        assert!(rel.perm_dead_by(1, 4));
+        assert!(rel.perm_dead_by(1, 9), "death is permanent");
+        assert!(!rel.perm_dead_by(0, 9));
     }
 }

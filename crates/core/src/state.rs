@@ -942,12 +942,18 @@ pub(crate) trait GArrayObj: Send + Sync {
         dist: Dist,
         parts: Vec<(usize, Box<dyn Any + Send>)>,
     ) -> u64;
+    /// Modeled payload bytes of `node`'s owned partition (failover
+    /// accounting: the footprint a buddy adopts, DESIGN.md §15).
+    fn owned_bytes(&self, node: usize) -> u64;
     /// Copy the local partition for a super-step snapshot; returns the
     /// payload (`Vec<T>`) and its modeled byte size.
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64);
     /// Overwrite the local partition from a snapshot taken by
-    /// [`Self::snapshot_local`] (crash recovery); returns bytes restored.
-    fn restore_local(&mut self, snap: &dyn Any) -> u64;
+    /// [`Self::snapshot_local`] (crash recovery); returns bytes restored,
+    /// or a description of why the snapshot cannot be applied (payload
+    /// type or shape mismatch) — the executor wraps the error into a
+    /// structured [`crate::error::RecoveryError`] naming node and phase.
+    fn restore_local(&mut self, snap: &dyn Any) -> Result<u64, String>;
 }
 
 impl<T: Elem> GArrayObj for GArray<T> {
@@ -1172,23 +1178,31 @@ impl<T: Elem> GArrayObj for GArray<T> {
         arrived
     }
 
+    fn owned_bytes(&self, node: usize) -> u64 {
+        let r = self.dist.owned_range(node);
+        (r.end - r.start) as u64 * std::mem::size_of::<T>() as u64
+    }
+
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64) {
         let copy = self.local.clone();
         let bytes = copy.wire_size() as u64;
         (Box::new(copy), bytes)
     }
 
-    fn restore_local(&mut self, snap: &dyn Any) -> u64 {
+    fn restore_local(&mut self, snap: &dyn Any) -> Result<u64, String> {
         let snap = snap
             .downcast_ref::<Vec<T>>()
-            .expect("snapshot payload type mismatch");
-        assert_eq!(
-            snap.len(),
-            self.local.len(),
-            "snapshot shape does not match the partition"
-        );
+            .ok_or_else(|| "snapshot payload type mismatch".to_string())?;
+        if snap.len() != self.local.len() {
+            return Err(format!(
+                "snapshot shape does not match the partition \
+                 (snapshot {} elements, partition {})",
+                snap.len(),
+                self.local.len()
+            ));
+        }
         self.local.clone_from(snap);
-        snap.wire_size() as u64
+        Ok(snap.wire_size() as u64)
     }
 }
 
@@ -1337,8 +1351,9 @@ pub(crate) trait NArrayObj: Send + Sync {
     /// modeled byte size).
     fn snapshot_local(&self) -> (Box<dyn Any + Send + Sync>, u64);
     /// Overwrite the node instance from a snapshot (crash recovery);
-    /// returns bytes restored.
-    fn restore_local(&mut self, snap: &dyn Any) -> u64;
+    /// returns bytes restored, or a description of why the snapshot
+    /// cannot be applied (payload type or shape mismatch).
+    fn restore_local(&mut self, snap: &dyn Any) -> Result<u64, String>;
 }
 
 impl<T: Elem> NArrayObj for NArray<T> {
@@ -1366,17 +1381,20 @@ impl<T: Elem> NArrayObj for NArray<T> {
         (Box::new(copy), bytes)
     }
 
-    fn restore_local(&mut self, snap: &dyn Any) -> u64 {
+    fn restore_local(&mut self, snap: &dyn Any) -> Result<u64, String> {
         let snap = snap
             .downcast_ref::<Vec<T>>()
-            .expect("snapshot payload type mismatch");
-        assert_eq!(
-            snap.len(),
-            self.data.len(),
-            "snapshot shape does not match the node array"
-        );
+            .ok_or_else(|| "snapshot payload type mismatch".to_string())?;
+        if snap.len() != self.data.len() {
+            return Err(format!(
+                "snapshot shape does not match the node array \
+                 (snapshot {} elements, array {})",
+                snap.len(),
+                self.data.len()
+            ));
+        }
         self.data.clone_from(snap);
-        snap.wire_size() as u64
+        Ok(snap.wire_size() as u64)
     }
 }
 
@@ -1463,6 +1481,13 @@ pub(crate) struct Traffic {
     /// counts once in `Counters::bundles_sent`; the tracer's phase summary
     /// uses this so the bundle reconciliation stays exact).
     pub refresh_bundles_out: u64,
+    /// Snapshot-replica frame bytes streamed to the buddy riding the
+    /// round-0 barrier message (DESIGN.md §15). Like refresh bytes, they
+    /// are charged into the *next* phase's gap term — the barrier closes
+    /// this phase, so the frame overlaps the following phase's work.
+    pub replica_bytes_out: u64,
+    /// Snapshot-replica frame bytes received from the buddy's predecessor.
+    pub replica_bytes_in: u64,
     /// Pipelining: compute merged while a wave had at least one destination
     /// already consumed and at least one still pending — work genuinely
     /// overlapped with in-flight responses.
@@ -1511,6 +1536,10 @@ pub(crate) struct Snapshots {
     pub garrays: Vec<Box<dyn Any + Send + Sync>>,
     /// One `Vec<T>` payload per node-shared array instance.
     pub narrays: Vec<Box<dyn Any + Send + Sync>>,
+    /// Total modeled bytes of all payloads — the size of a base (full)
+    /// replica frame when buddy replication streams this snapshot
+    /// (DESIGN.md §15).
+    pub bytes: u64,
 }
 
 /// Serve history of one owned element, for the refresh-push side of the
@@ -1612,6 +1641,31 @@ pub(crate) struct Inner {
     /// Global phases folded into [`Self::load_acc`] since the last
     /// rebalance — the balancer's hysteresis window.
     pub load_window: u64,
+    /// Failure detector (DESIGN.md §15): nodes every survivor has
+    /// confirmed permanently dead (bit = node id), identical on all live
+    /// nodes after the confirming clock barrier.
+    pub dead_bits: u128,
+    /// Whether this rank is a hosted persona: its node died permanently
+    /// and the logical rank now runs on its buddy. The endpoint thread
+    /// continues as the buddy's deterministic reconstruction from the
+    /// replica; only the cost model changes (compute serializes onto the
+    /// buddy via the barrier's `hosted_compute_ps` sidecar).
+    pub hosted: bool,
+    /// One-shot failover cost (replica restore + redo of the victim's
+    /// unfinished phase) a freshly hosted persona charges to its buddy via
+    /// the next barrier's `hosted_compute_ps`, then clears.
+    pub hosted_extra: SimTime,
+    /// VPs hosted by each node in the current `ppm_do` (the prologue
+    /// allgather), kept for the failover trace instant's payload.
+    pub peer_vps: Vec<u64>,
+    /// Whether the buddy already holds a base (full-snapshot) replica
+    /// frame; reset on any new death confirmation so re-homed replicas
+    /// start from a fresh base frame.
+    pub replica_base_sent: bool,
+    /// Latest replica frame received from the predecessor, as
+    /// `(snapshot phase, bytes, base)` — shows in the watchdog's protocol
+    /// dump how fresh the hosted replica is.
+    pub replica_in: Option<(u64, u64, bool)>,
 }
 
 impl Inner {
@@ -1643,6 +1697,12 @@ impl Inner {
             balanced: Vec::new(),
             load_acc: Vec::new(),
             load_window: 0,
+            dead_bits: 0,
+            hosted: false,
+            hosted_extra: SimTime::ZERO,
+            peer_vps: Vec::new(),
+            replica_base_sent: false,
+            replica_in: None,
         }
     }
 
@@ -1851,15 +1911,34 @@ mod tests {
         let (snap, bytes) = GArrayObj::snapshot_local(&ga);
         assert_eq!(bytes, ga.local.wire_size() as u64);
         ga.local[2] = 99;
-        assert_eq!(GArrayObj::restore_local(&mut ga, snap.as_ref()), bytes);
+        assert_eq!(GArrayObj::restore_local(&mut ga, snap.as_ref()), Ok(bytes));
         assert_eq!(ga.local, vec![1, 2, 3, 4]);
 
         let mut na: NArray<f64> = NArray::new(2);
         na.data[1] = 7.5;
         let (snap, _) = NArrayObj::snapshot_local(&na);
         na.data[1] = 0.0;
-        NArrayObj::restore_local(&mut na, snap.as_ref());
+        NArrayObj::restore_local(&mut na, snap.as_ref()).expect("restorable");
         assert_eq!(na.data[1], 7.5);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(8, 2), 0);
+        let wrong_type: Box<dyn Any + Send + Sync> = Box::new(vec![1.0f64; 4]);
+        let err = GArrayObj::restore_local(&mut ga, wrong_type.as_ref())
+            .expect_err("type mismatch must be an error");
+        assert!(err.contains("type mismatch"), "{err}");
+        let wrong_shape: Box<dyn Any + Send + Sync> = Box::new(vec![1u64; 3]);
+        let err = GArrayObj::restore_local(&mut ga, wrong_shape.as_ref())
+            .expect_err("shape mismatch must be an error");
+        assert!(err.contains("shape does not match the partition"), "{err}");
+
+        let mut na: NArray<u64> = NArray::new(2);
+        let wrong_shape: Box<dyn Any + Send + Sync> = Box::new(vec![1u64; 5]);
+        let err = NArrayObj::restore_local(&mut na, wrong_shape.as_ref())
+            .expect_err("shape mismatch must be an error");
+        assert!(err.contains("shape does not match the node array"), "{err}");
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! path; with any seeded fault schedule the application results are
 //! bit-identical to the fault-free run; equal seeds give equal runs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use ppm_core::{msgs, run, PpmConfig};
+use ppm_core::{msgs, run, PpmConfig, RecoveryError};
 use ppm_simnet::{Counters, FaultAction, FaultConfig, MachineConfig, SimTime, TargetedFault};
 
 const N: usize = 48;
@@ -53,7 +54,11 @@ fn ring_shift(cfg: PpmConfig) -> (Vec<Vec<u64>>, SimTime, Vec<Counters>, Counter
 }
 
 fn base_cfg() -> PpmConfig {
-    PpmConfig::new(MachineConfig::new(3, 2))
+    // Replication pinned explicitly (not left to the `PPM_REPLICATION` env
+    // default) so CI matrix cells that override the environment still test
+    // both sides: the fast-path/cleanliness assertions below require it
+    // off, and the failover tests switch it on per schedule.
+    PpmConfig::new(MachineConfig::new(3, 2)).with_replication(false)
 }
 
 fn check_results(results: &[Vec<u64>]) {
@@ -186,6 +191,199 @@ fn crash_composes_with_random_faults() {
     assert_eq!(res, base_res);
     assert_eq!(c.crash_recoveries, 1);
     assert!(c.retries > 0);
+}
+
+// ---------------------------------------------------------------------
+// Permanent (fail-stop) deaths — DESIGN.md §15. `base_cfg()` is 3 nodes,
+// so a single victim leaves two survivors and the buddy ring is cyclic
+// successor order: 0 → 1 → 2 → 0.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replication_without_faults_is_invisible() {
+    let (base_res, base_t, _, base_c) = ring_shift(base_cfg());
+    let (res, t, per_node, totals) = ring_shift(base_cfg().with_replication(true));
+    assert_eq!(res, base_res, "replication changed application results");
+    assert!(
+        totals.replica_bytes > 0,
+        "every super-step must stream a snapshot frame to the buddy"
+    );
+    for (node, c) in per_node.iter().enumerate() {
+        assert!(
+            c.replica_bytes > 0,
+            "node {node} never streamed a replica frame"
+        );
+    }
+    assert_eq!(totals.peers_suspected, 0);
+    assert_eq!(totals.peers_confirmed_dead, 0);
+    assert_eq!(totals.failovers, 0);
+    assert_eq!(totals.retries, 0);
+    // Replica frames ride barrier messages that are sent anyway; only
+    // their bytes are charged. The fault-free overhead gate is < 5%.
+    assert!(t >= base_t);
+    let overhead = t - base_t;
+    assert!(
+        overhead.as_ps() * 20 < base_t.as_ps(),
+        "replication overhead {overhead:?} is >= 5% of {base_t:?}"
+    );
+    assert!(
+        totals.bytes_sent > base_c.bytes_sent,
+        "replica frames must show up in the byte totals"
+    );
+}
+
+#[test]
+fn permanent_death_is_survived_bit_identically() {
+    let (base_res, base_t, _, _) = ring_shift(base_cfg());
+    let cfg = base_cfg()
+        .with_replication(true)
+        .with_faults(FaultConfig::NONE.with_permanent_crash(1, 2));
+    let (res, t, per_node, totals) = ring_shift(cfg);
+    assert_eq!(
+        res, base_res,
+        "the job must finish bit-identically after node 1 dies for good"
+    );
+    assert!(
+        t > base_t,
+        "suspicion timeout + restore + redone compute must cost simulated time"
+    );
+    // Both survivors suspect and confirm the one victim.
+    assert_eq!(totals.peers_suspected, 2);
+    assert_eq!(totals.peers_confirmed_dead, 2);
+    // Exactly one adoption, by the victim's cyclic successor.
+    assert_eq!(totals.failovers, 1);
+    assert_eq!(per_node[2].failovers, 1, "node 2 is node 1's buddy");
+    assert_eq!(per_node[0].failovers, 0);
+    assert!(
+        totals.replica_bytes > 0,
+        "failover needs the replica stream"
+    );
+    // A fail-stop death is not a transient crash-reboot and injects no
+    // message faults.
+    assert_eq!(totals.crash_recoveries, 0);
+    assert_eq!(totals.retries, 0);
+}
+
+#[test]
+fn permanent_death_is_deterministic_across_host_threads() {
+    let cfg = || {
+        base_cfg()
+            .with_replication(true)
+            .with_faults(FaultConfig::NONE.with_permanent_crash(1, 2))
+    };
+    let (res_a, t_a, per_a, tot_a) = ring_shift(cfg().with_host_threads(1));
+    let (res_b, t_b, per_b, tot_b) = ring_shift(cfg().with_host_threads(8));
+    assert_eq!(res_a, res_b, "failover must not depend on host threads");
+    assert_eq!(
+        t_a, t_b,
+        "failover makespan must not depend on host threads"
+    );
+    assert_eq!(per_a, per_b);
+    assert_eq!(tot_a, tot_b);
+    assert_eq!(tot_a.failovers, 1, "the death actually happened");
+}
+
+#[test]
+fn permanent_death_composes_with_random_faults() {
+    let (base_res, _, _, _) = ring_shift(base_cfg());
+    let faults = FaultConfig::seeded(11, 0.06, 0.04, 0.04).with_permanent_crash(2, 1);
+    let cfg = base_cfg().with_replication(true).with_faults(faults);
+    let (res, _, _, c) = ring_shift(cfg);
+    assert_eq!(res, base_res, "drops/dups/delays + a death changed results");
+    assert_eq!(c.failovers, 1);
+    assert_eq!(c.retries, c.faults_dropped);
+    assert!(c.retries > 0, "the seed should actually drop something");
+}
+
+/// Node 1 dies at phase 1 (node 2 adopts it), then node 2 — the buddy
+/// holding node 1's replica — dies at phase 2. The replica stream
+/// re-homes (fresh base frames after every confirmation) and node 0
+/// adopts node 2, skipping the dead rank in the cyclic successor walk.
+#[test]
+fn buddy_death_rehomes_the_replica_stream() {
+    let (base_res, base_t, _, _) = ring_shift(base_cfg());
+    let faults = FaultConfig::NONE
+        .with_permanent_crash(1, 1)
+        .with_permanent_crash(2, 2);
+    let cfg = base_cfg().with_replication(true).with_faults(faults);
+    let (res, t, per_node, totals) = ring_shift(cfg);
+    assert_eq!(res, base_res, "cascaded deaths changed application results");
+    assert!(t > base_t);
+    assert_eq!(totals.failovers, 2);
+    assert_eq!(per_node[2].failovers, 1, "node 2 adopted node 1 first");
+    assert_eq!(
+        per_node[0].failovers, 1,
+        "node 0 adopts node 2, skipping dead node 1's slot in the ring"
+    );
+    // Two survivors confirmed victim 1; victims 2's death is confirmed by
+    // the remaining two ranks (node 0 and node 1's hosted persona).
+    assert_eq!(totals.peers_suspected, 4);
+    assert_eq!(totals.peers_confirmed_dead, 4);
+}
+
+/// Nodes 1 and 2 die at the same phase boundary; node 0 — the only
+/// survivor — confirms both at once and adopts both partitions.
+#[test]
+fn two_simultaneous_deaths_are_survived() {
+    let (base_res, base_t, _, _) = ring_shift(base_cfg());
+    let faults = FaultConfig::NONE
+        .with_permanent_crash(1, 2)
+        .with_permanent_crash(2, 2);
+    let cfg = base_cfg().with_replication(true).with_faults(faults);
+    let (res, t, per_node, totals) = ring_shift(cfg);
+    assert_eq!(res, base_res, "a double death changed application results");
+    assert!(t > base_t);
+    assert_eq!(totals.failovers, 2);
+    assert_eq!(
+        per_node[0].failovers, 2,
+        "the sole survivor adopts both victims"
+    );
+    // Each rank suspects every victim other than itself: node 0 suspects
+    // two, each victim suspects the other — four suspicions in total.
+    assert_eq!(totals.peers_suspected, 4);
+    assert_eq!(totals.peers_confirmed_dead, 4);
+}
+
+/// With replication off a permanent death is unsurvivable: the job must
+/// fail fast with a structured [`RecoveryError`] naming the dead node and
+/// the super-step — never an `expect`/`unwrap` string and never a stall
+/// that runs into the watchdog.
+#[test]
+fn unreplicated_death_raises_a_structured_error() {
+    let cfg = base_cfg().with_faults(FaultConfig::NONE.with_permanent_crash(1, 2));
+    let payload = catch_unwind(AssertUnwindSafe(|| ring_shift(cfg)))
+        .expect_err("an unreplicated permanent death must fail the job");
+    let err = payload
+        .downcast_ref::<RecoveryError>()
+        .expect("the panic payload must be a structured RecoveryError");
+    assert_eq!(err.node, 1, "the error names the dead node");
+    assert_eq!(err.phase, 2, "the error names the super-step of death");
+    assert!(
+        err.reason.contains("replication"),
+        "the error should point at the replication knob: {}",
+        err.reason
+    );
+    assert!(
+        err.to_string().contains("node 1"),
+        "Display carries the node id: {err}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "confirmed dead: none")]
+fn watchdog_dump_reports_the_dead_peer_set() {
+    // Same stall shape as `stall_watchdog_dumps_protocol_state`, but the
+    // expectation pins the failure-detector section of the dump: a stall
+    // with NO confirmed-dead peer must say so (a stall on a peer that IS
+    // confirmed dead can no longer happen — survivors either host the
+    // dead rank's persona or abort at the confirmation boundary).
+    let machine = MachineConfig::new(2, 1).with_recv_stall(Duration::from_millis(200));
+    let cfg = PpmConfig::new(machine).with_reliability(true);
+    run(cfg, |node| {
+        if node.node_id() == 0 {
+            node.allreduce_nodes(1u64, |a, b| a + b);
+        }
+    });
 }
 
 #[test]

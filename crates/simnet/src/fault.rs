@@ -101,6 +101,25 @@ pub struct CrashFault {
     pub phase: u64,
 }
 
+/// Maximum number of permanent (fail-stop) crashes a [`FaultConfig`] can
+/// carry. Two slots so the "two simultaneous deaths in one phase" scenario
+/// is expressible while keeping the config `Copy`.
+pub const MAX_PERM_CRASHES: usize = 2;
+
+/// A seeded *permanent* node death (fail-stop): the node's hardware is
+/// lost for good at the end of global phase `phase`. Unlike [`CrashFault`]
+/// there is no reboot — the node never computes on its own again, and the
+/// runtime must fail its work over to a surviving buddy (or abort the job
+/// with a structured error when snapshot replication is off). The router
+/// black-holes traffic to a dead endpoint thereafter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermanentCrash {
+    /// Node that dies.
+    pub node: usize,
+    /// Global phase sequence number at whose end barrier the death fires.
+    pub phase: u64,
+}
+
 /// Fault model configuration, carried on
 /// [`MachineConfig`](crate::config::MachineConfig).
 ///
@@ -129,6 +148,9 @@ pub struct FaultConfig {
     pub targeted: [Option<TargetedFault>; MAX_TARGETED_FAULTS],
     /// Seeded node crash, recovered at a phase boundary by the runtime.
     pub crash: Option<CrashFault>,
+    /// Seeded permanent node deaths (fail-stop; fixed capacity so the
+    /// config stays `Copy`, `None` slots are unused).
+    pub perm_crashes: [Option<PermanentCrash>; MAX_PERM_CRASHES],
 }
 
 impl Default for FaultConfig {
@@ -147,6 +169,7 @@ impl FaultConfig {
         max_extra_delay: SimTime::from_us(50),
         targeted: [None; MAX_TARGETED_FAULTS],
         crash: None,
+        perm_crashes: [None; MAX_PERM_CRASHES],
     };
 
     /// Random drop/duplicate/delay faults from a seed, with the given
@@ -185,6 +208,28 @@ impl FaultConfig {
         self
     }
 
+    /// Add a seeded permanent (fail-stop) node death at a global phase
+    /// boundary. Panics if all [`MAX_PERM_CRASHES`] slots are taken or the
+    /// node already has a scheduled death (a node can only die once).
+    pub fn with_permanent_crash(mut self, node: usize, phase: u64) -> Self {
+        assert!(
+            !self.perm_crashes.iter().flatten().any(|c| c.node == node),
+            "node {node} already has a scheduled permanent crash"
+        );
+        let slot = self
+            .perm_crashes
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("all permanent-crash slots in use");
+        *slot = Some(PermanentCrash { node, phase });
+        self
+    }
+
+    /// Whether any permanent (fail-stop) death is scheduled.
+    pub fn any_permanent_crash(&self) -> bool {
+        self.perm_crashes.iter().any(Option::is_some)
+    }
+
     /// Whether any fault can ever fire under this configuration.
     pub fn enabled(&self) -> bool {
         self.drop_p > 0.0
@@ -192,6 +237,7 @@ impl FaultConfig {
             || self.delay_p > 0.0
             || self.targeted.iter().any(Option::is_some)
             || self.crash.is_some()
+            || self.any_permanent_crash()
     }
 }
 
@@ -271,6 +317,43 @@ impl FaultPlan {
     /// Whether the given node crashes at the end of the given global phase.
     pub fn crash_at(&self, node: usize, phase: u64) -> bool {
         self.cfg.crash == Some(CrashFault { node, phase })
+    }
+
+    /// Whether the given node dies *permanently* at the end of the given
+    /// global phase.
+    pub fn perm_crash_at(&self, node: usize, phase: u64) -> bool {
+        self.cfg
+            .perm_crashes
+            .iter()
+            .flatten()
+            .any(|c| c.node == node && c.phase == phase)
+    }
+
+    /// Whether the given node is permanently dead once the given global
+    /// phase's end barrier completes (its scheduled death is at this phase
+    /// or an earlier one).
+    pub fn perm_dead_by(&self, node: usize, phase: u64) -> bool {
+        self.cfg
+            .perm_crashes
+            .iter()
+            .flatten()
+            .any(|c| c.node == node && c.phase <= phase)
+    }
+
+    /// Nodes whose permanent death fires at the end of exactly the given
+    /// global phase, in ascending node order (deterministic iteration for
+    /// the failure detector).
+    pub fn perm_victims_at(&self, phase: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .cfg
+            .perm_crashes
+            .iter()
+            .flatten()
+            .filter(|c| c.phase == phase)
+            .map(|c| c.node)
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Sample the faults for the next message of `kind` sent from `src` to
@@ -465,6 +548,36 @@ mod tests {
         assert!(!plan.crash_at(2, 4));
         assert!(!plan.crash_at(1, 5));
         assert!(cfg.enabled());
+    }
+
+    #[test]
+    fn permanent_crash_matching() {
+        let cfg = FaultConfig::NONE
+            .with_permanent_crash(2, 5)
+            .with_permanent_crash(3, 5);
+        assert!(cfg.enabled());
+        assert!(cfg.any_permanent_crash());
+        let plan = FaultPlan::new(cfg);
+        assert!(plan.perm_crash_at(2, 5));
+        assert!(plan.perm_crash_at(3, 5));
+        assert!(!plan.perm_crash_at(2, 4));
+        assert!(!plan.perm_crash_at(1, 5));
+        // Dead-by is cumulative: once dead, always dead.
+        assert!(!plan.perm_dead_by(2, 4));
+        assert!(plan.perm_dead_by(2, 5));
+        assert!(plan.perm_dead_by(2, 900));
+        assert!(!plan.perm_dead_by(0, 900));
+        // Victims of a phase come out sorted, and only for that phase.
+        assert_eq!(plan.perm_victims_at(5), vec![2, 3]);
+        assert!(plan.perm_victims_at(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a scheduled permanent crash")]
+    fn a_node_dies_only_once() {
+        let _ = FaultConfig::NONE
+            .with_permanent_crash(1, 2)
+            .with_permanent_crash(1, 7);
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub use clock::Clock;
 pub use cluster::{run, run_traced, EndpointCtx, JobReport};
 pub use config::{CoreParams, MachineConfig, NetParams};
 pub use fault::{
-    CrashFault, FaultAction, FaultConfig, FaultEvent, FaultPlan, TargetedFault, KIND_ANY,
+    CrashFault, FaultAction, FaultConfig, FaultEvent, FaultPlan, PermanentCrash, TargetedFault,
+    KIND_ANY,
 };
 pub use message::{Message, RelMeta};
 pub use router::{make_router, Endpoint};

@@ -5,7 +5,9 @@
 //! them), which the PPM phase protocol relies on: a node's read requests
 //! always precede its end-of-phase write bundle on the same channel.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::config::DEFAULT_RECV_STALL;
@@ -16,6 +18,11 @@ pub struct Endpoint {
     id: usize,
     inbox: Receiver<Message>,
     outboxes: Vec<Sender<Message>>,
+    /// Fail-stop markers shared by every endpoint of the router: once an
+    /// endpoint is marked dead, traffic addressed to it is black-holed
+    /// (silently swallowed) instead of enqueued or reported as a hung-up
+    /// peer. See [`Endpoint::mark_dead`].
+    dead: Arc<Vec<AtomicBool>>,
     /// Wall-clock watchdog for blocking receives (see
     /// [`crate::config::MachineConfig::recv_stall`]).
     stall: Duration,
@@ -57,9 +64,28 @@ impl Endpoint {
 
     /// Deliver a message, returning it if the destination hung up so the
     /// caller can report what was in flight in its own vocabulary.
+    /// Messages to an endpoint marked dead ([`Self::mark_dead`]) are
+    /// black-holed: the send reports success and the message evaporates,
+    /// the way a wire to lost hardware would.
     pub fn try_send(&self, msg: Message) -> Result<(), Message> {
         debug_assert_eq!(msg.src, self.id, "message src must be the sender");
+        if self.dead[msg.dst].load(Ordering::Acquire) {
+            return Ok(());
+        }
         self.outboxes[msg.dst].send(msg).map_err(|e| e.0)
+    }
+
+    /// Declare this endpoint permanently dead (fail-stop): all future
+    /// traffic addressed to it is black-holed rather than delivered, and
+    /// senders never observe it as a hung-up peer even after its thread
+    /// exits. Irreversible.
+    pub fn mark_dead(&self) {
+        self.dead[self.id].store(true, Ordering::Release);
+    }
+
+    /// Whether a peer endpoint has been marked permanently dead.
+    pub fn peer_is_dead(&self, peer: usize) -> bool {
+        self.dead[peer].load(Ordering::Acquire)
     }
 
     /// Block until a message arrives. Panics (with no extra diagnostics)
@@ -103,6 +129,7 @@ pub fn make_router(n: usize) -> Vec<Endpoint> {
 pub fn make_router_with_stall(n: usize, stall: Duration) -> Vec<Endpoint> {
     assert!(n >= 1, "router needs at least one endpoint");
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel()).unzip();
+    let dead: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
     receivers
         .into_iter()
         .enumerate()
@@ -110,6 +137,7 @@ pub fn make_router_with_stall(n: usize, stall: Duration) -> Vec<Endpoint> {
             id,
             inbox,
             outboxes: senders.clone(),
+            dead: Arc::clone(&dead),
             stall,
         })
         .collect()
@@ -194,6 +222,25 @@ mod tests {
         let e0 = eps.pop().unwrap();
         drop(e1);
         e0.send(msg(0, 1, 42, 7));
+    }
+
+    #[test]
+    fn dead_endpoint_black_holes_traffic() {
+        let mut eps = make_router_with_stall(2, Duration::from_millis(50));
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        assert!(!e0.peer_is_dead(1));
+        e1.mark_dead();
+        assert!(e0.peer_is_dead(1));
+        // Sends to the dead endpoint succeed and evaporate.
+        e0.try_send(msg(0, 1, 7, 1))
+            .expect("black-holed, not an error");
+        assert!(e1.try_recv().is_none(), "message must be swallowed");
+        // Even after its thread exits (receiver dropped), senders never
+        // observe the dead peer as hung up.
+        drop(e1);
+        e0.try_send(msg(0, 1, 7, 2)).expect("still black-holed");
+        e0.send(msg(0, 1, 7, 3)); // must not panic either
     }
 
     #[test]

@@ -57,6 +57,18 @@ pub struct Counters {
     /// PPM: wave completions where some VPs resumed while other
     /// destinations of the same wave were still in flight.
     pub partial_wakes: u64,
+    /// Failure detector: peers this node began suspecting (retransmit
+    /// attempts crossed the detection threshold in simulated time).
+    pub peers_suspected: u64,
+    /// Failure detector: peers this node confirmed permanently dead at a
+    /// clock-barrier boundary (suspicion OR-flood came back unanimous).
+    pub peers_confirmed_dead: u64,
+    /// Fail-stop tolerance: partition failovers this node performed as the
+    /// buddy of a confirmed-dead peer.
+    pub failovers: u64,
+    /// Fail-stop tolerance: snapshot-replica bytes this node streamed to
+    /// its buddy (delta frames piggybacked on end-of-phase write bundles).
+    pub replica_bytes: u64,
 }
 
 impl Counters {
@@ -87,6 +99,10 @@ impl Counters {
             dups_suppressed: self.dups_suppressed,
             acks_sent: self.acks_sent,
             crash_recoveries: self.crash_recoveries,
+            peers_suspected: self.peers_suspected,
+            peers_confirmed_dead: self.peers_confirmed_dead,
+            failovers: self.failovers,
+            replica_bytes: self.replica_bytes,
         }
     }
 
@@ -94,7 +110,7 @@ impl Counters {
     /// single source of truth for exporters (e.g. per-phase deltas in the
     /// trace layer); a test pins its length to the struct size so a new
     /// field cannot be forgotten here.
-    pub fn named_fields(&self) -> [(&'static str, u64); 23] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 27] {
         [
             ("msgs_sent", self.msgs_sent),
             ("bytes_sent", self.bytes_sent),
@@ -119,6 +135,10 @@ impl Counters {
             ("cache_misses", self.cache_misses),
             ("dedup_reads", self.dedup_reads),
             ("partial_wakes", self.partial_wakes),
+            ("peers_suspected", self.peers_suspected),
+            ("peers_confirmed_dead", self.peers_confirmed_dead),
+            ("failovers", self.failovers),
+            ("replica_bytes", self.replica_bytes),
         ]
     }
 
@@ -137,7 +157,7 @@ impl Counters {
         out
     }
 
-    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 23] {
+    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 27] {
         [
             ("msgs_sent", &mut self.msgs_sent),
             ("bytes_sent", &mut self.bytes_sent),
@@ -162,6 +182,10 @@ impl Counters {
             ("cache_misses", &mut self.cache_misses),
             ("dedup_reads", &mut self.dedup_reads),
             ("partial_wakes", &mut self.partial_wakes),
+            ("peers_suspected", &mut self.peers_suspected),
+            ("peers_confirmed_dead", &mut self.peers_confirmed_dead),
+            ("failovers", &mut self.failovers),
+            ("replica_bytes", &mut self.replica_bytes),
         ]
     }
 }
@@ -184,6 +208,14 @@ pub struct ReliabilitySummary {
     pub acks_sent: u64,
     /// Phase-boundary crash recoveries performed.
     pub crash_recoveries: u64,
+    /// Peers that crossed the failure detector's suspicion threshold.
+    pub peers_suspected: u64,
+    /// Peers confirmed permanently dead at a barrier boundary.
+    pub peers_confirmed_dead: u64,
+    /// Partition failovers performed as a dead peer's buddy.
+    pub failovers: u64,
+    /// Snapshot-replica bytes streamed to the buddy.
+    pub replica_bytes: u64,
 }
 
 impl ReliabilitySummary {
@@ -250,7 +282,7 @@ mod tests {
         );
         // Same guard for the reliability summary.
         assert_eq!(
-            7 * std::mem::size_of::<u64>(),
+            11 * std::mem::size_of::<u64>(),
             std::mem::size_of::<ReliabilitySummary>(),
             "ReliabilitySummary must cover every reliability field"
         );
