@@ -29,6 +29,7 @@ pub mod ppm;
 pub mod seq;
 pub mod tree;
 
+use ppm_core::{ByteHash, ByteHasher};
 use ppm_simnet::WireSize;
 
 use crate::rng::SplitMix64;
@@ -108,6 +109,16 @@ impl WireSize for Body {
     }
 }
 
+// Field-by-field identity hash (never raw struct memory: padding bytes are
+// undefined). Feeds the conformance checker's write fingerprints.
+impl ByteHash for Body {
+    fn hash_bytes(&self, h: &mut ByteHasher) {
+        for f in [self.x, self.y, self.z, self.vx, self.vy, self.vz, self.mass] {
+            f.hash_bytes(h);
+        }
+    }
+}
+
 /// Mass moments of a cell: total mass and mass-weighted position. The
 /// additive combining element of the tree build.
 #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
@@ -133,6 +144,14 @@ impl std::ops::Add for Com {
 impl WireSize for Com {
     fn wire_size(&self) -> usize {
         32
+    }
+}
+
+impl ByteHash for Com {
+    fn hash_bytes(&self, h: &mut ByteHasher) {
+        for f in [self.m, self.mx, self.my, self.mz] {
+            f.hash_bytes(h);
+        }
     }
 }
 
@@ -294,6 +313,16 @@ pub struct SortedBody {
 impl WireSize for SortedBody {
     fn wire_size(&self) -> usize {
         48
+    }
+}
+
+impl ByteHash for SortedBody {
+    fn hash_bytes(&self, h: &mut ByteHasher) {
+        self.key.hash_bytes(h);
+        self.idx.hash_bytes(h);
+        for f in [self.x, self.y, self.z, self.mass] {
+            f.hash_bytes(h);
+        }
     }
 }
 

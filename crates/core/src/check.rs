@@ -19,9 +19,11 @@
 //!   puts (every VP's last write to the element carries the same value,
 //!   e.g. many VPs clearing the same tree cell) are *not* flagged: the
 //!   outcome is value-deterministic regardless of rank order. Values are
-//!   compared by a fingerprint of their `Debug` rendering — the one
-//!   rendering every [`crate::elem::Elem`] already has — so the comparison
-//!   needs no extra trait bounds.
+//!   compared by a byte-level fingerprint ([`crate::elem::ByteHash`], a
+//!   bound of every [`crate::elem::Elem`]): floats hash their IEEE bit
+//!   patterns, so even two NaNs with different payloads — which render
+//!   identically under `Debug` — are distinguished, and no format string
+//!   is allocated per recorded access.
 //! * **Read-own-write hazards** — a VP reads an element it wrote earlier in
 //!   the same phase. Under snapshot semantics the read returns the
 //!   phase-*start* value, not the value just written; a program doing this
@@ -46,24 +48,15 @@ use std::collections::HashMap;
 
 use crate::state::PhaseKind;
 
-/// FNV-1a over a value's `Debug` rendering: a deterministic, std-only
-/// fingerprint usable for any `Elem` (which requires `Debug` but neither
-/// `PartialEq` nor a byte view). Distinct renderings → distinct writes;
-/// hash collisions can only *hide* a conflict, never invent one.
-pub(crate) fn fingerprint<T: std::fmt::Debug>(v: &T) -> u64 {
-    struct Fnv(u64);
-    impl std::fmt::Write for Fnv {
-        fn write_str(&mut self, s: &str) -> std::fmt::Result {
-            for &b in s.as_bytes() {
-                self.0 ^= b as u64;
-                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            Ok(())
-        }
-    }
-    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
-    let _ = std::fmt::write(&mut h, format_args!("{v:?}"));
-    h.0
+/// FNV-1a over a value's identity bytes ([`crate::elem::ByteHash`]): a
+/// deterministic, std-only, allocation-free fingerprint usable for any
+/// `Elem` (which requires `ByteHash` but not `PartialEq`). Distinct bit
+/// patterns → distinct fingerprints up to 64-bit collisions; a collision
+/// can only *hide* a conflict, never invent one.
+pub(crate) fn fingerprint<T: crate::elem::ByteHash>(v: &T) -> u64 {
+    let mut h = crate::elem::ByteHasher::new();
+    v.hash_bytes(&mut h);
+    h.finish()
 }
 
 /// Which shared-variable space an access touched.
@@ -394,6 +387,58 @@ mod tests {
         assert_ne!(fingerprint(&1.5f64), fingerprint(&2.5f64));
         assert_ne!(fingerprint(&0.0f64), fingerprint(&-0.0f64));
         assert_ne!(fingerprint(&(1u64, 2u64)), fingerprint(&(2u64, 1u64)));
+    }
+
+    /// Regression for the Debug-rendering fingerprint's collision class:
+    /// distinct NaN payloads render identically ("NaN"), so two VPs putting
+    /// different NaN bit patterns used to look idempotent and the conflict
+    /// was silently missed. Byte-level hashing must flag it.
+    #[test]
+    fn nan_payload_conflicts_are_detected() {
+        let quiet = f64::NAN;
+        let payload = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert_eq!(format!("{quiet:?}"), format!("{payload:?}"));
+        let mut c = Checker::default();
+        c.record_put(
+            Space::Global,
+            0,
+            3,
+            0,
+            fingerprint(&quiet),
+            PhaseKind::Global,
+        );
+        c.record_put(
+            Space::Global,
+            0,
+            3,
+            1,
+            fingerprint(&payload),
+            PhaseKind::Global,
+        );
+        let v = c.end_phase();
+        assert_eq!(v.len(), 1, "distinct NaN payloads are a real conflict");
+        assert!(matches!(
+            v[0],
+            PhaseViolation::WriteWriteConflict { index: 3, .. }
+        ));
+        // Same payload from both VPs stays idempotent-clean.
+        c.record_put(
+            Space::Global,
+            0,
+            3,
+            0,
+            fingerprint(&quiet),
+            PhaseKind::Global,
+        );
+        c.record_put(
+            Space::Global,
+            0,
+            3,
+            1,
+            fingerprint(&quiet),
+            PhaseKind::Global,
+        );
+        assert!(c.end_phase().is_empty());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::task::{Context, Poll, Waker};
 use ppm_simnet::{ArgValue, Message, SimTime};
 
 use crate::balance;
+use crate::bitset::NodeSet;
 use crate::dist::Dist;
 use crate::error::RecoveryError;
 use crate::msgs::{
@@ -447,7 +448,7 @@ fn drive(
         let (has_reqs, outstanding, arrived, open) = {
             let inner = nc.inner.borrow();
             (
-                inner.reqs.values().any(|v| !v.is_empty()),
+                inner.reqs.iter().any(|v| !v.is_empty()),
                 inner.outstanding_reads,
                 inner.phase.arrived,
                 inner.phase.open,
@@ -532,7 +533,7 @@ fn start_wave(nc: &mut NodeCtx<'_>, bufs: &mut WaveBufs) -> WaveState {
     let phase = {
         let mut inner = nc.inner.borrow_mut();
         bufs.flat.clear();
-        for (&dest, entries) in inner.reqs.iter_mut() {
+        for (dest, entries) in inner.reqs.iter_mut().enumerate() {
             // drain() keeps each destination Vec's capacity for later waves.
             for e in entries.drain(..) {
                 bufs.flat.push((dest, e.array, e.idx, e.vp, e.slot));
@@ -542,8 +543,9 @@ fn start_wave(nc: &mut NodeCtx<'_>, bufs: &mut WaveBufs) -> WaveState {
     };
     // Stable sort: requests for the same (dest, array, idx) keep their
     // ascending-VP-rank queue order, so wire bundles and ticket groups are
-    // deterministic (the map's iteration order never shows through — dest
-    // is the leading key).
+    // deterministic (`reqs` is dense and indexed by destination, so the
+    // flat buffer is already in ascending-destination order; the sort's
+    // leading dest key is then a stable no-op).
     bufs.flat
         .sort_by_key(|&(dest, array, idx, _, _)| (dest, array, idx));
 
@@ -823,9 +825,9 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     // 1. Drain write buffers into per-destination parcels. First note
     //    which arrays this node wrote at all: the clock barrier OR-floods
     //    those bits so every node can invalidate stale cache lines for
-    //    arrays that changed anywhere (DESIGN.md §13). Bit min(id, 127);
-    //    bit 127 doubles as "id overflow → invalidate everything".
-    let mut local_inv: u128 = 0;
+    //    arrays that changed anywhere (DESIGN.md §13). One growable bit
+    //    per array id — no overflow/wholesale fallback.
+    let mut local_inv = NodeSet::new();
     let mut per_dest: Vec<Vec<(u32, Box<dyn std::any::Any + Send>)>> =
         (0..nodes).map(|_| Vec::new()).collect();
     let mut dest_entries = vec![0u64; nodes];
@@ -835,7 +837,7 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         if cfg.read_cache {
             for (id, ga) in inner.garrays.iter().enumerate() {
                 if ga.has_pending_writes() {
-                    local_inv |= 1u128 << id.min(127);
+                    local_inv.insert(id);
                 }
             }
         }
@@ -926,7 +928,7 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         }
     }
     let mut applied_remote = 0u64;
-    let push_on = cfg.read_cache && nodes > 1 && nodes <= 64;
+    let push_on = cfg.read_cache && nodes > 1;
     {
         let mut inner = nc.inner.borrow_mut();
         // Every phase-`phase` read request has been serviced by now (per-link
@@ -948,25 +950,27 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         serves.sort_unstable();
         serves.dedup();
         for (peer, array, idx) in serves {
-            let h = inner.serve_hist.entry((array, idx)).or_insert(ServeHist {
-                last_serve: phase,
-                readers: 0,
-                armed: false,
-            });
+            let h = inner
+                .serve_hist
+                .entry((array, idx))
+                .or_insert_with(|| ServeHist {
+                    last_serve: phase,
+                    readers: NodeSet::new(),
+                    armed: false,
+                });
             if phase > h.last_serve + SERVE_TTL {
-                h.readers = 0;
+                h.readers.clear();
                 h.armed = false;
             }
-            if h.readers != 0 {
+            if h.readers.any() {
                 h.armed = true;
             }
-            h.readers |= 1u64 << peer;
+            h.readers.insert(peer);
             h.last_serve = phase;
         }
         inner
             .serve_hist
             .retain(|_, h| phase <= h.last_serve + SERVE_TTL);
-        let own_bit = 1u64 << me;
         for (array, mut parcels) in by_array {
             parcels.sort_by_key(|(src, _)| *src);
             let (n, written) = inner.garrays[array as usize].apply_writes(parcels);
@@ -979,10 +983,9 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
             // messages, refreshing peer caches without a request/response
             // wave next phase.
             let mut idxs: Vec<u64> = Vec::new();
-            let mut masks: Vec<u64> = Vec::new();
+            let mut masks: Vec<NodeSet> = Vec::new();
             for idx in written {
                 if let Some(h) = inner.serve_hist.get(&(array, idx)) {
-                    let mut targets = h.readers & !own_bit;
                     // Hop cutoff: a refresh pays its bytes once per
                     // dissemination hop, and reader `t` sits
                     // popcount((t - me) mod nodes) hops away on the
@@ -990,15 +993,12 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
                     // copies cost more wire than the fetch round-trip they
                     // save, so distant readers keep fetching. Pure function
                     // of node ids — identical on every host schedule.
-                    let mut far = targets;
-                    while far != 0 {
-                        let t = far.trailing_zeros() as usize;
-                        far &= far - 1;
-                        if ((t + nodes - me) % nodes).count_ones() > 2 {
-                            targets &= !(1u64 << t);
-                        }
-                    }
-                    if h.armed && targets != 0 {
+                    let targets: NodeSet = h
+                        .readers
+                        .iter()
+                        .filter(|&t| t != me && ((t + nodes - me) % nodes).count_ones() <= 2)
+                        .collect();
+                    if h.armed && targets.any() {
                         idxs.push(idx);
                         masks.push(targets);
                     }
@@ -1362,9 +1362,9 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
 fn clock_barrier(
     nc: &mut NodeCtx<'_>,
     phase: u64,
-    local_inv: u128,
+    local_inv: NodeSet,
     my_load: u64,
-    local_suspect: u128,
+    local_suspect: NodeSet,
     mut replica: Option<ReplicaFrame>,
     hosted_ps: u64,
 ) {
@@ -1384,8 +1384,8 @@ fn clock_barrier(
     }
     let cfg = nc.config();
     let net = cfg.machine.net;
-    let push_on = cfg.read_cache && nodes <= 64;
-    let own_bit: u64 = 1 << me;
+    let push_on = cfg.read_cache;
+    let me_set = NodeSet::single(me);
     let mut inv = local_inv;
     // Refresh entries addressed to this node, absorbed only after the
     // invalidation sweep (the pushed values are post-exchange truth and
@@ -1393,8 +1393,11 @@ fn clock_barrier(
     let mut collected: Vec<CollectedRefresh> = Vec::new();
     // Loads allgather state: every (node, load) pair this node knows.
     // Round r's receive doubles the coverage, so the final round leaves
-    // all `nodes` entries here (asserted below).
+    // all `nodes` entries here (asserted below). `known` mirrors the
+    // vector as a bitset so each received pair dedups in O(1) instead of
+    // an O(N) scan per entry (O(N²) per barrier at 1024 nodes).
     let mut known_loads: Vec<(u32, u64)> = vec![(me as u32, my_load)];
+    let mut known = me_set.clone();
     // Suspicion OR-flood state, seeded with this node's own detections.
     let mut suspects = local_suspect;
 
@@ -1411,10 +1414,10 @@ fn clock_barrier(
         let mut refreshes: Vec<RefreshPart> = Vec::new();
         let mut refresh_bytes = 0u64;
         if push_on {
-            let mut rt: u64 = 0;
+            let mut rt = NodeSet::new();
             for t in 0..nodes {
                 if t != me && ((t + nodes - me) % nodes) & d != 0 {
-                    rt |= 1 << t;
+                    rt.insert(t);
                 }
             }
             let pending = {
@@ -1422,19 +1425,20 @@ fn clock_barrier(
                 std::mem::take(&mut inner.pending_refresh)
             };
             for part in pending {
-                let send_take: Vec<bool> = part.masks.iter().map(|&m| m & rt != 0).collect();
-                let keep_take: Vec<bool> = part.masks.iter().map(|&m| m & !rt != 0).collect();
+                let send_take: Vec<bool> = part.masks.iter().map(|m| m.intersects(&rt)).collect();
+                let keep_take: Vec<bool> =
+                    part.masks.iter().map(|m| m.difference(&rt).any()).collect();
                 let mut inner = nc.inner.borrow_mut();
                 let ga = &inner.garrays[part.array as usize];
                 if send_take.iter().any(|&b| b) {
                     let (values, vbytes) = ga.refresh_select(part.values.as_ref(), &send_take);
-                    let (idxs, masks): (Vec<u64>, Vec<u64>) = part
+                    let (idxs, masks): (Vec<u64>, Vec<NodeSet>) = part
                         .idxs
                         .iter()
                         .zip(&part.masks)
                         .zip(&send_take)
                         .filter(|&(_, &take)| take)
-                        .map(|((&idx, &m), _)| (idx, m & rt))
+                        .map(|((&idx, m), _)| (idx, m.intersection(&rt)))
                         .unzip();
                     // A refresh entry is (idx, value): no slot ticket
                     // (nobody is waiting on it), the array id is amortized
@@ -1453,13 +1457,13 @@ fn clock_barrier(
                 }
                 if keep_take.iter().any(|&b| b) {
                     let (values, _) = ga.refresh_select(part.values.as_ref(), &keep_take);
-                    let (idxs, masks): (Vec<u64>, Vec<u64>) = part
+                    let (idxs, masks): (Vec<u64>, Vec<NodeSet>) = part
                         .idxs
                         .iter()
                         .zip(&part.masks)
                         .zip(&keep_take)
                         .filter(|&(_, &take)| take)
-                        .map(|((&idx, &m), _)| (idx, m & !rt))
+                        .map(|((&idx, m), _)| (idx, m.difference(&rt)))
                         .unzip();
                     inner.pending_refresh.push(RefreshPart {
                         array: part.array,
@@ -1505,8 +1509,8 @@ fn clock_barrier(
                 now + net.latency,
                 refresh_bytes as usize,
                 BarrierMsg {
-                    inv_bits: inv,
-                    suspect_bits: suspects,
+                    inv_bits: inv.clone(),
+                    suspect_bits: suspects.clone(),
                     replica: frame,
                     hosted_compute_ps: if round == 0 { hosted_ps } else { 0 },
                     refreshes,
@@ -1520,10 +1524,11 @@ fn clock_barrier(
         nc.ep.clock.advance_comm(net.overhead);
         let bytes_in = msg.bytes as u64;
         let bm: BarrierMsg = msg.take();
-        inv |= bm.inv_bits;
-        suspects |= bm.suspect_bits;
+        inv.union_with(&bm.inv_bits);
+        suspects.union_with(&bm.suspect_bits);
         for &(n, l) in &bm.loads {
-            if !known_loads.iter().any(|&(kn, _)| kn == n) {
+            if !known.contains(n as usize) {
+                known.insert(n as usize);
                 known_loads.push((n, l));
             }
         }
@@ -1547,19 +1552,23 @@ fn clock_barrier(
                 .advance_compute(SimTime::from_ps(bm.hosted_compute_ps));
         }
         for part in bm.refreshes {
-            let fwd_take: Vec<bool> = part.masks.iter().map(|&m| m & !own_bit != 0).collect();
-            let mine_take: Vec<bool> = part.masks.iter().map(|&m| m & own_bit != 0).collect();
+            let fwd_take: Vec<bool> = part
+                .masks
+                .iter()
+                .map(|m| m.difference(&me_set).any())
+                .collect();
+            let mine_take: Vec<bool> = part.masks.iter().map(|m| m.contains(me)).collect();
             if fwd_take.iter().any(|&b| b) {
                 let mut inner = nc.inner.borrow_mut();
                 let ga = &inner.garrays[part.array as usize];
                 let (values, _) = ga.refresh_select(part.values.as_ref(), &fwd_take);
-                let (idxs, masks): (Vec<u64>, Vec<u64>) = part
+                let (idxs, masks): (Vec<u64>, Vec<NodeSet>) = part
                     .idxs
                     .iter()
                     .zip(&part.masks)
                     .zip(&fwd_take)
                     .filter(|&(_, &take)| take)
-                    .map(|((&idx, &m), _)| (idx, m & !own_bit))
+                    .map(|((&idx, m), _)| (idx, m.difference(&me_set)))
                     .unzip();
                 inner.pending_refresh.push(RefreshPart {
                     array: part.array,
@@ -1605,15 +1614,15 @@ fn clock_barrier(
     // confirmation) restarts replica streams from a fresh base frame.
     let newly = {
         let mut inner = nc.inner.borrow_mut();
-        let newly = suspects & !inner.dead_bits;
-        if newly != 0 {
-            inner.dead_bits |= newly;
+        let newly = suspects.difference(&inner.dead_bits);
+        if newly.any() {
+            inner.dead_bits.union_with(&newly);
             inner.replica_base_sent = false;
-            inner.counters.peers_confirmed_dead += u64::from((newly & !(1u128 << me)).count_ones());
+            inner.counters.peers_confirmed_dead += u64::from(newly.difference(&me_set).count());
         }
         newly
     };
-    if newly != 0 && !cfg.replication {
+    if newly.any() && !cfg.replication {
         // Unsurvivable: no replica stream exists, so the dead rank's
         // partitions are gone. The barrier is already complete — every
         // node stands at this same confirmation point with nothing left
@@ -1622,8 +1631,8 @@ fn clock_barrier(
         // endpoint's panic the cluster driver re-raises first, the caller
         // sees the same payload. Victims black-hole their inbox first so
         // defensive late traffic can never observe a hung-up peer.
-        let victim = newly.trailing_zeros() as usize;
-        if newly & (1u128 << me) != 0 {
+        let victim = newly.first().expect("newly is non-empty");
+        if newly.contains(me) {
             nc.ep.net.mark_dead();
         }
         RecoveryError {
@@ -1636,14 +1645,11 @@ fn clock_barrier(
         }
         .raise();
     }
-    if newly != 0 {
-        let dead = nc.inner.borrow().dead_bits;
-        for v in 0..nodes {
-            if newly & (1u128 << v) == 0 {
-                continue;
-            }
+    if newly.any() {
+        let dead = nc.inner.borrow().dead_bits.clone();
+        for v in newly.iter() {
             let mut buddy = (v + 1) % nodes;
-            while dead & (1u128 << buddy) != 0 {
+            while dead.contains(buddy) {
                 buddy = (buddy + 1) % nodes;
             }
             if buddy != me {
@@ -1685,9 +1691,8 @@ fn clock_barrier(
         );
         // Invalidate, THEN absorb: the pushed values are already
         // post-exchange truth for the bits being invalidated.
-        let wholesale = inv & (1u128 << 127) != 0;
         for (id, ga) in inner.garrays.iter_mut().enumerate() {
-            if wholesale || inv & (1u128 << id.min(127)) != 0 {
+            if inv.contains(id) {
                 ga.cache_clear();
             }
         }
@@ -1796,13 +1801,13 @@ fn restore_from_snapshot(nc: &mut NodeCtx<'_>, node: usize, phase: u64) -> (SimT
 /// holding).
 ///
 /// [`PpmConfig::suspect_timeout`]: crate::PpmConfig
-fn detect_permanent_deaths(nc: &mut NodeCtx<'_>, phase: u64) -> u128 {
+fn detect_permanent_deaths(nc: &mut NodeCtx<'_>, phase: u64) -> NodeSet {
     let victims = match nc.rel.as_deref() {
         Some(r) => r.perm_victims_at(phase),
-        None => return 0,
+        None => return NodeSet::new(),
     };
     if victims.is_empty() {
-        return 0;
+        return NodeSet::new();
     }
     debug_assert!(
         victims.iter().all(|&v| phase == 0
@@ -1819,7 +1824,7 @@ fn detect_permanent_deaths(nc: &mut NodeCtx<'_>, phase: u64) -> u128 {
         // No barrier rounds will run to confirm the death, and a lone
         // node has no buddy even with replication on: fail here with the
         // structured error.
-        nc.inner.borrow_mut().dead_bits |= 1u128 << victims[0];
+        nc.inner.borrow_mut().dead_bits.insert(victims[0]);
         nc.ep.net.mark_dead();
         RecoveryError {
             node: victims[0],
@@ -1831,9 +1836,9 @@ fn detect_permanent_deaths(nc: &mut NodeCtx<'_>, phase: u64) -> u128 {
         .raise();
     }
     let survivable = cfg.replication;
-    let mut bits = 0u128;
+    let mut bits = NodeSet::new();
     for &v in &victims {
-        bits |= 1u128 << v;
+        bits.insert(v);
         if v == me {
             if survivable {
                 fail_over_self(nc, phase);

@@ -88,6 +88,7 @@
 //! ```
 
 mod balance;
+pub mod bitset;
 pub mod check;
 mod config;
 mod dist;
@@ -104,10 +105,11 @@ pub mod testkit;
 pub mod util;
 mod vp;
 
+pub use bitset::NodeSet;
 pub use check::{PhaseViolation, Space};
 pub use config::PpmConfig;
 pub use dist::{Dist, Layout};
-pub use elem::{AccumElem, AccumOp, Elem};
+pub use elem::{AccumElem, AccumOp, ByteHash, ByteHasher, Elem};
 pub use error::RecoveryError;
 pub use nodectx::NodeCtx;
 pub use shared::{GlobalShared, NodeShared};

@@ -6,6 +6,8 @@
 
 use std::any::Any;
 
+use crate::bitset::NodeSet;
+
 /// Read-request bundle (one per destination per wave). Kinds live in the
 /// top byte of the 64-bit tag.
 pub const K_READ_REQ: u64 = 1;
@@ -100,8 +102,8 @@ pub(crate) struct RefreshPart {
     pub array: u32,
     /// Element indices, parallel to `values`.
     pub idxs: Vec<u64>,
-    /// Remaining destination-node bits per entry, parallel to `idxs`.
-    pub masks: Vec<u64>,
+    /// Remaining destination-node sets per entry, parallel to `idxs`.
+    pub masks: Vec<NodeSet>,
     /// `Vec<T>` for the array's element type, parallel to `idxs`.
     /// `Sync` as well as `Send` because undelivered parts park in
     /// [`crate::state::Inner::pending_refresh`] between rounds.
@@ -111,17 +113,17 @@ pub(crate) struct RefreshPart {
 /// Clock-barrier payload. Pre-cache the barrier carried no payload a
 /// receiver consumed; the read-cache coherence sidecar rides these
 /// messages so the protocol adds no messages of its own: `inv_bits` is
-/// the OR-flood of "this array took writes this phase" (bit `min(id,127)`,
-/// bit 127 = id overflow → wholesale invalidation), and `refreshes` are
+/// the OR-flood of "this array took writes this phase" (one growable bit
+/// per array id — no overflow/wholesale case), and `refreshes` are
 /// owner-pushed values for remotely cached elements that were rewritten.
 pub(crate) struct BarrierMsg {
-    pub inv_bits: u128,
+    pub inv_bits: NodeSet,
     /// Failure-detector sidecar (DESIGN.md §15): OR-flood of "I suspect
     /// node `i` permanently dead" bits (bit = node id). After the barrier
     /// every node holds the identical union, so deaths are confirmed by
     /// all survivors at the same phase boundary — a pure function of
     /// message history. Rides messages the barrier sends anyway.
-    pub suspect_bits: u128,
+    pub suspect_bits: NodeSet,
     /// Buddy snapshot-replication sidecar (DESIGN.md §15), attached only
     /// to the round-0 dissemination message — whose destination,
     /// `(me+1) % nodes`, is exactly the buddy.

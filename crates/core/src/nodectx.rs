@@ -323,9 +323,8 @@ impl<'a> NodeCtx<'a> {
     /// instead; the watchdog never fires for a confirmed-dead peer.
     fn recv_raw(&mut self) -> Message {
         if !self.cfg.replication {
-            let dead = self.inner.try_borrow().map_or(0, |i| i.dead_bits);
-            if dead != 0 {
-                let victim = dead.trailing_zeros() as usize;
+            let dead = self.inner.try_borrow().and_then(|i| i.dead_bits.first());
+            if let Some(victim) = dead {
                 let phase = self.inner.try_borrow().map_or(0, |i| i.phase.global_seq);
                 RecoveryError {
                     node: victim,
@@ -536,22 +535,25 @@ impl<'a> NodeCtx<'a> {
         // what, so a later rewrite of a repeatedly-served element can push
         // the new value to its readers. Folded into `serve_hist` at the
         // phase end (arrival order here is a real-time accident; the fold
-        // sorts first). Masks are u64 node bits, so >64 nodes opt out.
-        if self.cfg.read_cache && self.cfg.nodes() <= 64 {
+        // sorts first). Masks are growable [`crate::NodeSet`]s, so every
+        // node count participates.
+        if self.cfg.read_cache {
             inner
                 .deferred_serves
                 .extend(bundle.entries.iter().map(|e| (src, e.array, e.idx)));
         }
 
         // Group by array, preserving request order within each array.
+        // Dense, indexed by array id: nothing on this path may iterate a
+        // hash map, or its order would show through on the wire.
         let mut order: Vec<u32> = Vec::new();
-        let mut grouped: std::collections::HashMap<u32, (Vec<u64>, Vec<u64>)> =
-            std::collections::HashMap::new();
+        let mut grouped: Vec<(Vec<u64>, Vec<u64>)> =
+            vec![(Vec::new(), Vec::new()); inner.garrays.len()];
         for e in &bundle.entries {
-            let g = grouped.entry(e.array).or_insert_with(|| {
+            let g = &mut grouped[e.array as usize];
+            if g.0.is_empty() {
                 order.push(e.array);
-                (Vec::new(), Vec::new())
-            });
+            }
             g.0.push(e.idx);
             g.1.push(e.slot);
         }
@@ -559,7 +561,7 @@ impl<'a> NodeCtx<'a> {
         let mut parts = Vec::with_capacity(order.len());
         let mut bytes = self.cfg.bundle_header_bytes;
         for array in order {
-            let (idxs, slots) = grouped.remove(&array).expect("grouped above");
+            let (idxs, slots) = std::mem::take(&mut grouped[array as usize]);
             let (values, vbytes) = inner.garrays[array as usize].serve(&idxs);
             bytes += vbytes;
             parts.push(RespPart {
@@ -633,15 +635,12 @@ fn protocol_dump(
                 "  vps: live={} | parked reads outstanding={} | queued req dests={}",
                 i.live_vps,
                 i.outstanding_reads,
-                i.reqs.values().filter(|v| !v.is_empty()).count()
+                i.reqs.iter().filter(|v| !v.is_empty()).count()
             );
-            if i.dead_bits == 0 {
+            if i.dead_bits.is_empty() {
                 let _ = writeln!(out, "  confirmed dead: none");
             } else {
-                let dead: Vec<usize> = (0..128)
-                    .filter(|b| i.dead_bits & (1u128 << b) != 0)
-                    .collect();
-                let _ = writeln!(out, "  confirmed dead: {dead:?}");
+                let _ = writeln!(out, "  confirmed dead: {:?}", i.dead_bits);
             }
             if let Some((ph, bytes, base)) = i.replica_in {
                 let _ = writeln!(

@@ -32,11 +32,12 @@
 //!   a programming error and panics.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ppm_simnet::{Counters, SimTime, WireSize};
 
+use crate::bitset::NodeSet;
 use crate::check::{Checker, PhaseViolation, Space};
 use crate::config::PpmConfig;
 use crate::dist::Dist;
@@ -74,41 +75,98 @@ pub(crate) enum WireWrite<T> {
     },
 }
 
-/// A buffered, not-yet-published write to one element. `Accum` keeps the
-/// raw `(contributing VP's global rank, value)` list rather than a single
-/// eagerly-folded running value: the contributions flat-fold in ascending
+/// One buffered, not-yet-published write op, as appended to an array's
+/// flat write log. The log is append-only during a phase body (O(1) per
+/// write, no per-element map lookup); grouping, last-writer resolution,
+/// and accumulate folding all happen once, at drain time, over the
+/// stable-sorted log. `Accum` keeps the raw contribution rather than an
+/// eagerly-folded running value: contributions flat-fold in ascending
 /// (rank, program order) when the buffer drains, so the floating-point
 /// result depends only on each VP's program order — never on the
 /// poll-round structure that interleaved the VPs' merges. Wake-on-arrival
 /// pipelining changes that structure (DESIGN.md §13), so this is what
-/// keeps results bit-identical with pipelining on or off. The flat fold
-/// (not per-VP partials) also keeps a single node's fold order identical
-/// to a sequential ascending-rank schedule's left fold.
-enum Pending<T> {
+/// keeps results bit-identical with pipelining on or off.
+#[derive(Clone, Copy)]
+enum WEntry<T> {
     Assign(T, WriteKey),
     Accum {
         op: AccumOp,
         f: fn(AccumOp, T, T) -> T,
-        /// `(global VP rank, value)` per contribution, in merge-arrival
-        /// order (program order within each rank).
-        parts: Vec<(u64, T)>,
+        /// Contributing VP's global rank.
+        rank: u64,
+        val: T,
     },
 }
 
-/// Turn a buffered element write into its wire form (assign as-is;
-/// accumulate contributions sorted into ascending global-rank order,
-/// program order within a rank — the stable sort keeps arrival order for
-/// equal ranks). The contributions ship raw, rank-keyed: folding happens
-/// once, at the owner, over the concatenation from all source nodes
+/// Resolve one element's log run (all ops for `idx`, in merge-arrival
+/// order: ascending rank, program order within a rank) into its wire
+/// form. Assign runs keep the highest [`WriteKey`]; accumulate runs check
+/// operator agreement and sort contributions into ascending global-rank
+/// order (the stable sort keeps arrival order for equal ranks). The
+/// contributions ship raw, rank-keyed: folding happens once, at the
+/// owner, over the concatenation from all source nodes
 /// (`resolve_conflicts`), so the fold order never depends on which node a
-/// contributing VP lived on.
-fn resolve_pending<T: Elem>(p: Pending<T>) -> WireWrite<T> {
-    match p {
-        Pending::Assign(v, k) => WireWrite::Assign(v, k),
-        Pending::Accum { op, f, mut parts } => {
+/// contributing VP lived on. Mixing `put` and `accumulate` on one element
+/// panics here — at the phase boundary, same run, same message as the old
+/// buffer-time check.
+fn resolve_run<T: Elem>(what: &str, idx: usize, run: &[(usize, WEntry<T>)]) -> WireWrite<T> {
+    match run[0].1 {
+        WEntry::Assign(..) => {
+            let mut best: Option<(T, WriteKey)> = None;
+            for &(_, e) in run {
+                match e {
+                    WEntry::Assign(v, k) => {
+                        if best.is_none_or(|(_, bk)| k > bk) {
+                            best = Some((v, k));
+                        }
+                    }
+                    WEntry::Accum { .. } => {
+                        panic!("{what}element {idx}: put and accumulate mixed in one phase")
+                    }
+                }
+            }
+            let (v, k) = best.expect("non-empty run");
+            WireWrite::Assign(v, k)
+        }
+        WEntry::Accum { op, f, .. } => {
+            let mut parts: Vec<(u64, T)> = Vec::with_capacity(run.len());
+            for &(_, e) in run {
+                match e {
+                    WEntry::Accum {
+                        op: op2, rank, val, ..
+                    } => {
+                        assert_eq!(
+                            op, op2,
+                            "{what}element {idx}: conflicting accumulate operators in one phase"
+                        );
+                        parts.push((rank, val));
+                    }
+                    WEntry::Assign(..) => {
+                        panic!("{what}element {idx}: put and accumulate mixed in one phase")
+                    }
+                }
+            }
             parts.sort_by_key(|p| p.0);
             WireWrite::Accum { op, f, parts }
         }
+    }
+}
+
+/// Walk a stable-idx-sorted write log and hand each equal-index run to
+/// `emit`. Shared by the global drain and the node-shared apply.
+fn for_each_run<T: Elem>(
+    log: &[(usize, WEntry<T>)],
+    mut emit: impl FnMut(usize, &[(usize, WEntry<T>)]),
+) {
+    let mut i = 0;
+    while i < log.len() {
+        let idx = log[i].0;
+        let mut j = i + 1;
+        while j < log.len() && log[j].0 == idx {
+            j += 1;
+        }
+        emit(idx, &log[i..j]);
+        i = j;
     }
 }
 
@@ -468,7 +526,7 @@ impl VpCell {
             // and sv_overhead above are recorded either way — the cache
             // must never mask a conformance violation.
             if self.cfg.read_cache {
-                if let Some(&v) = ga.rcache.get(&(idx as u64)) {
+                if let Some(v) = ga.cache_get(idx as u64) {
                     s.counters.cache_hits += 1;
                     return GetOutcome::Local(v);
                 }
@@ -689,7 +747,7 @@ pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) -> SimTime {
         }
     }
     for r in s.reqs.drain(..) {
-        inner.reqs.entry(r.dest).or_default().push(QueuedReq {
+        inner.reqs[r.dest].push(QueuedReq {
             array: r.array,
             idx: r.idx,
             vp: cell.id,
@@ -790,12 +848,18 @@ pub(crate) struct WriteParcel {
 pub(crate) struct GArray<T: Elem> {
     pub dist: Dist,
     pub local: Vec<T>,
-    wbuf: HashMap<usize, Pending<T>>,
+    /// Flat append-only write log for the current phase, in merge-arrival
+    /// order (ascending VP rank, program order within a rank). Grouped,
+    /// resolved, and drained at the phase boundary — no per-element map in
+    /// the per-write hot path.
+    wlog: Vec<(usize, WEntry<T>)>,
     /// Remote elements whose phase-frozen value this node has learned —
-    /// from response bundles or owner-pushed refreshes — keyed by global
-    /// index. Consulted by [`VpCell::get_global`] before queueing a remote
-    /// read; cleared when the array takes writes (exec.rs invalidation).
-    rcache: HashMap<u64, T>,
+    /// from response bundles or owner-pushed refreshes — as a flat
+    /// `(global index, value)` vec sorted by index (binary-search lookup,
+    /// no hashing). Consulted by [`VpCell::get_global`] before queueing a
+    /// remote read; cleared when the array takes writes (exec.rs
+    /// invalidation).
+    rcache: Vec<(u64, T)>,
 }
 
 impl<T: Elem> GArray<T> {
@@ -804,35 +868,36 @@ impl<T: Elem> GArray<T> {
         GArray {
             dist,
             local,
-            wbuf: HashMap::new(),
-            rcache: HashMap::new(),
+            wlog: Vec::new(),
+            rcache: Vec::new(),
+        }
+    }
+
+    /// Cached phase-frozen value of remote element `idx`, if known.
+    pub fn cache_get(&self, idx: u64) -> Option<T> {
+        self.rcache
+            .binary_search_by_key(&idx, |e| e.0)
+            .ok()
+            .map(|p| self.rcache[p].1)
+    }
+
+    /// Learn (or refresh) the phase-frozen value of remote element `idx`.
+    fn cache_put(&mut self, idx: u64, v: T) {
+        match self.rcache.binary_search_by_key(&idx, |e| e.0) {
+            Ok(p) => self.rcache[p].1 = v,
+            Err(p) => self.rcache.insert(p, (idx, v)),
         }
     }
 
     pub fn buffer_assign(&mut self, idx: usize, val: T, key: WriteKey) {
-        match self.wbuf.entry(idx) {
-            std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
-                Pending::Assign(_, old_key) => {
-                    if key > *old_key {
-                        e.insert(Pending::Assign(val, key));
-                    }
-                }
-                Pending::Accum { .. } => {
-                    panic!("element {idx}: put and accumulate mixed in one phase")
-                }
-            },
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Pending::Assign(val, key));
-            }
-        }
+        self.wlog.push((idx, WEntry::Assign(val, key)));
     }
-}
 
-impl<T: Elem> GArray<T> {
-    /// Like [`Self::buffer_accum`] but with an explicit combiner, so the
+    /// Append a combining write with an explicit combiner, so the
     /// type-erased scratch-replay path (`T: Elem` only) can buffer
     /// accumulates recorded during VP polls. `rank` is the contributing
-    /// VP's global rank (see [`Pending`] for why partials are rank-keyed).
+    /// VP's global rank (see [`WEntry`] for why contributions are
+    /// rank-keyed).
     pub fn buffer_accum_with(
         &mut self,
         idx: usize,
@@ -841,29 +906,7 @@ impl<T: Elem> GArray<T> {
         f: fn(AccumOp, T, T) -> T,
         rank: u64,
     ) {
-        match self.wbuf.entry(idx) {
-            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
-                Pending::Accum {
-                    op: old_op, parts, ..
-                } => {
-                    assert_eq!(
-                        *old_op, op,
-                        "element {idx}: conflicting accumulate operators in one phase"
-                    );
-                    parts.push((rank, val));
-                }
-                Pending::Assign(..) => {
-                    panic!("element {idx}: put and accumulate mixed in one phase")
-                }
-            },
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Pending::Accum {
-                    op,
-                    f,
-                    parts: vec![(rank, val)],
-                });
-            }
-        }
+        self.wlog.push((idx, WEntry::Accum { op, f, rank, val }));
     }
 }
 
@@ -989,7 +1032,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
         debug_assert_eq!(values.len(), idxs.len());
         for ((waiters, &idx), v) in groups.iter().zip(idxs).zip(*values) {
             if cache {
-                self.rcache.insert(idx, v);
+                self.cache_put(idx, v);
             }
             for &(vp, slot) in waiters {
                 fill(vp, slot, Box::new(v));
@@ -998,20 +1041,28 @@ impl<T: Elem> GArrayObj for GArray<T> {
     }
 
     fn drain_writes(&mut self) -> Vec<WriteParcel> {
-        if self.wbuf.is_empty() {
+        if self.wlog.is_empty() {
             return Vec::new();
         }
-        let mut by_dest: HashMap<usize, Vec<(u64, WireWrite<T>)>> = HashMap::new();
-        for (idx, w) in self.wbuf.drain() {
-            by_dest
-                .entry(self.dist.owner(idx))
-                .or_default()
-                .push((idx as u64, resolve_pending(w)));
-        }
-        let mut parcels: Vec<WriteParcel> = by_dest
+        let mut log = std::mem::take(&mut self.wlog);
+        // Stable sort groups each element's ops while keeping their
+        // merge-arrival order (ascending rank, program order within a
+        // rank) — the canonical order `resolve_run` relies on.
+        log.sort_by_key(|(idx, _)| *idx);
+        // Dense per-destination buckets: emission is ascending by node id
+        // by construction, never keyed by hash-iteration order. Entries
+        // land in each bucket in ascending index order because the log is
+        // sorted by index.
+        let mut by_dest: Vec<Vec<(u64, WireWrite<T>)>> = Vec::new();
+        by_dest.resize_with(self.dist.nodes, Vec::new);
+        for_each_run(&log, |idx, run| {
+            by_dest[self.dist.owner(idx)].push((idx as u64, resolve_run("", idx, run)));
+        });
+        by_dest
             .into_iter()
-            .map(|(dest, mut entries)| {
-                entries.sort_by_key(|(i, _)| *i);
+            .enumerate()
+            .filter(|(_, entries)| !entries.is_empty())
+            .map(|(dest, entries)| {
                 // One combined value per entry: an accumulate entry is
                 // modeled as pre-combined on the wire (its rank-keyed
                 // contribution list is free sidecar), so repartitioning
@@ -1036,9 +1087,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
                     payload: Box::new(entries),
                 }
             })
-            .collect();
-        parcels.sort_by_key(|p| p.dest);
-        parcels
+            .collect()
     }
 
     fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> (u64, Vec<u64>) {
@@ -1070,7 +1119,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
     }
 
     fn has_pending_writes(&self) -> bool {
-        !self.wbuf.is_empty()
+        !self.wlog.is_empty()
     }
 
     fn refresh_collect(&self, idxs: &[u64]) -> Box<dyn Any + Send + Sync> {
@@ -1112,7 +1161,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
                     usize::MAX,
                     "unreachable: owner() is total"
                 );
-                self.rcache.insert(idx, v);
+                self.cache_put(idx, v);
             }
         }
     }
@@ -1149,7 +1198,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
         parts: Vec<(usize, Box<dyn Any + Send>)>,
     ) -> u64 {
         debug_assert!(
-            self.wbuf.is_empty(),
+            self.wlog.is_empty(),
             "repartitioning with unapplied buffered writes"
         );
         let old_range = self.dist.owned_range(node);
@@ -1261,42 +1310,27 @@ fn resolve_conflicts<T: Elem>(idx: u64, run: &mut [(u64, u32, WireWrite<T>)]) ->
 // ---------------------------------------------------------------------------
 
 /// One node's instance of a node-shared array plus its phase write buffer.
-/// Buffered accumulates are rank-keyed [`Pending`] partials for the same
-/// reason as [`GArray`]: node-shared accumulates may happen inside a
+/// Buffered accumulates are rank-keyed [`WEntry`] contributions for the
+/// same reason as [`GArray`]: node-shared accumulates may happen inside a
 /// global phase, whose poll-round structure wave pipelining changes.
 pub(crate) struct NArray<T: Elem> {
     pub data: Vec<T>,
-    wbuf: HashMap<usize, Pending<T>>,
+    /// Flat append-only write log (see [`GArray::wlog`]).
+    wlog: Vec<(usize, WEntry<T>)>,
 }
 
 impl<T: Elem> NArray<T> {
     pub fn new(len: usize) -> Self {
         NArray {
             data: vec![T::default(); len],
-            wbuf: HashMap::new(),
+            wlog: Vec::new(),
         }
     }
 
     pub fn buffer_assign(&mut self, idx: usize, val: T, key: WriteKey) {
-        match self.wbuf.entry(idx) {
-            std::collections::hash_map::Entry::Occupied(mut e) => match e.get() {
-                Pending::Assign(_, old_key) => {
-                    if key > *old_key {
-                        e.insert(Pending::Assign(val, key));
-                    }
-                }
-                Pending::Accum { .. } => {
-                    panic!("node element {idx}: put and accumulate mixed in one phase")
-                }
-            },
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Pending::Assign(val, key));
-            }
-        }
+        self.wlog.push((idx, WEntry::Assign(val, key)));
     }
-}
 
-impl<T: Elem> NArray<T> {
     /// See [`GArray::buffer_accum_with`].
     pub fn buffer_accum_with(
         &mut self,
@@ -1306,29 +1340,7 @@ impl<T: Elem> NArray<T> {
         f: fn(AccumOp, T, T) -> T,
         rank: u64,
     ) {
-        match self.wbuf.entry(idx) {
-            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
-                Pending::Accum {
-                    op: old_op, parts, ..
-                } => {
-                    assert_eq!(
-                        *old_op, op,
-                        "node element {idx}: conflicting accumulate ops"
-                    );
-                    parts.push((rank, val));
-                }
-                Pending::Assign(..) => {
-                    panic!("node element {idx}: put and accumulate mixed in one phase")
-                }
-            },
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Pending::Accum {
-                    op,
-                    f,
-                    parts: vec![(rank, val)],
-                });
-            }
-        }
+        self.wlog.push((idx, WEntry::Accum { op, f, rank, val }));
     }
 }
 
@@ -1366,12 +1378,13 @@ impl<T: Elem> NArrayObj for NArray<T> {
     }
 
     fn apply(&mut self) -> u64 {
-        let n = self.wbuf.len() as u64;
-        let mut entries: Vec<(usize, Pending<T>)> = self.wbuf.drain().collect();
-        entries.sort_by_key(|(i, _)| *i);
-        for (idx, w) in entries {
-            self.data[idx] = fold_wire(resolve_pending(w));
-        }
+        let mut log = std::mem::take(&mut self.wlog);
+        log.sort_by_key(|(idx, _)| *idx);
+        let mut n = 0u64;
+        for_each_run(&log, |idx, run| {
+            self.data[idx] = fold_wire(resolve_run("node ", idx, run));
+            n += 1;
+        });
         n
     }
 
@@ -1546,12 +1559,13 @@ pub(crate) struct Snapshots {
 /// read cache (DESIGN.md §13). An element *arms* on its second serve
 /// within the TTL window: one serve is as likely read-once as read-again,
 /// two serves within a few phases is a reuse pattern worth pushing for.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct ServeHist {
     /// `phase.global_seq` of the most recent serve (TTL pruning).
     pub last_serve: u64,
-    /// Nodes that have requested this element (bit = node id).
-    pub readers: u64,
+    /// Nodes that have requested this element. Growable — the old `u64`
+    /// word capped the push protocol at 64 nodes.
+    pub readers: NodeSet,
     /// Whether rewrites of this element trigger an owner push.
     pub armed: bool,
 }
@@ -1571,8 +1585,10 @@ pub(crate) struct Inner {
     /// Reads parked in VP slot tables but not yet answered by a wave
     /// (incremented when scratches merge, decremented per slot fill).
     pub outstanding_reads: usize,
-    /// Outgoing read requests queued for the next wave, by destination.
-    pub reqs: HashMap<usize, Vec<QueuedReq>>,
+    /// Outgoing read requests queued for the next wave — dense, indexed by
+    /// destination node id, so every iteration that feeds the wire walks
+    /// destinations in ascending order (never hash-iteration order).
+    pub reqs: Vec<Vec<QueuedReq>>,
     pub phase: PhaseState,
     pub traffic: Traffic,
     /// Per-core compute accumulated in the current phase (VP charges and
@@ -1642,9 +1658,10 @@ pub(crate) struct Inner {
     /// rebalance — the balancer's hysteresis window.
     pub load_window: u64,
     /// Failure detector (DESIGN.md §15): nodes every survivor has
-    /// confirmed permanently dead (bit = node id), identical on all live
-    /// nodes after the confirming clock barrier.
-    pub dead_bits: u128,
+    /// confirmed permanently dead, identical on all live nodes after the
+    /// confirming clock barrier. Growable — the old `u128` word capped
+    /// death detection at 128 nodes.
+    pub dead_bits: NodeSet,
     /// Whether this rank is a hosted persona: its node died permanently
     /// and the logical rank now runs on its buddy. The endpoint thread
     /// continues as the buddy's deterministic reconstruction from the
@@ -1674,7 +1691,7 @@ impl Inner {
             garrays: Vec::new(),
             narrays: Vec::new(),
             outstanding_reads: 0,
-            reqs: HashMap::new(),
+            reqs: vec![Vec::new(); cfg.nodes()],
             phase: PhaseState::default(),
             traffic: Traffic::default(),
             core_compute: vec![SimTime::ZERO; cfg.cores_per_node()],
@@ -1697,7 +1714,7 @@ impl Inner {
             balanced: Vec::new(),
             load_acc: Vec::new(),
             load_window: 0,
-            dead_bits: 0,
+            dead_bits: NodeSet::new(),
             hosted: false,
             hosted_extra: SimTime::ZERO,
             peer_vps: Vec::new(),
@@ -1803,12 +1820,33 @@ mod tests {
         assert_eq!(parcels[0].entries, 1); // merged
     }
 
+    /// Mixed put/accumulate on one element is detected when the log
+    /// resolves at the phase boundary (buffering itself is append-only).
     #[test]
     #[should_panic(expected = "put and accumulate mixed")]
     fn mixed_write_kinds_panic() {
         let mut ga: GArray<u64> = GArray::new(Dist::block(4, 1), 0);
         ga.buffer_assign(0, 1, key(0, 0));
         ga.buffer_accum(0, AccumOp::Add, 1);
+        ga.drain_writes();
+    }
+
+    #[test]
+    #[should_panic(expected = "node element 0: put and accumulate mixed")]
+    fn node_mixed_write_kinds_panic() {
+        let mut na: NArray<u64> = NArray::new(2);
+        na.buffer_accum(0, AccumOp::Add, 1);
+        na.buffer_assign(0, 1, key(0, 0));
+        na.apply();
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting accumulate operators")]
+    fn conflicting_accum_ops_panic() {
+        let mut ga: GArray<u64> = GArray::new(Dist::block(4, 1), 0);
+        ga.buffer_accum(1, AccumOp::Add, 1);
+        ga.buffer_accum(1, AccumOp::Max, 2);
+        ga.drain_writes();
     }
 
     fn accum_parts(parts: &[(u64, f64)]) -> WireWrite<f64> {

@@ -377,6 +377,56 @@ fn sample_sort_matches_std() {
     );
 }
 
+/// Wire emission is a function of the buffered write SET, never of the
+/// order a VP buffered the writes in: shuffling each VP's put order over
+/// its (disjoint) target elements leaves results AND the simulated
+/// makespan bit-identical. Guards the flat write-log drain (sorted by
+/// index at phase end) against regressing into an insertion-ordered — or
+/// hash-ordered — emission path.
+#[test]
+fn emission_is_insertion_order_independent() {
+    forall(
+        "emission_is_insertion_order_independent",
+        16,
+        |g| (g.u32_in(2..5), g.usize_in(8..40), g.u64()),
+        |&(nodes, len, perm_seed)| {
+            let run_with = |shuffled: bool| {
+                run(PpmConfig::new(MachineConfig::new(nodes, 2)), move |node| {
+                    let a = node.alloc_global::<i64>(len);
+                    node.ppm_do(4, move |vp| async move {
+                        let g = vp.global_rank();
+                        let k = vp.global_vp_count();
+                        vp.global_phase(|ph| async move {
+                            // Disjoint targets per VP; the shuffled run
+                            // buffers the same writes in a different order.
+                            let mut idxs: Vec<usize> = (0..len).filter(|i| i % k == g).collect();
+                            if shuffled {
+                                let mut gen = Gen::new(perm_seed ^ g as u64);
+                                for i in (1..idxs.len()).rev() {
+                                    let j = gen.usize_in(0..i + 1);
+                                    idxs.swap(i, j);
+                                }
+                            }
+                            for i in idxs {
+                                ph.put(&a, i, (i * 3 + 1) as i64);
+                            }
+                        })
+                        .await;
+                    });
+                    let violations = node.take_violations();
+                    assert!(violations.is_empty(), "checker: {violations:?}");
+                    node.gather_global(&a)
+                })
+            };
+            let base = run_with(false);
+            let shuf = run_with(true);
+            prop_assert_eq!(&base.results, &shuf.results);
+            prop_assert_eq!(base.makespan(), shuf.makespan());
+            Ok(())
+        },
+    );
+}
+
 /// Layout choice never changes results, only data placement.
 #[test]
 fn layout_is_transparent() {
