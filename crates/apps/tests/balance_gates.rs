@@ -146,6 +146,39 @@ fn uniform_fig1_smoke_is_no_worse_with_adaptive_on() {
     );
 }
 
+/// Sparse K_MIGRATE exchange (DESIGN.md §17): on the skewed fixtures —
+/// where rebalances demonstrably fire — the sparse sender-set protocol
+/// must leave results and makespan bit-identical to the legacy all-to-all
+/// while sending strictly fewer messages (no empty end-of-phase or
+/// end-of-rebalance tokens). Bundle counts must not change at all: only
+/// token messages disappear, never payload.
+#[test]
+fn sparse_exchange_cuts_messages_on_skewed_fixtures() {
+    let msgs = |c: &[Counters]| c.iter().map(|c| c.msgs_sent).sum::<u64>();
+    let bundles = |c: &[Counters]| c.iter().map(|c| c.bundles_sent).sum::<u64>();
+    for (what, run) in [
+        ("skewed pagerank", skewed_pagerank as fn(PpmConfig) -> Run),
+        ("clustered BH", clustered_barnes_hut),
+    ] {
+        let (bits_s, t_s, c_s) = run(adaptive(true).with_sparse_tokens(true));
+        let (bits_l, t_l, c_l) = run(adaptive(true).with_sparse_tokens(false));
+        assert_eq!(bits_s, bits_l, "{what}: sparse exchange changed results");
+        assert_eq!(t_s, t_l, "{what}: sparse exchange changed the makespan");
+        let (m_s, m_l) = (msgs(&c_s), msgs(&c_l));
+        println!("{what}: msgs_sent sparse {m_s} vs legacy {m_l}");
+        assert!(
+            m_s < m_l,
+            "{what}: sparse must send strictly fewer messages \
+             (sparse {m_s}, legacy {m_l})"
+        );
+        assert_eq!(
+            bundles(&c_s),
+            bundles(&c_l),
+            "{what}: only tokens may disappear, never payload bundles"
+        );
+    }
+}
+
 /// Sum one `u64` payload field over a run's `rebalance` instants, after
 /// asserting the instants exist on every node.
 fn moved_totals(sink: &TraceSink, what: &str) -> (u64, u64) {

@@ -19,11 +19,17 @@
 //!   skewed fixtures (power-law PageRank, clustered-Plummer Barnes–Hut)
 //!   with the balancer on vs off; the solutions are bit-identical either
 //!   way, only placement and time move.
+//! * **sparse token exchange** — the sparse sender-set protocol that
+//!   retired the O(N²) empty end-of-phase tokens (DESIGN.md §17).
+//!   `--ablate-tokens` prints sparse vs legacy all-to-all: makespans are
+//!   bit-identical by construction, so the column that moves is the
+//!   message count.
 //!
 //! ```text
 //! cargo run --release -p ppm-bench --bin ablations [-- --nodes 8 --g 16]
 //! cargo run --release -p ppm-bench --bin ablations -- --ablate-cache
 //! cargo run --release -p ppm-bench --bin ablations -- --ablate-balance
+//! cargo run --release -p ppm-bench --bin ablations -- --ablate-tokens
 //! ```
 //!
 //! `--trace <path>` / `PPM_TRACE=<path>` records every ablation run as one
@@ -76,7 +82,8 @@ fn main() {
     let ablate_cache = args.flag("--ablate-cache");
     let ablate_pipeline = args.flag("--ablate-pipeline");
     let ablate_balance = args.flag("--ablate-balance");
-    let all = !(ablate_cache || ablate_pipeline || ablate_balance);
+    let ablate_tokens = args.flag("--ablate-tokens");
+    let all = !(ablate_cache || ablate_pipeline || ablate_balance || ablate_tokens);
 
     println!("# Runtime ablations on {nodes} nodes (4 cores each)\n");
     header(&["configuration", "CG ms", "Barnes–Hut ms"]);
@@ -189,6 +196,58 @@ fn main() {
                 ms(bh_time(tag, cfg, cb)),
             ]);
         }
+    }
+
+    if all || ablate_tokens {
+        // Sparse vs legacy token exchange: simulated time is bit-identical
+        // by construction (tokens were always free in modeled time), so
+        // the message count is the honest column — the legacy all-to-all
+        // pays N²−N empty tokens per global phase.
+        println!("\n# Sparse end-of-phase token exchange (DESIGN.md \u{a7}17)\n");
+        header(&[
+            "configuration",
+            "CG ms",
+            "CG msgs",
+            "B\u{2013}H ms",
+            "B\u{2013}H msgs",
+        ]);
+        let mut rows: Vec<(SimTime, u64, SimTime, u64)> = Vec::new();
+        for (desc, on) in [
+            ("sparse sender sets", true),
+            ("legacy all-to-all tokens", false),
+        ] {
+            let cfg = base.with_sparse_tokens(on);
+            let p = cg_params;
+            let cg_report = ppm_core::run(cfg, move |node| cg::ppm::solve(node, &p).1);
+            let p = bh_params;
+            let bh_report = ppm_core::run(cfg, move |node| bh::ppm::simulate(node, &p).1);
+            let entry = (
+                max_time(&cg_report),
+                cg_report.total_counters().msgs_sent,
+                max_time(&bh_report),
+                bh_report.total_counters().msgs_sent,
+            );
+            row(&[
+                desc.into(),
+                ms(entry.0),
+                entry.1.to_string(),
+                ms(entry.2),
+                entry.3.to_string(),
+            ]);
+            rows.push(entry);
+        }
+        assert_eq!(
+            rows[0].0, rows[1].0,
+            "sparse exchange moved the CG makespan"
+        );
+        assert_eq!(
+            rows[0].2, rows[1].2,
+            "sparse exchange moved the Barnes\u{2013}Hut makespan"
+        );
+        assert!(
+            rows[0].1 < rows[1].1 && rows[0].3 < rows[1].3,
+            "sparse exchange must cut the message count"
+        );
     }
 
     println!("\n(the first row should be the fastest on every column)");

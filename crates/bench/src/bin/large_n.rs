@@ -107,6 +107,7 @@ fn main() {
         "host threads",
         "wall s",
         "simulated ms",
+        "msgs/phase",
         "failovers",
         "confirmed dead",
         "cache hit rate",
@@ -152,6 +153,7 @@ fn main() {
                 t.to_string(),
                 format!("{wall:.1}"),
                 format!("{:.3}", makespan.as_ms_f64()),
+                (c.msgs_sent / rounds).to_string(),
                 c.failovers.to_string(),
                 c.peers_confirmed_dead.to_string(),
                 pct(c.cache_hits, c.cache_hits + c.cache_misses),
@@ -161,7 +163,10 @@ fn main() {
 
     println!(
         "\n(simulated ms, failovers, confirmed dead, and hit rate are \
-         asserted bit-identical across all thread counts — DESIGN.md §12)"
+         asserted bit-identical across all thread counts — DESIGN.md §12; \
+         msgs/phase is total msgs_sent over the job divided by the phase \
+         count — the sparse exchange keeps it O(writers + N), where the \
+         legacy all-to-all added N²−N empty tokens per phase, DESIGN.md §17)"
     );
     if let Some((sink, path)) = &trace {
         write_trace(sink, path);

@@ -96,6 +96,19 @@ pub struct PpmConfig {
     /// path stays byte-identical); `PPM_REPLICATION=1` (or
     /// [`Self::with_replication`]) enables it.
     pub replication: bool,
+    /// Sparse end-of-phase token exchange (DESIGN.md §17): before the
+    /// write exchange every node allgathers its write-destination set on
+    /// an O(log N) dissemination round, then ships only non-empty
+    /// [`K_WRITE`]/[`K_MIGRATE`] bundles and blocks on exactly the senders
+    /// that announced one — retiring the O(N²) empty-token all-to-all.
+    /// Results, makespans, and traces are bit-identical to the legacy
+    /// protocol; only the message counters shrink. On by default;
+    /// `PPM_SPARSE_TOKENS=0` (or [`Self::with_sparse_tokens`]) restores
+    /// the all-to-all for ablations.
+    ///
+    /// [`K_WRITE`]: crate::msgs::K_WRITE
+    /// [`K_MIGRATE`]: crate::msgs::K_MIGRATE
+    pub sparse_tokens: bool,
     /// Failure detector: simulated time a survivor spends retransmitting
     /// into a dead peer's silence before suspecting it (charged once per
     /// detected death; the suspicion is confirmed on the next clock
@@ -128,6 +141,7 @@ impl PpmConfig {
             wave_pipelining: env_flag("PPM_WAVE_PIPELINE", true),
             adaptive_balance: env_flag("PPM_ADAPTIVE", false),
             replication: env_flag("PPM_REPLICATION", false),
+            sparse_tokens: env_flag("PPM_SPARSE_TOKENS", true),
             suspect_timeout: SimTime::from_us(400),
         }
     }
@@ -196,6 +210,13 @@ impl PpmConfig {
     /// which is off).
     pub fn with_replication(mut self, on: bool) -> Self {
         self.replication = on;
+        self
+    }
+
+    /// Enable or disable the sparse end-of-phase token exchange (ablation;
+    /// overrides the `PPM_SPARSE_TOKENS` environment default, which is on).
+    pub fn with_sparse_tokens(mut self, on: bool) -> Self {
+        self.sparse_tokens = on;
         self
     }
 
@@ -292,6 +313,18 @@ mod tests {
         assert!(c.with_replication(true).replication);
         assert!(!c.with_replication(true).with_replication(false).replication);
         assert!(c.suspect_timeout > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sparse_tokens_default_on_and_toggles() {
+        let c = PpmConfig::franklin(2);
+        assert!(c.sparse_tokens, "sparse token exchange is default-on");
+        assert!(!c.with_sparse_tokens(false).sparse_tokens);
+        assert!(
+            c.with_sparse_tokens(false)
+                .with_sparse_tokens(true)
+                .sparse_tokens
+        );
     }
 
     #[test]

@@ -40,7 +40,8 @@ use crate::bitset::NodeSet;
 use crate::dist::Dist;
 use crate::error::RecoveryError;
 use crate::msgs::{
-    self, BarrierMsg, MigrateMsg, RefreshPart, ReplicaFrame, ReqBundle, RespBundle, WriteBundleMsg,
+    self, BarrierMsg, MigrateMsg, RefreshPart, ReplicaFrame, ReqBundle, RespBundle, TokenMsg,
+    WriteBundleMsg,
 };
 use crate::nodectx::NodeCtx;
 use crate::state::{merge_vp, DoMode, PhaseKind, ServeHist, Traffic, VpCell};
@@ -850,14 +851,32 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         }
     }
 
-    // 2. Ship a bundle to every peer (empty ones act as end-of-phase
-    //    tokens and are not charged as traffic).
+    // 2. Learn who sends what, then ship. Sparse protocol (DESIGN.md §17,
+    //    the default): an O(log N) token dissemination allgathers every
+    //    node's write-destination set, so only non-empty bundles travel and
+    //    step 3 blocks on exactly the announced senders. Legacy protocol
+    //    (`sparse_tokens` off): ship a bundle to every peer — empty ones
+    //    act as end-of-phase tokens, uncharged as traffic but real wire
+    //    messages, so they do count as messages — and receivers count to
+    //    N−1.
+    let sparse = cfg.sparse_tokens && nodes > 1;
+    let expected: Option<NodeSet> = if sparse {
+        let my_writes: NodeSet = (0..nodes)
+            .filter(|&d| d != me && dest_entries[d] > 0)
+            .collect();
+        Some(exchange_sender_sets(nc, phase, &my_writes))
+    } else {
+        None
+    };
     for dest in 0..nodes {
         if dest == me {
             continue;
         }
-        let parts = std::mem::take(&mut per_dest[dest]);
         let entries = dest_entries[dest];
+        if sparse && entries == 0 {
+            continue;
+        }
+        let parts = std::mem::take(&mut per_dest[dest]);
         let bytes = if entries > 0 {
             cfg.bundle_header_bytes + dest_bytes[dest]
         } else {
@@ -892,15 +911,30 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
         );
     }
 
-    // 3. Collect the other nodes' bundles, servicing read requests from
-    //    stragglers still inside their phase bodies.
-    let mut incoming: Vec<(u32, WriteBundleMsg)> = Vec::with_capacity(nodes - 1);
-    while incoming.len() < nodes - 1 {
+    // 3. Collect the announced (sparse) or everyone's (legacy) bundles,
+    //    servicing read requests from stragglers still inside their phase
+    //    bodies.
+    let want = match &expected {
+        Some(set) => set.count() as usize,
+        None => nodes - 1,
+    };
+    let mut incoming: Vec<(u32, WriteBundleMsg)> = Vec::with_capacity(want);
+    while incoming.len() < want {
         let msg = nc.pump_recv(|m| m.tag == msgs::tag(msgs::K_WRITE, phase));
         let src = msg.src as u32;
         let bytes = msg.bytes as u64;
         let bundle: WriteBundleMsg = msg.take();
         debug_assert_eq!(bundle.phase, phase);
+        if let Some(set) = &expected {
+            debug_assert!(
+                set.contains(src as usize),
+                "node {src} sent a K_WRITE bundle it never announced"
+            );
+            debug_assert!(
+                bundle.entries > 0,
+                "node {src} shipped an empty bundle under the sparse protocol"
+            );
+        }
         let mut inner = nc.inner.borrow_mut();
         if bundle.entries > 0 {
             inner.traffic.write_bundles_in += 1;
@@ -931,9 +965,12 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
     let push_on = cfg.read_cache && nodes > 1;
     {
         let mut inner = nc.inner.borrow_mut();
-        // Every phase-`phase` read request has been serviced by now (per-link
-        // FIFO: a peer's requests precede its K_WRITE bundle, and step 3 has
-        // all bundles), and no phase+1 request can have been serviced yet
+        // Every phase-`phase` read request has been serviced by now — the
+        // legacy all-to-all guarantees it per link (a peer's requests
+        // precede its K_WRITE bundle, and step 3 has all bundles), the
+        // sparse protocol via the token dissemination's transitive flush
+        // (see `exchange_sender_sets`) — and no phase+1 request can have
+        // been serviced yet
         // (`global_seq` still gates them). Folding the parked service
         // counters here attributes them to this phase deterministically,
         // whatever real-time moment the requests actually arrived at.
@@ -1316,6 +1353,92 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
         bytes_in,
         traffic: t,
     }
+}
+
+/// Sparse-exchange sender-set allgather (DESIGN.md §17): ⌈log₂ N⌉
+/// dissemination rounds on the clock barrier's edge pattern, forwarding
+/// every known `(node, write-destination set)` pair whole and deduping
+/// through a [`NodeSet`] — exactly the barrier's loads-sidecar shape.
+/// Returns the set of peers that announced a non-empty [`K_WRITE`] bundle
+/// for this node this phase.
+///
+/// Modeled free: zero wire bytes, no clock advance, no message counters.
+/// The N−1 empty tokens this replaces were equally free in simulated time
+/// (their only real cost was the O(N²) message count), so fault-free
+/// makespans stay bit-identical to the legacy protocol.
+///
+/// Determinism note — this dissemination is also the exchange's *flush
+/// point*. A peer's phase-`phase` read requests are enqueued to this
+/// node's inbox before the peer's round-0 token send (program order on
+/// the peer), and that send transitively happens-before the token message
+/// that carries the peer's pair here (each hop forwards only after
+/// receiving). The per-endpoint inbox is one FIFO queue, so by the time
+/// the final round's `pump_recv` returns, every peer's phase-`phase`
+/// requests have been dequeued — and `pump_recv` services them inline.
+/// The legacy protocol derived the same guarantee from collecting all N−1
+/// bundles; step 4's deferred-counter and serve-history folds rely on it
+/// either way. No phase-`phase+1` token can arrive before step 6: a peer
+/// starts its next phase only after its clock barrier completes, which
+/// transitively requires this node's barrier sends.
+///
+/// [`K_WRITE`]: msgs::K_WRITE
+fn exchange_sender_sets(nc: &mut NodeCtx<'_>, phase: u64, my_writes: &NodeSet) -> NodeSet {
+    let me = nc.node_id();
+    let nodes = nc.num_nodes();
+    let mut writers: Vec<(u32, NodeSet)> = vec![(me as u32, my_writes.clone())];
+    let mut known = NodeSet::single(me);
+    let mut d = 1usize;
+    let mut round = 0u32;
+    while d < nodes {
+        let to = (me + d) % nodes;
+        let from = (me + nodes - d) % nodes;
+        let tag = msgs::tag(msgs::K_TOKENS, msgs::barrier_meta(phase, round));
+        let now = nc.ep.clock.now();
+        nc.send_msg(
+            Message::new(
+                me,
+                to,
+                tag,
+                now,
+                0,
+                TokenMsg {
+                    phase,
+                    writers: writers.clone(),
+                },
+            ),
+            msgs::K_TOKENS,
+        );
+        let msg = nc.pump_recv(|m| m.tag == tag && m.src == from);
+        let tm: TokenMsg = msg.take();
+        debug_assert_eq!(tm.phase, phase);
+        for (n, ws) in tm.writers {
+            if !known.contains(n as usize) {
+                known.insert(n as usize);
+                writers.push((n, ws));
+            }
+        }
+        d <<= 1;
+        round += 1;
+    }
+    debug_assert_eq!(writers.len(), nodes, "sender-set allgather incomplete");
+    let expected: NodeSet = writers
+        .iter()
+        .filter(|(n, ws)| *n as usize != me && ws.contains(me))
+        .map(|(n, _)| *n as usize)
+        .collect();
+    if nc.ep.tracer.enabled() {
+        nc.ep.tracer.instant(
+            "token_exchange",
+            "runtime",
+            nc.ep.clock.now(),
+            vec![
+                ("phase", ArgValue::U64(phase)),
+                ("write_dests", ArgValue::U64(my_writes.count() as u64)),
+                ("expected_senders", ArgValue::U64(expected.count() as u64)),
+            ],
+        );
+    }
+    expected
 }
 
 /// Dissemination barrier among nodes that also propagates the maximum
@@ -1955,6 +2078,25 @@ fn maybe_rebalance(nc: &mut NodeCtx<'_>, phase: u64) {
         return;
     }
 
+    // Sparse exchange (DESIGN.md §17): the plan is a pure function of the
+    // replicated load window, so both sides of every transfer evaluate the
+    // same overlap predicate the ship loop uses — no dissemination round
+    // needed. `expected` is exactly the set of peers that will send this
+    // node a non-empty bundle; with `sparse_tokens` off the legacy
+    // protocol sends one bundle per peer (empty ones included) and
+    // receivers count to N−1.
+    let sparse = cfg.sparse_tokens;
+    let expected: NodeSet = (0..nodes)
+        .filter(|&src| {
+            src != me
+                && plan.iter().any(|(_, old, new)| {
+                    let theirs = old.owned_range(src);
+                    let mine = new.owned_range(me);
+                    theirs.start.max(mine.start) < theirs.end.min(mine.end)
+                })
+        })
+        .collect();
+
     // Ship: one bundle per peer with every stretch leaving this node.
     let mut moved_out = 0u64;
     let mut bytes_out_total = 0u64;
@@ -1978,6 +2120,9 @@ fn maybe_rebalance(nc: &mut NodeCtx<'_>, phase: u64) {
                     parts.push((*id, lo as u64, payload));
                 }
             }
+        }
+        if sparse && parts.is_empty() {
+            continue;
         }
         let bytes = if parts.is_empty() {
             0
@@ -2009,15 +2154,32 @@ fn maybe_rebalance(nc: &mut NodeCtx<'_>, phase: u64) {
         );
     }
 
-    // Collect every peer's bundle (empty ones included: receivers count
-    // rather than guess).
-    let mut incoming: Vec<(u32, MigrateMsg)> = Vec::with_capacity(nodes - 1);
-    while incoming.len() < nodes - 1 {
+    // Collect: exactly the announced senders (sparse) or every peer's
+    // bundle, empty ones included (legacy: receivers count rather than
+    // guess).
+    let want = if sparse {
+        expected.count() as usize
+    } else {
+        nodes - 1
+    };
+    let mut incoming: Vec<(u32, MigrateMsg)> = Vec::with_capacity(want);
+    while incoming.len() < want {
         let msg = nc.pump_recv(|m| m.tag == msgs::tag(msgs::K_MIGRATE, phase));
         let src = msg.src as u32;
         let bytes = msg.bytes as u64;
         let bundle: MigrateMsg = msg.take();
         debug_assert_eq!(bundle.phase, phase);
+        if sparse {
+            debug_assert!(
+                expected.contains(src as usize),
+                "node {src} sent a K_MIGRATE bundle the plan never predicted"
+            );
+            debug_assert!(
+                !bundle.parts.is_empty(),
+                "node {src} shipped an empty migration bundle under the \
+                 sparse protocol"
+            );
+        }
         let mut inner = nc.inner.borrow_mut();
         if !bundle.parts.is_empty() {
             inner.traffic.migr_bundles_in += 1;

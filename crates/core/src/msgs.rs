@@ -23,6 +23,12 @@ pub const K_COLL: u64 = 5;
 pub const K_ACK: u64 = 6;
 /// Adaptive-repartitioning migration bundle (one per peer per rebalance).
 pub const K_MIGRATE: u64 = 7;
+/// Sparse-exchange sender-set token (DESIGN.md §17): the O(log N)
+/// dissemination allgather of "which peers will I send a non-empty
+/// [`K_WRITE`] bundle this phase", run just before the write exchange so
+/// receivers block on exactly the announced senders instead of N−1
+/// mostly-empty bundles.
+pub const K_TOKENS: u64 = 8;
 
 /// Human-readable name of a message kind (watchdog / panic diagnostics).
 pub fn kind_name(kind: u64) -> &'static str {
@@ -34,6 +40,7 @@ pub fn kind_name(kind: u64) -> &'static str {
         K_COLL => "COLL",
         K_ACK => "ACK",
         K_MIGRATE => "MIGRATE",
+        K_TOKENS => "TOKENS",
         _ => "UNKNOWN",
     }
 }
@@ -171,9 +178,26 @@ pub(crate) struct WriteBundleMsg {
     pub parts: Vec<(u32, Box<dyn Any + Send>)>,
 }
 
+/// Sender-set token for the sparse end-of-phase exchange (DESIGN.md §17).
+/// Every `(node, write-destination set)` pair the sender knows for this
+/// phase, forwarded whole each dissemination round (an allgather, exactly
+/// like [`BarrierMsg::loads`]). After ⌈log₂ N⌉ rounds every node holds all
+/// N pairs and derives its expected-sender set `{s : W_s ∋ me}` locally.
+/// Modeled free: like the empty tokens it replaces, a token carries zero
+/// wire bytes and advances no clock, so makespans are bit-identical to
+/// the legacy all-to-all.
+pub(crate) struct TokenMsg {
+    /// Global phase sequence the sets belong to (protocol checking).
+    pub phase: u64,
+    /// `(node id, set of nodes it will send a non-empty K_WRITE bundle)`.
+    pub writers: Vec<(u32, NodeSet)>,
+}
+
 /// Repartitioning migration bundle: the elements this node hands over to
-/// one peer (possibly empty — every node sends exactly one per peer per
-/// rebalance, so receivers can count instead of guessing).
+/// one peer. Legacy protocol (`sparse_tokens` off): possibly empty — every
+/// node sends exactly one per peer per rebalance, so receivers can count
+/// instead of guessing. Sparse protocol: only non-empty bundles are sent;
+/// both sides derive the sender set from the replicated rebalance plan.
 pub(crate) struct MigrateMsg {
     /// Global phase sequence of the rebalancing boundary (protocol check).
     pub phase: u64,
@@ -187,8 +211,8 @@ mod tests {
 
     #[test]
     fn kind_names_are_distinct() {
-        let names: std::collections::HashSet<_> = (1..=7).map(kind_name).collect();
-        assert_eq!(names.len(), 7);
+        let names: std::collections::HashSet<_> = (1..=8).map(kind_name).collect();
+        assert_eq!(names.len(), 8);
         assert_eq!(kind_name(99), "UNKNOWN");
     }
 
@@ -202,6 +226,7 @@ mod tests {
             K_COLL,
             K_ACK,
             K_MIGRATE,
+            K_TOKENS,
         ] {
             for meta in [0u64, 1, 12345, META_MASK] {
                 assert_eq!(untag(tag(kind, meta)), (kind, meta));

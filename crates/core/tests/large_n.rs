@@ -142,6 +142,111 @@ fn bit_identity_at_256_nodes_with_death() {
     assert_eq!(c, base_c, "counters diverged across host-thread counts");
 }
 
+/// One run of the read-heavy workload for the message-scaling gates:
+/// every node reads its predecessor's element every phase, but only the
+/// first `writers` ranks ever write. With the sparse exchange on, a
+/// phase's K_WRITE traffic is exactly the non-empty bundles; with it off
+/// (legacy all-to-all) every phase adds N²−N empty-token messages.
+fn read_heavy_job(
+    nodes: u32,
+    host_threads: usize,
+    writers: usize,
+    victim: usize,
+    death_phase: u64,
+    sparse: bool,
+) -> (Vec<u64>, SimTime, Counters) {
+    let cfg = PpmConfig::new(MachineConfig::new(nodes, 4))
+        .with_read_cache(true)
+        .with_replication(true)
+        .with_sparse_tokens(sparse)
+        .with_host_threads(host_threads)
+        .with_faults(FaultConfig::NONE.with_permanent_crash(victim, death_phase));
+    let n = nodes as usize;
+    let report = run(cfg, move |node| {
+        let a = node.alloc_global::<u64>(n);
+        let me = node.node_id();
+        node.with_local_mut(&a, |s| s[0] = me as u64 + 1);
+        node.ppm_do(2, move |vp| async move {
+            let r = vp.node_rank();
+            for round in 0..4u64 {
+                vp.global_phase(|ph| async move {
+                    let peer = (me + n - 1) % n;
+                    let v = ph.get(&a, peer).await;
+                    if r == 0 && me < writers {
+                        ph.put(&a, me, v + round);
+                    }
+                })
+                .await;
+            }
+        });
+        let bits = node.gather_global(&a);
+        let violations = node.take_violations();
+        assert!(violations.is_empty(), "conformance: {violations:?}");
+        bits
+    });
+    let first = report.results[0].clone();
+    for (i, bits) in report.results.iter().enumerate() {
+        assert_eq!(bits, &first, "node {i} disagrees on the array");
+    }
+    (first, report.makespan(), report.total_counters())
+}
+
+/// Message-scaling gate (DESIGN.md §17): on a 256-node read-heavy
+/// workload — 8 writers, everyone reads — total message count must scale
+/// with writers + O(N) per phase, not N². The legacy all-to-all sends
+/// 65,280 empty tokens per phase (261k over the run); the sparse run must
+/// come in well under one legacy *phase*. The run also carries a rank-200
+/// death, and results, makespan, and every counter must stay bit-identical
+/// across 1 and 8 host threads.
+#[test]
+fn sparse_exchange_message_scaling_at_256_nodes() {
+    let nodes = 256u32;
+    let (base, base_t, base_c) = read_heavy_job(nodes, 1, 8, 200, 2, true);
+    assert_eq!(base_c.failovers, 1, "the death at phase 2 never fired");
+    assert_eq!(base_c.peers_confirmed_dead, 255);
+    // Each phase: ≤2N request/response messages, ≤`writers` write bundles,
+    // plus O(N) prologue/epilogue collective traffic and piggybacked acks.
+    // The legacy protocol's empty tokens alone are 65,280 per phase; gate
+    // at a quarter of ONE such phase so any O(N²) term trips immediately.
+    let n2_per_phase = (nodes as u64) * (nodes as u64 - 1);
+    assert!(
+        base_c.msgs_sent < n2_per_phase / 4,
+        "msgs_sent = {} — the O(N²) token exchange is back (legacy sends \
+         {n2_per_phase} empty tokens per phase)",
+        base_c.msgs_sent
+    );
+    let (got, t, c) = read_heavy_job(nodes, 8, 8, 200, 2, true);
+    assert_eq!(got, base, "results diverged across host-thread counts");
+    assert_eq!(t, base_t, "makespan diverged across host-thread counts");
+    assert_eq!(c, base_c, "counters diverged across host-thread counts");
+}
+
+/// The sparse protocol is a pure message-count optimization: against the
+/// legacy all-to-all (`with_sparse_tokens(false)`) on the identical
+/// 64-node read-heavy job, results and makespan are bit-identical while
+/// per-phase messages drop from N²-dominated to writers + O(N).
+#[test]
+fn sparse_exchange_matches_legacy_bit_for_bit() {
+    let nodes = 64u32;
+    let (s_bits, s_t, s_c) = read_heavy_job(nodes, 2, 4, 48, 2, true);
+    let (l_bits, l_t, l_c) = read_heavy_job(nodes, 2, 4, 48, 2, false);
+    assert_eq!(s_bits, l_bits, "sparse protocol changed the results");
+    assert_eq!(s_t, l_t, "sparse protocol changed the makespan");
+    // 4 phases × 64×63 empty-token all-to-all dominates the legacy count.
+    assert!(
+        l_c.msgs_sent > s_c.msgs_sent + 3 * (nodes as u64) * (nodes as u64 - 1),
+        "legacy sent {} msgs vs sparse {} — the all-to-all ablation no \
+         longer shows the quadratic term",
+        l_c.msgs_sent,
+        s_c.msgs_sent
+    );
+    assert_eq!(s_c.failovers, l_c.failovers);
+    assert_eq!(
+        s_c.bundles_sent, l_c.bundles_sent,
+        "bundle counts must match"
+    );
+}
+
 /// The 1024-node smoke (ignored by default — wall-clock heavy; CI's
 /// `large-n` job runs it explicitly): clock barrier at 10 dissemination
 /// rounds, loads sidecar asserted complete, refresh pushes active, death
