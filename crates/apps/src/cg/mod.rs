@@ -44,6 +44,15 @@ pub struct CgParams {
     /// is shared state every virtual processor reads, the early exit is
     /// taken uniformly — phase sequences stay aligned across the cluster.
     pub tol: Option<f64>,
+    /// PPM only: rows of the mat-vec handled per bulk read (0 = the whole
+    /// VP slice at once, the historical behavior). With a tile budget set
+    /// (`PpmConfig::with_tile_budget`), a nonzero chunk bounds both the
+    /// transient CSR block and the `get_many` staging a VP holds live at
+    /// any instant, which is what lets `fig1_cg --full` run 16.7M rows
+    /// under a small residency budget. Results are bit-identical across
+    /// chunk sizes (the read and accumulate order per row is unchanged);
+    /// only wave structure — and hence simulated time — shifts.
+    pub spmv_chunk: usize,
 }
 
 impl CgParams {
@@ -55,7 +64,14 @@ impl CgParams {
             rows_per_vp: 64,
             collect_x: true,
             tol: None,
+            spmv_chunk: 0,
         }
+    }
+
+    /// Bound the mat-vec's per-bulk-read row chunk (0 disables chunking).
+    pub fn with_spmv_chunk(mut self, rows: usize) -> Self {
+        self.spmv_chunk = rows;
+        self
     }
 
     /// Enable the relative-residual stopping test.

@@ -22,35 +22,42 @@ const RR_NEW: usize = 2;
 /// Iterations completed (maintained by VP 0, read back by the caller).
 const ITERS: usize = 3;
 
-/// Phase A body: `ap = A·p` (one bulk read for every p value this VP's
-/// rows touch) and the `p·Ap` partial.
+/// Phase A body: `ap = A·p` (one bulk read per row chunk for every p value
+/// those rows touch) and the `p·Ap` partial.
 ///
 /// The VP's rows can move between phases under adaptive balancing, so the
 /// CSR slice is rebuilt from the stencil per phase — matrix setup, like
 /// the original hoisted block build, is not part of the modeled cost.
+/// `chunk` bounds how many rows' matrix entries and staged p-values exist
+/// at once (0 = the whole slice, the historical single-bulk-read shape);
+/// the per-row read/accumulate order is identical either way, so the
+/// numerics are bit-identical across chunk sizes.
+#[allow(clippy::too_many_arguments)]
 async fn spmv_phase(
     ph: &Phase,
     prob: &Stencil27,
     rows: Range<usize>,
+    chunk: usize,
     p: &GlobalShared<f64>,
     ap: &GlobalShared<f64>,
     scal: &GlobalShared<f64>,
     v: &Vp,
 ) {
-    let am = prob.csr_block(rows.clone());
-    let pv = ph.get_many(p, am.col_idx.iter().copied()).await;
     let mut pap_part = 0.0;
-    let mut at = 0;
-    for (li, gi) in rows.enumerate() {
-        let (cols, vals) = am.row(li);
-        let mut acc = 0.0;
-        for &val in vals {
-            acc += val * pv[at];
-            at += 1;
+    for (crows, am) in prob.row_chunks(rows, chunk) {
+        let pv = ph.get_many(p, am.col_idx.iter().copied()).await;
+        let mut at = 0;
+        for (li, gi) in crows.enumerate() {
+            let (cols, vals) = am.row(li);
+            let mut acc = 0.0;
+            for &val in vals {
+                acc += val * pv[at];
+                at += 1;
+            }
+            ph.put(ap, gi, acc);
+            pap_part += ph.get(p, gi).await * acc;
+            v.charge_flops(2 * cols.len() as u64 + 2);
         }
-        ph.put(ap, gi, acc);
-        pap_part += ph.get(p, gi).await * acc;
-        v.charge_flops(2 * cols.len() as u64 + 2);
     }
     ph.accumulate(scal, PAP, AccumOp::Add, pap_part);
 }
@@ -63,6 +70,7 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
     let n = prob.n();
     let iters = params.iters;
     let tol = params.tol;
+    let chunk = params.spmv_chunk;
 
     let x = node.alloc_global_balanced::<f64>(n);
     let r = node.alloc_global_balanced::<f64>(n);
@@ -116,10 +124,10 @@ pub fn solve(node: &mut NodeCtx<'_>, params: &CgParams) -> (CgOutcome, SimTime) 
                             if rr_cur <= lim {
                                 return (false, lim);
                             }
-                            spmv_phase(&ph, &prob, rows, &p, &ap, &scal, &v).await;
+                            spmv_phase(&ph, &prob, rows, chunk, &p, &ap, &scal, &v).await;
                             (true, lim)
                         } else {
-                            spmv_phase(&ph, &prob, rows, &p, &ap, &scal, &v).await;
+                            spmv_phase(&ph, &prob, rows, chunk, &p, &ap, &scal, &v).await;
                             (true, 0.0)
                         }
                     })

@@ -61,10 +61,13 @@ impl Stencil27 {
         (x, y, z)
     }
 
-    /// The `(column, value)` entries of row `i`, in ascending column order.
-    pub fn row_entries(&self, i: usize) -> Vec<(usize, f64)> {
+    /// Visit the `(column, value)` entries of row `i` in ascending column
+    /// order without allocating. The single generator behind
+    /// [`row_entries`](Self::row_entries), [`csr_block`](Self::csr_block)
+    /// and [`rhs_for_ones`](Self::rhs_for_ones).
+    #[inline]
+    pub fn for_each_entry(&self, i: usize, mut f: impl FnMut(usize, f64)) {
         let (x, y, z) = self.coords(i);
-        let mut out = Vec::with_capacity(27);
         for dz in -1i64..=1 {
             for dy in -1i64..=1 {
                 for dx in -1i64..=1 {
@@ -80,23 +83,77 @@ impl Stencil27 {
                     }
                     let j = self.idx(nx as usize, ny as usize, nz as usize);
                     let v = if j == i { 26.0 } else { -1.0 };
-                    out.push((j, v));
+                    f(j, v);
                 }
             }
         }
+    }
+
+    /// The `(column, value)` entries of row `i`, in ascending column order.
+    pub fn row_entries(&self, i: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(27);
+        self.for_each_entry(i, |j, v| out.push((j, v)));
         out
     }
 
     /// Assemble the CSR block for rows `range` (global column indexing).
+    /// Rows stream straight into the CSR arrays — no intermediate
+    /// per-row vectors — so peak memory is the block itself.
     pub fn csr_block(&self, range: std::ops::Range<usize>) -> Csr {
-        let rows: Vec<Vec<(usize, f64)>> = range.map(|i| self.row_entries(i)).collect();
-        Csr::from_rows(self.n(), &rows)
+        let rows = range.len();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        // Interior rows carry 27 entries; boundary rows fewer. Reserving
+        // for the dense case wastes under 4% on any grid ≥ 16³.
+        let mut col_idx = Vec::with_capacity(rows * 27);
+        let mut values = Vec::with_capacity(rows * 27);
+        for i in range {
+            self.for_each_entry(i, |j, v| {
+                col_idx.push(j);
+                values.push(v);
+            });
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            rows,
+            cols: self.n(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Chunked row iterator: yields `(row range, CSR block)` pairs covering
+    /// `range` in ascending order, at most `chunk_rows` rows per block
+    /// (0 = the whole range as a single block). Each block is generated
+    /// lazily when the iterator reaches it, so a consumer that processes
+    /// and drops blocks holds O(chunk) matrix state instead of the full
+    /// local block — the companion knob to the runtime's tile budget
+    /// (DESIGN.md §18).
+    pub fn row_chunks(
+        &self,
+        range: std::ops::Range<usize>,
+        chunk_rows: usize,
+    ) -> impl Iterator<Item = (std::ops::Range<usize>, Csr)> + '_ {
+        let chunk = if chunk_rows == 0 {
+            range.len().max(1)
+        } else {
+            chunk_rows
+        };
+        let (start, end) = (range.start, range.end);
+        (0..range.len().div_ceil(chunk)).map(move |k| {
+            let lo = start + k * chunk;
+            let hi = (lo + chunk).min(end);
+            (lo..hi, self.csr_block(lo..hi))
+        })
     }
 
     /// Right-hand side making `x = 1⃗` the exact solution (`b = A·1⃗`),
     /// the standard HPCG validation trick.
     pub fn rhs_for_ones(&self, i: usize) -> f64 {
-        self.row_entries(i).iter().map(|(_, v)| v).sum()
+        let mut sum = 0.0;
+        self.for_each_entry(i, |_, v| sum += v);
+        sum
     }
 }
 
@@ -188,5 +245,27 @@ mod tests {
         for (local, global) in (10..20).enumerate() {
             assert_eq!(block.row(local), full.row(global));
         }
+    }
+
+    #[test]
+    fn row_chunks_cover_the_range_exactly() {
+        let s = Stencil27::chimney(3);
+        let full = s.csr_block(5..50);
+        // Chunked generation concatenates to the monolithic block, for a
+        // chunk that divides the range, one that leaves a short tail, and
+        // the 0 = "one block" convention.
+        for chunk in [1, 7, 9, 45, 1000, 0] {
+            let mut next = 5usize;
+            for (rg, blk) in s.row_chunks(5..50, chunk) {
+                assert_eq!(rg.start, next, "chunk={chunk}");
+                assert_eq!(blk.rows, rg.len());
+                for (li, gi) in rg.clone().enumerate() {
+                    assert_eq!(blk.row(li), full.row(gi - 5), "chunk={chunk}");
+                }
+                next = rg.end;
+            }
+            assert_eq!(next, 50, "chunk={chunk}");
+        }
+        assert_eq!(s.row_chunks(7..7, 4).count(), 0, "empty range, no chunks");
     }
 }

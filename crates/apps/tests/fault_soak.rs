@@ -278,6 +278,7 @@ fn reliability_overhead_on_fig1_smoke_is_under_5_percent() {
         rows_per_vp: 64,
         collect_x: false,
         tol: None,
+        spmv_chunk: 0,
     };
     let run = |cfg: PpmConfig| {
         let p = params;

@@ -20,6 +20,7 @@ fn fig1_smoke(cfg: PpmConfig) -> Run {
         rows_per_vp: 64,
         collect_x: true,
         tol: None,
+        spmv_chunk: 0,
     };
     let report = ppm_core::run(cfg, move |node| {
         let (out, _) = cg::ppm::solve(node, &p);

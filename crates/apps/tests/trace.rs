@@ -16,6 +16,7 @@ fn fig1_smoke_params() -> CgParams {
         rows_per_vp: 64,
         collect_x: false,
         tol: None,
+        spmv_chunk: 0,
     }
 }
 

@@ -24,12 +24,19 @@
 //!   `--ablate-tokens` prints sparse vs legacy all-to-all: makespans are
 //!   bit-identical by construction, so the column that moves is the
 //!   message count.
+//! * **streamed tiles** — the resident-tile budget that spills cold
+//!   partition tiles to backing store (DESIGN.md §18). `--ablate-streaming`
+//!   prints in-core vs streamed under a tight budget: spills and refills
+//!   are free in simulated time and invisible to the merge order, so the
+//!   makespan columns must be bit-identical and only the refill counters
+//!   move.
 //!
 //! ```text
 //! cargo run --release -p ppm-bench --bin ablations [-- --nodes 8 --g 16]
 //! cargo run --release -p ppm-bench --bin ablations -- --ablate-cache
 //! cargo run --release -p ppm-bench --bin ablations -- --ablate-balance
 //! cargo run --release -p ppm-bench --bin ablations -- --ablate-tokens
+//! cargo run --release -p ppm-bench --bin ablations -- --ablate-streaming
 //! ```
 //!
 //! `--trace <path>` / `PPM_TRACE=<path>` records every ablation run as one
@@ -56,6 +63,7 @@ fn main() {
         rows_per_vp: 64,
         collect_x: false,
         tol: None,
+        spmv_chunk: 0,
     };
     let mut bh_params = BhParams::new(args.usize("--n", 4096));
     bh_params.steps = 1;
@@ -83,7 +91,9 @@ fn main() {
     let ablate_pipeline = args.flag("--ablate-pipeline");
     let ablate_balance = args.flag("--ablate-balance");
     let ablate_tokens = args.flag("--ablate-tokens");
-    let all = !(ablate_cache || ablate_pipeline || ablate_balance || ablate_tokens);
+    let ablate_streaming = args.flag("--ablate-streaming");
+    let all =
+        !(ablate_cache || ablate_pipeline || ablate_balance || ablate_tokens || ablate_streaming);
 
     println!("# Runtime ablations on {nodes} nodes (4 cores each)\n");
     header(&["configuration", "CG ms", "Barnes–Hut ms"]);
@@ -247,6 +257,59 @@ fn main() {
         assert!(
             rows[0].1 < rows[1].1 && rows[0].3 < rows[1].3,
             "sparse exchange must cut the message count"
+        );
+    }
+
+    if all || ablate_streaming {
+        // In-core vs streamed under a tight tile budget: at g=16 on 8
+        // nodes each CG vector holds 2048 local elements (16 KiB), so a
+        // 4 KiB budget forces real spill/refill traffic. Simulated time
+        // must not move — streaming is free in modeled time and invisible
+        // to the deterministic merge order — so the honest column is the
+        // refill count.
+        let budget = args.usize("--budget", 4096) as u64;
+        println!("\n# Streamed partition tiles (DESIGN.md \u{a7}18, {budget} B/node budget)\n");
+        header(&[
+            "configuration",
+            "CG ms",
+            "CG refills",
+            "B\u{2013}H ms",
+            "B\u{2013}H refills",
+        ]);
+        let mut rows: Vec<(SimTime, u64, SimTime, u64)> = Vec::new();
+        for (desc, b) in [("in-core (no budget)", 0u64), ("streamed tiles", budget)] {
+            let cfg = base.with_tile_budget(b);
+            let p = cg_params;
+            let cg_report = ppm_core::run(cfg, move |node| cg::ppm::solve(node, &p).1);
+            let p = bh_params;
+            let bh_report = ppm_core::run(cfg, move |node| bh::ppm::simulate(node, &p).1);
+            let entry = (
+                max_time(&cg_report),
+                cg_report.total_counters().tile_refills,
+                max_time(&bh_report),
+                bh_report.total_counters().tile_refills,
+            );
+            row(&[
+                desc.into(),
+                ms(entry.0),
+                entry.1.to_string(),
+                ms(entry.2),
+                entry.3.to_string(),
+            ]);
+            rows.push(entry);
+        }
+        assert_eq!(rows[0].0, rows[1].0, "streaming moved the CG makespan");
+        assert_eq!(
+            rows[0].2, rows[1].2,
+            "streaming moved the Barnes\u{2013}Hut makespan"
+        );
+        assert!(
+            rows[0].1 == 0 && rows[0].3 == 0,
+            "in-core run must not refill tiles"
+        );
+        assert!(
+            rows[1].1 > 0 && rows[1].3 > 0,
+            "the streamed run must actually spill and refill"
         );
     }
 

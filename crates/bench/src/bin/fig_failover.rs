@@ -40,6 +40,7 @@ fn main() {
         rows_per_vp: 64,
         collect_x: true,
         tol: None,
+        spmv_chunk: 0,
     };
 
     println!(

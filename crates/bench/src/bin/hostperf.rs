@@ -112,6 +112,7 @@ fn main() {
             rows_per_vp: 64,
             collect_x: false,
             tol: None,
+            spmv_chunk: 0,
         };
         sweep("fig1 cg smoke", &threads, reps, &move |t| {
             let p = params;

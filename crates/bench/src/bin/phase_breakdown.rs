@@ -31,6 +31,7 @@ fn main() {
         rows_per_vp: 64,
         collect_x: false,
         tol: None,
+        spmv_chunk: 0,
     };
 
     let body = move |node: &mut ppm_core::NodeCtx<'_>| {

@@ -114,6 +114,16 @@ pub struct PpmConfig {
     /// detected death; the suspicion is confirmed on the next clock
     /// barrier).
     pub suspect_timeout: SimTime,
+    /// Pseudo-streaming tile budget in bytes per node (DESIGN.md §18):
+    /// `0` (the default) keeps every partition fully resident; a non-zero
+    /// budget splits each global-array partition into fixed-size tiles and
+    /// bounds how many stay resident at once, spilling cold tiles to the
+    /// modeled backing store and refilling them on first touch. Results,
+    /// counters, and makespans are bit-identical at every budget — only
+    /// the `bytes_resident` peak and the `tile_spills`/`tile_refills`
+    /// counters move. `PPM_TILE_BUDGET` accepts a byte count with an
+    /// optional `k`/`m`/`g` suffix.
+    pub tile_budget: u64,
 }
 
 impl PpmConfig {
@@ -143,6 +153,7 @@ impl PpmConfig {
             replication: env_flag("PPM_REPLICATION", false),
             sparse_tokens: env_flag("PPM_SPARSE_TOKENS", true),
             suspect_timeout: SimTime::from_us(400),
+            tile_budget: env_bytes("PPM_TILE_BUDGET", 0),
         }
     }
 
@@ -220,6 +231,14 @@ impl PpmConfig {
         self
     }
 
+    /// Set the pseudo-streaming tile budget in bytes per node (`0` = off:
+    /// partitions stay fully resident). Overrides the `PPM_TILE_BUDGET`
+    /// environment default. Bit-identical at every value (DESIGN.md §18).
+    pub fn with_tile_budget(mut self, bytes: u64) -> Self {
+        self.tile_budget = bytes;
+        self
+    }
+
     /// Pin the number of host worker threads used to poll VPs (`0` =
     /// auto: `PPM_HOST_THREADS`, else `min(host cores, cores_per_node)`).
     /// Deterministic at any value; this knob exists so tests can compare
@@ -257,6 +276,27 @@ fn env_flag(var: &str, default: bool) -> bool {
         Ok(v) => !matches!(v.as_str(), "0" | "false" | "off"),
         Err(_) => default,
     }
+}
+
+/// Byte count with an optional `k`/`m`/`g` (or `K`/`M`/`G`) suffix —
+/// powers of 1024. Unset or unparsable → `default`. Read once at config
+/// construction like [`env_flag`].
+fn env_bytes(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(v) => parse_bytes(&v).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    num.trim().parse::<u64>().ok().map(|n| n << shift)
 }
 
 #[cfg(test)]
@@ -325,6 +365,28 @@ mod tests {
                 .with_sparse_tokens(true)
                 .sparse_tokens
         );
+    }
+
+    #[test]
+    fn tile_budget_defaults_off_and_toggles() {
+        let c = PpmConfig::franklin(2);
+        assert_eq!(c.tile_budget, 0, "streaming is opt-in");
+        assert_eq!(c.with_tile_budget(1 << 20).tile_budget, 1 << 20);
+        assert_eq!(
+            c.with_tile_budget(1 << 20).with_tile_budget(0).tile_budget,
+            0
+        );
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("3M"), Some(3 << 20));
+        assert_eq!(parse_bytes(" 2g "), Some(2 << 30));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(env_bytes("PPM_SURELY_UNSET_BYTES_XYZ", 7), 7);
     }
 
     #[test]

@@ -238,6 +238,31 @@ impl Dist {
         }
     }
 
+    /// Tile-aware iteration over `node`'s owned range (any contiguous
+    /// layout): successive subranges of at most `chunk_elems` elements,
+    /// aligned to multiples of `chunk_elems` from the range start so the
+    /// subranges coincide with the pseudo-streaming tiles of the local
+    /// partition (tiles are keyed by local offset; for a contiguous layout
+    /// local offset = global index − range start). With `chunk_elems == 0`
+    /// the whole range comes back as one chunk — callers can pass a
+    /// disabled chunking knob straight through. Pure index math, zero
+    /// modeled cost.
+    pub fn owned_chunks(
+        &self,
+        node: usize,
+        chunk_elems: usize,
+    ) -> impl Iterator<Item = std::ops::Range<usize>> {
+        let range = self.owned_range(node);
+        let chunk = if chunk_elems == 0 {
+            range.len().max(1)
+        } else {
+            chunk_elems
+        };
+        let (start, end) = (range.start, range.end);
+        (0..range.len().div_ceil(chunk))
+            .map(move |k| (start + k * chunk)..(start + (k + 1) * chunk).min(end))
+    }
+
     /// The prefix-summed per-node boundaries of a contiguous layout
     /// (`bounds[n]..bounds[n + 1]` is node `n`'s range). Panics for
     /// `Cyclic`.
@@ -459,6 +484,25 @@ mod tests {
             assert_eq!(w.bounds(), b.bounds(), "len={len} nodes={nodes}");
             assert_eq!(z.bounds(), b.bounds(), "all-zero weights act uniform");
         }
+    }
+
+    /// `owned_chunks` tiles the owned range exactly: chunks partition the
+    /// range in order, each at most `chunk` long and aligned to multiples
+    /// of `chunk` from the range start; 0 means "one chunk".
+    #[test]
+    fn owned_chunks_partition_the_owned_range() {
+        let d = Dist::block(100, 4); // node 1 owns 25..50
+        let chunks: Vec<_> = d.owned_chunks(1, 8).collect();
+        assert_eq!(chunks, vec![25..33, 33..41, 41..49, 49..50]);
+        assert_eq!(d.owned_chunks(1, 0).collect::<Vec<_>>(), vec![25..50]);
+        assert_eq!(
+            d.owned_chunks(1, 1000).collect::<Vec<_>>(),
+            vec![25..50],
+            "oversized chunk degenerates to the whole range"
+        );
+        // Empty ranges yield no chunks.
+        let short = Dist::block(3, 8);
+        assert_eq!(short.owned_chunks(7, 4).count(), 0);
     }
 
     #[test]

@@ -57,7 +57,7 @@ const SERVE_TTL: u64 = 8;
 /// Per-phase counter-delta argument names, aligned with
 /// [`ppm_simnet::Counters::named_fields`] (the `debug_assert` in
 /// [`emit_phase_summary`] keeps the two in lockstep).
-const DELTA_ARG_NAMES: [&str; 27] = [
+const DELTA_ARG_NAMES: [&str; 29] = [
     "d_msgs_sent",
     "d_bytes_sent",
     "d_msgs_recv",
@@ -85,6 +85,8 @@ const DELTA_ARG_NAMES: [&str; 27] = [
     "d_peers_confirmed_dead",
     "d_failovers",
     "d_replica_bytes",
+    "d_tile_spills",
+    "d_tile_refills",
 ];
 
 /// Record a phase-summary span `[start, now]` carrying the phase's time
@@ -403,6 +405,16 @@ fn drive(
             break;
         }
 
+        // Cold-tile faults take priority over everything else
+        // (DESIGN.md §18): they are local and free in modeled time, and
+        // must fully drain before a wave starts or advances so that wave
+        // content and the compute-overlap window attribution match
+        // in-core execution bit for bit.
+        if !nc.inner.borrow().pending_tile_faults.is_empty() {
+            service_tile_faults(nc, &mut ready);
+            continue;
+        }
+
         // A wave in flight takes priority: consume its next destination
         // (strictly ascending). With pipelining on, the VPs it satisfied
         // resume immediately; with it off, drain every destination first —
@@ -482,6 +494,63 @@ fn drive(
                 panic!("{v} (open phase: {open:?})");
             }
         }
+    }
+}
+
+/// Service one cold-tile fault round (pseudo-streaming, DESIGN.md §18):
+/// refill the *minimum* pending `(array, tile)` — evicting
+/// least-recently-touched tiles to stay under the budget — and wake every
+/// fault-parked VP. Woken VPs whose tiles are still cold re-record their
+/// faults charge-free, so exactly one tile group resolves per round;
+/// servicing only the minimum group keeps simultaneous residency bounded
+/// by the budget even when every VP faults a different tile at once, and
+/// each round strictly shrinks the set of unresolved deferred reads (the
+/// refilled tile cannot be evicted before the very next poll captures its
+/// values). Spills and refills are free in modeled time and charge no
+/// counters beyond their own: residency is an accounting overlay on the
+/// same backing storage, so the phase cost model never sees it —
+/// makespans stay bit-identical to in-core execution.
+fn service_tile_faults(nc: &mut NodeCtx<'_>, ready: &mut Vec<usize>) {
+    let (array, tile, spilled, resident) = {
+        let mut inner = nc.inner.borrow_mut();
+        let inner = &mut *inner;
+        let &(array, tile) = inner
+            .pending_tile_faults
+            .iter()
+            .min()
+            .expect("fault round with no faults");
+        // Drop the other groups: every parked VP is woken below and
+        // re-records any still-cold fault on its next poll.
+        inner.pending_tile_faults.clear();
+        let spilled = inner.tile_budget.refill(array, tile);
+        inner.counters.tile_refills += 1;
+        inner.counters.tile_spills += spilled.len() as u64;
+        ready.append(&mut inner.fault_waiters);
+        (array, tile, spilled, inner.tile_budget.bytes_resident())
+    };
+    if nc.ep.tracer.enabled() {
+        let ts = nc.ep.clock.now();
+        for &(a, t) in &spilled {
+            nc.ep.tracer.instant(
+                "tile_spill",
+                "mem",
+                ts,
+                vec![
+                    ("array", ArgValue::U64(a as u64)),
+                    ("tile", ArgValue::U64(t as u64)),
+                ],
+            );
+        }
+        nc.ep.tracer.instant(
+            "tile_refill",
+            "mem",
+            ts,
+            vec![
+                ("array", ArgValue::U64(array as u64)),
+                ("tile", ArgValue::U64(tile as u64)),
+                ("bytes_resident", ArgValue::U64(resident)),
+            ],
+        );
     }
 }
 
@@ -1010,7 +1079,15 @@ fn global_phase_end(nc: &mut NodeCtx<'_>) {
             .retain(|_, h| phase <= h.last_serve + SERVE_TTL);
         for (array, mut parcels) in by_array {
             parcels.sort_by_key(|(src, _)| *src);
-            let (n, written) = inner.garrays[array as usize].apply_writes(parcels);
+            let (n, written) = {
+                // Split borrow: applied writes bump tile recency on
+                // resident tiles (write-through without admission,
+                // DESIGN.md §18).
+                let inner = &mut *inner;
+                let tiles = &mut inner.tile_budget;
+                inner.garrays[array as usize]
+                    .apply_writes(parcels, &mut |off| tiles.touch(array, off))
+            };
             applied_remote += n;
             if !push_on {
                 continue;
@@ -1385,7 +1462,11 @@ fn charge_phase_time(nc: &mut NodeCtx<'_>) -> PhaseCharge {
 fn exchange_sender_sets(nc: &mut NodeCtx<'_>, phase: u64, my_writes: &NodeSet) -> NodeSet {
     let me = nc.node_id();
     let nodes = nc.num_nodes();
-    let mut writers: Vec<(u32, NodeSet)> = vec![(me as u32, my_writes.clone())];
+    // The accumulated pair vector lives behind an `Arc`: each round's send
+    // is a refcount bump, not an O(2^round) entry copy (clone-audit,
+    // DESIGN.md §17). `Arc::make_mut` below copies-on-write only while the
+    // in-flight message still shares the allocation.
+    let mut writers: Arc<Vec<(u32, NodeSet)>> = Arc::new(vec![(me as u32, my_writes.clone())]);
     let mut known = NodeSet::single(me);
     let mut d = 1usize;
     let mut round = 0u32;
@@ -1403,7 +1484,7 @@ fn exchange_sender_sets(nc: &mut NodeCtx<'_>, phase: u64, my_writes: &NodeSet) -
                 0,
                 TokenMsg {
                     phase,
-                    writers: writers.clone(),
+                    writers: Arc::clone(&writers),
                 },
             ),
             msgs::K_TOKENS,
@@ -1411,10 +1492,11 @@ fn exchange_sender_sets(nc: &mut NodeCtx<'_>, phase: u64, my_writes: &NodeSet) -
         let msg = nc.pump_recv(|m| m.tag == tag && m.src == from);
         let tm: TokenMsg = msg.take();
         debug_assert_eq!(tm.phase, phase);
-        for (n, ws) in tm.writers {
-            if !known.contains(n as usize) {
-                known.insert(n as usize);
-                writers.push((n, ws));
+        let acc = Arc::make_mut(&mut writers);
+        for (n, ws) in tm.writers.iter() {
+            if !known.contains(*n as usize) {
+                known.insert(*n as usize);
+                acc.push((*n, ws.clone()));
             }
         }
         d <<= 1;
@@ -1519,7 +1601,11 @@ fn clock_barrier(
     // all `nodes` entries here (asserted below). `known` mirrors the
     // vector as a bitset so each received pair dedups in O(1) instead of
     // an O(N) scan per entry (O(N²) per barrier at 1024 nodes).
-    let mut known_loads: Vec<(u32, u64)> = vec![(me as u32, my_load)];
+    // Arc'd for the same reason as `exchange_sender_sets`' pair vector:
+    // the allgather forwards the whole accumulated vector every round, so
+    // sending a refcount bump instead of an O(N)-entry clone keeps the
+    // barrier's copy work linear in N rather than N·log N.
+    let mut known_loads: Arc<Vec<(u32, u64)>> = Arc::new(vec![(me as u32, my_load)]);
     let mut known = me_set.clone();
     // Suspicion OR-flood state, seeded with this node's own detections.
     let mut suspects = local_suspect;
@@ -1632,12 +1718,18 @@ fn clock_barrier(
                 now + net.latency,
                 refresh_bytes as usize,
                 BarrierMsg {
+                    // The two bitsets stay owned clones on purpose
+                    // (clone-audit): a NodeSet is a few machine words
+                    // copied by memcpy, and both are OR-mutated every
+                    // round, so an Arc would deep-copy under
+                    // `make_mut` anyway. Only the variable-length
+                    // `loads` sidecar rides an Arc.
                     inv_bits: inv.clone(),
                     suspect_bits: suspects.clone(),
                     replica: frame,
                     hosted_compute_ps: if round == 0 { hosted_ps } else { 0 },
                     refreshes,
-                    loads: known_loads.clone(),
+                    loads: Arc::clone(&known_loads),
                 },
             ),
             msgs::K_BARRIER,
@@ -1649,10 +1741,13 @@ fn clock_barrier(
         let bm: BarrierMsg = msg.take();
         inv.union_with(&bm.inv_bits);
         suspects.union_with(&bm.suspect_bits);
-        for &(n, l) in &bm.loads {
-            if !known.contains(n as usize) {
-                known.insert(n as usize);
-                known_loads.push((n, l));
+        {
+            let acc = Arc::make_mut(&mut known_loads);
+            for &(n, l) in bm.loads.iter() {
+                if !known.contains(n as usize) {
+                    known.insert(n as usize);
+                    acc.push((n, l));
+                }
             }
         }
         if bytes_in > 0 {
@@ -1721,7 +1816,7 @@ fn clock_barrier(
         if inner.load_acc.len() != nodes {
             inner.load_acc = vec![0; nodes];
         }
-        for &(n, l) in &known_loads {
+        for &(n, l) in known_loads.iter() {
             let slot = &mut inner.load_acc[n as usize];
             *slot = slot.saturating_add(l);
         }
@@ -2208,6 +2303,10 @@ fn maybe_rebalance(nc: &mut NodeCtx<'_>, phase: u64) {
         for (id, _old, new) in &plan {
             let parts = by_array.remove(id).unwrap_or_default();
             moved_in += inner.garrays[*id as usize].migrate_rebind(me, new.clone(), parts);
+            // The repartitioned stretch starts fully cold: residency is
+            // keyed by local offsets, which the rebind just remapped
+            // (DESIGN.md §18).
+            inner.tile_budget.rebind(*id, new.local_len(me));
         }
         debug_assert!(
             by_array.is_empty(),

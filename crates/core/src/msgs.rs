@@ -5,6 +5,7 @@
 //! message — e.g. "drop the 3rd [`K_WRITE`] bundle from node 2 to node 0".
 
 use std::any::Any;
+use std::sync::Arc;
 
 use crate::bitset::NodeSet;
 
@@ -148,7 +149,13 @@ pub(crate) struct BarrierMsg {
     /// load vector. Like `inv_bits`, modeled free — it rides messages the
     /// barrier sends anyway, keeping makespans bit-identical whether the
     /// balance knob is on or off (until a migration actually happens).
-    pub loads: Vec<(u32, u64)>,
+    ///
+    /// Shared, not owned: the sender's accumulated vector is behind an
+    /// `Arc`, so a dissemination send is a refcount bump instead of an
+    /// O(N) copy per round (the transport is in-memory; nothing is
+    /// serialized). The receiver folds entries it hasn't seen and drops
+    /// the handle.
+    pub loads: Arc<Vec<(u32, u64)>>,
 }
 
 /// One snapshot-replica delta frame streamed to the buddy (DESIGN.md §15).
@@ -190,7 +197,9 @@ pub(crate) struct TokenMsg {
     /// Global phase sequence the sets belong to (protocol checking).
     pub phase: u64,
     /// `(node id, set of nodes it will send a non-empty K_WRITE bundle)`.
-    pub writers: Vec<(u32, NodeSet)>,
+    /// Shared like [`BarrierMsg::loads`]: sending is a refcount bump, not
+    /// an O(N)-entry copy per dissemination round.
+    pub writers: Arc<Vec<(u32, NodeSet)>>,
 }
 
 /// Repartitioning migration bundle: the elements this node hands over to

@@ -96,6 +96,20 @@ impl<'a> NodeCtx<'a> {
         self.ep.counters.merge(&self.inner.borrow().counters)
     }
 
+    /// High-water mark of resident shared-array bytes on this node under
+    /// the pseudo-streaming tile budget (DESIGN.md §18). Zero when
+    /// streaming is off ([`PpmConfig::with_tile_budget`] unset): residency
+    /// is only tracked under a budget.
+    pub fn peak_bytes_resident(&self) -> u64 {
+        self.inner.borrow().tile_budget.peak_bytes_resident()
+    }
+
+    /// Bytes of shared-array state currently resident under the
+    /// pseudo-streaming tile budget; zero when streaming is off.
+    pub fn bytes_resident(&self) -> u64 {
+        self.inner.borrow().tile_budget.bytes_resident()
+    }
+
     /// Drain the per-phase trace accumulated so far: one record per
     /// completed phase, in execution order (observability; see
     /// [`crate::PhaseRecord`]).
@@ -158,11 +172,16 @@ impl<'a> NodeCtx<'a> {
 
     fn alloc_global_dist<T: Elem>(&mut self, dist: Dist) -> GlobalShared<T> {
         let len = dist.len;
+        let node = self.node_id();
+        let local_len = dist.local_len(node);
         let mut inner = self.inner.borrow_mut();
         let id = u32::try_from(inner.garrays.len()).expect("too many global shared arrays");
+        inner.garrays.push(Box::new(GArray::<T>::new(dist, node)));
+        // Pseudo-streaming registration (DESIGN.md §18): under a tile
+        // budget, large partitions are tiled and start fully cold.
         inner
-            .garrays
-            .push(Box::new(GArray::<T>::new(dist, self.node_id())));
+            .tile_budget
+            .register(id, std::mem::size_of::<T>(), local_len);
         GlobalShared::new(id, len)
     }
 

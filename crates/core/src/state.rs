@@ -401,6 +401,9 @@ pub(crate) struct VpScratch {
     pub slots_alloced: usize,
     /// Read requests to queue for the next wave.
     pub reqs: Vec<ScratchReq>,
+    /// Cold-tile faults (`(array, tile)`) recorded by local reads under a
+    /// tile budget; drained into [`Inner::pending_tile_faults`] at merge.
+    pub tile_faults: Vec<(u32, u32)>,
     /// Buffered writes per touched `(space, array)`.
     writes: Vec<(Space, u32, Box<dyn ScratchWrites>)>,
     /// Conformance-checker events in program order.
@@ -511,8 +514,17 @@ impl VpCell {
         assert!(idx < ga.dist.len, "global read index {idx} out of bounds");
         let owner = ga.dist.owner(idx);
         if owner == self.node {
+            // The access is fully charged (sv_overhead, checker event,
+            // counter) before the residency check, so a cold tile costs
+            // exactly what the in-core hit does — the fault itself is free
+            // in modeled time and counters.
             s.counters.local_accesses += 1;
-            GetOutcome::Local(ga.local[ga.dist.local_offset(idx)])
+            let off = ga.dist.local_offset(idx);
+            if inner.tile_budget.is_cold(id, off) {
+                s.tile_faults.push((id, inner.tile_budget.tile_of(id, off)));
+                return GetOutcome::LocalPending;
+            }
+            GetOutcome::Local(ga.local[off])
         } else {
             assert_eq!(
                 kind,
@@ -543,6 +555,25 @@ impl VpCell {
             s.counters.remote_gets += 1;
             GetOutcome::Remote(slot)
         }
+    }
+
+    /// Charge-free re-read of a local element whose first access returned
+    /// [`GetOutcome::LocalPending`]. The original [`Self::get_global`]
+    /// already paid the full in-core cost (overhead, counters, checker
+    /// event), so this resolution path must stay invisible to every
+    /// observable: it touches no counters, no compute, no checker. If the
+    /// tile is still cold (another tile was serviced first), the fault is
+    /// re-recorded — also charge-free — and the VP parks again.
+    pub fn read_local_resident<T: Elem>(&self, inner: &Inner, id: u32, idx: usize) -> Option<T> {
+        let ga = garray_ref::<T>(inner, id);
+        let off = ga.dist.local_offset(idx);
+        if inner.tile_budget.is_cold(id, off) {
+            self.scratch()
+                .tile_faults
+                .push((id, inner.tile_budget.tile_of(id, off)));
+            return None;
+        }
+        Some(ga.local[off])
     }
 
     /// VP write (assign) of a global shared element.
@@ -754,6 +785,10 @@ pub(crate) fn merge_vp(inner: &mut Inner, cell: &VpCell) -> SimTime {
             slot: r.slot,
         });
     }
+    if !s.tile_faults.is_empty() {
+        inner.pending_tile_faults.append(&mut s.tile_faults);
+        inner.fault_waiters.push(cell.id);
+    }
     let c = std::mem::take(&mut s.counters);
     inner.counters = inner.counters.merge(&c);
     let compute = std::mem::replace(&mut s.compute, SimTime::ZERO);
@@ -948,8 +983,15 @@ pub(crate) trait GArrayObj: Send + Sync {
     /// Owner side: apply `(source node, payload)` parcels; resolution order
     /// is deterministic. Returns the number of entries applied and the
     /// distinct written global indices in ascending order (feeds the
-    /// refresh-push protocol, DESIGN.md §13).
-    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> (u64, Vec<u64>);
+    /// refresh-push protocol, DESIGN.md §13). `touch` is called with each
+    /// resolved local offset before the store lands — the executor wires it
+    /// to [`TileBudget::touch`] so applied writes bump tile recency
+    /// (write-through without admission, DESIGN.md §18).
+    fn apply_writes(
+        &mut self,
+        parcels: Vec<(u32, Box<dyn Any + Send>)>,
+        touch: &mut dyn FnMut(usize),
+    ) -> (u64, Vec<u64>);
     /// Whether any writes are buffered (used to assert clean phase ends
     /// and to compute per-array cache-invalidation bits).
     fn has_pending_writes(&self) -> bool;
@@ -1090,7 +1132,11 @@ impl<T: Elem> GArrayObj for GArray<T> {
             .collect()
     }
 
-    fn apply_writes(&mut self, parcels: Vec<(u32, Box<dyn Any + Send>)>) -> (u64, Vec<u64>) {
+    fn apply_writes(
+        &mut self,
+        parcels: Vec<(u32, Box<dyn Any + Send>)>,
+        touch: &mut dyn FnMut(usize),
+    ) -> (u64, Vec<u64>) {
         let mut all: Vec<(u64, u32, WireWrite<T>)> = Vec::new();
         for (src, payload) in parcels {
             let entries = payload
@@ -1111,6 +1157,7 @@ impl<T: Elem> GArrayObj for GArray<T> {
             }
             let resolved = resolve_conflicts(idx, &mut all[i..j]);
             let off = self.dist.local_offset(idx as usize);
+            touch(off);
             self.local[off] = resolved;
             written.push(idx);
             i = j;
@@ -1576,6 +1623,253 @@ pub(crate) enum GetOutcome<T> {
     Local(T),
     /// The element is remote; the VP parks on this slot.
     Remote(u64),
+    /// The element is owned locally but its partition tile is spilled
+    /// (pseudo-streaming, DESIGN.md §18). The VP parks slot-free; the
+    /// executor refills the tile and wakes it, and the deferred re-read
+    /// ([`VpCell::read_local_resident`]) is charge-free — the access was
+    /// fully charged here, exactly like the in-core path.
+    LocalPending,
+}
+
+// ---------------------------------------------------------------------------
+// Pseudo-streaming tile residency (DESIGN.md §18).
+// ---------------------------------------------------------------------------
+
+/// Tiling registration of one global array's local partition.
+struct ArrayTiles {
+    elem_bytes: u64,
+    local_len: usize,
+    /// Elements per tile; 0 = untiled (the whole partition counts as
+    /// permanently resident).
+    tile_elems: usize,
+    /// Residency bit per tile. All tiles start cold.
+    resident: Vec<bool>,
+    /// Deterministic recency per tile: the [`TileBudget::clock`] value of
+    /// the last driver-side touch (refill or write application). Never
+    /// updated by VP reads, which run under the shared read lock.
+    last_touch: Vec<u64>,
+}
+
+impl ArrayTiles {
+    fn n_tiles(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn tile_bytes(&self, tile: usize) -> u64 {
+        let start = tile * self.tile_elems;
+        let len = self.tile_elems.min(self.local_len - start);
+        len as u64 * self.elem_bytes
+    }
+}
+
+/// Residency accounting for pseudo-streaming execution (DESIGN.md §18):
+/// which tiles of each global array's local partition are resident under
+/// the configured byte budget. Purely a *model* — `GArray::local` always
+/// holds every element (it stands for node memory plus the backing
+/// store), so spill/refill moves no data; exchange-path reads (serve,
+/// refresh, snapshot, migration) stream from the backing store without
+/// admission. What residency gates is the VP read hot path: a read of a
+/// cold tile parks the VP ([`GetOutcome::LocalPending`]) until the
+/// executor refills the tile, evicting the least-recently-touched
+/// resident tiles to stay under budget.
+pub(crate) struct TileBudget {
+    /// Resident-bytes budget; 0 = streaming off (everything resident,
+    /// every query answers "hot").
+    budget: u64,
+    /// Indexed by global array id (registration order = allocation order).
+    arrays: Vec<ArrayTiles>,
+    /// Monotonic recency clock, bumped by driver-side touches only.
+    clock: u64,
+    /// Bytes currently resident: untiled partitions in full plus the
+    /// resident tiles of tiled partitions.
+    resident_bytes: u64,
+    /// High-water mark of [`Self::resident_bytes`].
+    peak_bytes: u64,
+}
+
+impl TileBudget {
+    pub fn new(budget: u64) -> Self {
+        TileBudget {
+            budget,
+            arrays: Vec::new(),
+            clock: 0,
+            resident_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn bump(&mut self, delta: u64) {
+        self.resident_bytes += delta;
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+    }
+
+    /// Register array `id`'s local partition (allocation and rebinds). A
+    /// partition is tiled iff streaming is on and it spans at least two
+    /// tiles of `max(1, budget / (8 * elem_bytes))` elements — so roughly
+    /// eight tiles fit in the budget and eviction always has headroom.
+    /// Tiled partitions start fully cold; untiled ones count as resident
+    /// in full.
+    pub fn register(&mut self, id: u32, elem_bytes: usize, local_len: usize) {
+        let elem_bytes = elem_bytes.max(1) as u64;
+        let tile_elems = if self.budget == 0 {
+            0
+        } else {
+            usize::try_from((self.budget / (8 * elem_bytes)).max(1)).unwrap_or(usize::MAX)
+        };
+        let tiled = tile_elems > 0 && local_len > tile_elems;
+        let n_tiles = if tiled {
+            local_len.div_ceil(tile_elems)
+        } else {
+            0
+        };
+        let at = ArrayTiles {
+            elem_bytes,
+            local_len,
+            tile_elems: if tiled { tile_elems } else { 0 },
+            resident: vec![false; n_tiles],
+            last_touch: vec![0; n_tiles],
+        };
+        // Residency is only tracked under a budget; with streaming off the
+        // whole question is moot and every accessor reports zero.
+        if self.budget > 0 && !tiled {
+            self.bump(local_len as u64 * elem_bytes);
+        }
+        let id = id as usize;
+        assert_eq!(id, self.arrays.len(), "tile registration out of order");
+        self.arrays.push(at);
+    }
+
+    /// Re-register array `id` after a repartitioning rebind: drop the old
+    /// partition's resident contribution and start the new one fully cold.
+    pub fn rebind(&mut self, id: u32, local_len: usize) {
+        let a = &self.arrays[id as usize];
+        let elem_bytes = a.elem_bytes;
+        // Mirror of `register`'s accounting: with streaming off nothing
+        // was ever counted resident, untiled partitions were counted in
+        // full, tiled ones by their resident tiles.
+        let old: u64 = if self.budget == 0 {
+            0
+        } else if a.tile_elems == 0 {
+            a.local_len as u64 * a.elem_bytes
+        } else {
+            (0..a.n_tiles())
+                .filter(|&t| a.resident[t])
+                .map(|t| a.tile_bytes(t))
+                .sum()
+        };
+        self.resident_bytes -= old;
+        let tile_elems = if self.budget == 0 {
+            0
+        } else {
+            usize::try_from((self.budget / (8 * elem_bytes)).max(1)).unwrap_or(usize::MAX)
+        };
+        let tiled = tile_elems > 0 && local_len > tile_elems;
+        let n_tiles = if tiled {
+            local_len.div_ceil(tile_elems)
+        } else {
+            0
+        };
+        self.arrays[id as usize] = ArrayTiles {
+            elem_bytes,
+            local_len,
+            tile_elems: if tiled { tile_elems } else { 0 },
+            resident: vec![false; n_tiles],
+            last_touch: vec![0; n_tiles],
+        };
+        if self.budget > 0 && !tiled {
+            self.bump(local_len as u64 * elem_bytes);
+        }
+    }
+
+    /// Whether local offset `off` of array `id` sits in a spilled tile.
+    /// Always false with streaming off or for untiled arrays.
+    pub fn is_cold(&self, id: u32, off: usize) -> bool {
+        match self.arrays.get(id as usize) {
+            Some(a) if a.tile_elems > 0 => !a.resident[off / a.tile_elems],
+            _ => false,
+        }
+    }
+
+    /// Tile index containing local offset `off` of array `id`. Only
+    /// meaningful for tiled arrays.
+    pub fn tile_of(&self, id: u32, off: usize) -> u32 {
+        let a = &self.arrays[id as usize];
+        debug_assert!(a.tile_elems > 0, "tile_of on an untiled array");
+        (off / a.tile_elems) as u32
+    }
+
+    /// Driver-side recency touch for a write applied at local offset
+    /// `off` (phase-end exchange). Cold tiles are written through to the
+    /// backing store without admission, so only resident tiles move in
+    /// the recency order.
+    pub fn touch(&mut self, id: u32, off: usize) {
+        let Some(a) = self.arrays.get_mut(id as usize) else {
+            return;
+        };
+        if a.tile_elems == 0 {
+            return;
+        }
+        let t = off / a.tile_elems;
+        if a.resident[t] {
+            self.clock += 1;
+            a.last_touch[t] = self.clock;
+        }
+    }
+
+    /// Make `tile` of array `id` resident, evicting least-recently-touched
+    /// resident tiles (deterministic tie-break: ascending array, tile)
+    /// while the budget would be exceeded. Returns the spilled
+    /// `(array, tile)` pairs, in eviction order. Best-effort: if nothing
+    /// is evictable (only untiled bytes remain) the refill overshoots and
+    /// the peak records it honestly.
+    pub fn refill(&mut self, id: u32, tile: u32) -> Vec<(u32, u32)> {
+        let incoming = self.arrays[id as usize].tile_bytes(tile as usize);
+        debug_assert!(
+            !self.arrays[id as usize].resident[tile as usize],
+            "refilling a resident tile"
+        );
+        let mut spilled = Vec::new();
+        while self.resident_bytes + incoming > self.budget {
+            let mut victim: Option<(u64, u32, u32)> = None;
+            for (aid, a) in self.arrays.iter().enumerate() {
+                if a.tile_elems == 0 {
+                    continue;
+                }
+                for t in 0..a.n_tiles() {
+                    if !a.resident[t] {
+                        continue;
+                    }
+                    let key = (a.last_touch[t], aid as u32, t as u32);
+                    if victim.is_none_or(|v| key < v) {
+                        victim = Some(key);
+                    }
+                }
+            }
+            let Some((_, va, vt)) = victim else {
+                break;
+            };
+            let a = &mut self.arrays[va as usize];
+            a.resident[vt as usize] = false;
+            self.resident_bytes -= self.arrays[va as usize].tile_bytes(vt as usize);
+            spilled.push((va, vt));
+        }
+        let a = &mut self.arrays[id as usize];
+        a.resident[tile as usize] = true;
+        self.clock += 1;
+        a.last_touch[tile as usize] = self.clock;
+        self.bump(incoming);
+        spilled
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes_resident(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// High-water mark of resident bytes over the run.
+    pub fn peak_bytes_resident(&self) -> u64 {
+        self.peak_bytes
+    }
 }
 
 /// All per-node runtime state the VPs and the executor share.
@@ -1683,6 +1977,18 @@ pub(crate) struct Inner {
     /// `(snapshot phase, bytes, base)` — shows in the watchdog's protocol
     /// dump how fresh the hosted replica is.
     pub replica_in: Option<(u64, u64, bool)>,
+    /// Pseudo-streaming tile residency under `cfg.tile_budget`
+    /// (DESIGN.md §18). With the budget off every query answers "hot" and
+    /// the streaming paths are never taken.
+    pub tile_budget: TileBudget,
+    /// Cold-tile faults merged from VP scratches this poll round, as
+    /// `(array, tile)`; the executor services the minimum group per fault
+    /// round and clears the rest (parked VPs re-record still-cold faults
+    /// when re-polled).
+    pub pending_tile_faults: Vec<(u32, u32)>,
+    /// VPs parked on cold-tile faults, woken (pushed back into the ready
+    /// list) after each fault-service round.
+    pub fault_waiters: Vec<usize>,
 }
 
 impl Inner {
@@ -1720,6 +2026,9 @@ impl Inner {
             peer_vps: Vec::new(),
             replica_base_sent: false,
             replica_in: None,
+            tile_budget: TileBudget::new(cfg.tile_budget),
+            pending_tile_faults: Vec::new(),
+            fault_waiters: Vec::new(),
         }
     }
 
@@ -1867,11 +2176,10 @@ mod tests {
             (2, accum_parts(&[(0, 1.0)])),
         ];
         let p1: Vec<(u64, WireWrite<f64>)> = vec![(2, accum_parts(&[(5, 2.0)]))];
-        let (n, written) = ga.apply_writes(vec![
-            (2, Box::new(p2)),
-            (0, Box::new(p0)),
-            (1, Box::new(p1)),
-        ]);
+        let (n, written) = ga.apply_writes(
+            vec![(2, Box::new(p2)), (0, Box::new(p0)), (1, Box::new(p1))],
+            &mut |_| {},
+        );
         assert_eq!(n, 4);
         assert_eq!(written, vec![1, 2], "distinct written indices, ascending");
         assert_eq!(ga.local[1], 20.0, "assign with highest WriteKey wins");
@@ -1889,7 +2197,10 @@ mod tests {
         let mut ga: GArray<f64> = GArray::new(Dist::block(1, 1), 0);
         let from0: Vec<(u64, WireWrite<f64>)> = vec![(0, accum_parts(&[(0, 1e16), (2, 1.0)]))];
         let from1: Vec<(u64, WireWrite<f64>)> = vec![(0, accum_parts(&[(1, -1e16)]))];
-        ga.apply_writes(vec![(0, Box::new(from0)), (1, Box::new(from1))]);
+        ga.apply_writes(
+            vec![(0, Box::new(from0)), (1, Box::new(from1))],
+            &mut |_| {},
+        );
         assert_eq!(
             ga.local[0], 1.0,
             "(1e16 + -1e16) + 1.0 — node-partial folding would give 0.0"
@@ -1926,7 +2237,7 @@ mod tests {
         let mut ga: GArray<f64> = GArray::new(Dist::block(2, 1), 0);
         let a: Vec<(u64, WireWrite<f64>)> = vec![(0, WireWrite::Assign(1.0, key(0, 0)))];
         let b: Vec<(u64, WireWrite<f64>)> = vec![(0, accum_parts(&[(1, 1.0)]))];
-        ga.apply_writes(vec![(0, Box::new(a)), (1, Box::new(b))]);
+        ga.apply_writes(vec![(0, Box::new(a)), (1, Box::new(b))], &mut |_| {});
     }
 
     #[test]
@@ -1940,6 +2251,78 @@ mod tests {
         assert_eq!(bytes, 8 + 3 * 8);
         let vals = payload.downcast::<Vec<u64>>().unwrap();
         assert_eq!(*vals, vec![100, 104, 102]);
+    }
+
+    #[test]
+    fn tile_budget_off_means_everything_hot() {
+        let mut tb = TileBudget::new(0);
+        tb.register(0, 8, 1 << 20);
+        assert!(!tb.is_cold(0, 0));
+        assert!(!tb.is_cold(0, (1 << 20) - 1));
+        assert_eq!(tb.bytes_resident(), 0);
+        assert_eq!(tb.peak_bytes_resident(), 0);
+    }
+
+    #[test]
+    fn tile_budget_small_arrays_stay_untiled() {
+        // budget 1024 B, f64 elems → tile_elems = 1024/(8*8) = 16; a
+        // 16-element partition fits one tile and stays untiled (fully
+        // resident, never cold).
+        let mut tb = TileBudget::new(1024);
+        tb.register(0, 8, 16);
+        assert!(!tb.is_cold(0, 15));
+        assert_eq!(tb.bytes_resident(), 16 * 8);
+        // A 100-element partition is tiled: 7 tiles of 16, all cold.
+        tb.register(1, 8, 100);
+        assert!(tb.is_cold(1, 0));
+        assert!(tb.is_cold(1, 99));
+        assert_eq!(tb.tile_of(1, 0), 0);
+        assert_eq!(tb.tile_of(1, 17), 1);
+        assert_eq!(tb.tile_of(1, 99), 6);
+        assert_eq!(tb.bytes_resident(), 16 * 8, "cold tiles are not resident");
+    }
+
+    #[test]
+    fn tile_budget_refill_evicts_lru_deterministically() {
+        // budget 256 B, u64 elems → tile_elems = 4 (32 B/tile); 8 tiles
+        // fit exactly. One tiled array of 64 elements = 16 tiles.
+        let mut tb = TileBudget::new(256);
+        tb.register(0, 8, 64);
+        for t in 0..8 {
+            assert!(tb.refill(0, t).is_empty(), "first 8 refills fit");
+        }
+        assert_eq!(tb.bytes_resident(), 256);
+        assert_eq!(tb.peak_bytes_resident(), 256);
+        // Touch tile 0 so tile 1 becomes the LRU victim.
+        tb.touch(0, 1); // offset 1 lives in tile 0
+        assert_eq!(tb.refill(0, 8), vec![(0, 1)], "evicts LRU, not MRU");
+        assert!(tb.is_cold(0, 4), "tile 1 spilled");
+        assert!(!tb.is_cold(0, 32), "tile 8 resident");
+        assert_eq!(tb.bytes_resident(), 256, "stays at budget");
+        // Writes to cold tiles are write-through: no admission, no touch.
+        tb.touch(0, 5);
+        assert!(tb.is_cold(0, 5));
+    }
+
+    #[test]
+    fn tile_budget_rebind_starts_cold() {
+        let mut tb = TileBudget::new(256);
+        tb.register(0, 8, 64);
+        tb.refill(0, 0);
+        assert_eq!(tb.bytes_resident(), 32);
+        tb.rebind(0, 128);
+        assert_eq!(tb.bytes_resident(), 0, "old residency dropped");
+        assert!(tb.is_cold(0, 0), "rebound partition starts cold");
+        assert_eq!(tb.peak_bytes_resident(), 32, "peak survives rebinds");
+    }
+
+    #[test]
+    fn tile_budget_last_tile_is_short() {
+        // 10 elements, tile_elems 4 → tiles of 4, 4, 2 elements.
+        let mut tb = TileBudget::new(256);
+        tb.register(0, 8, 10);
+        tb.refill(0, 2);
+        assert_eq!(tb.bytes_resident(), 2 * 8, "short tail tile");
     }
 
     #[test]

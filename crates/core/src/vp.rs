@@ -105,6 +105,24 @@ impl Vp {
             .owned_range(self.cell.node)
     }
 
+    /// Tile-aware variant of [`Self::local_range`]: the node's owned range
+    /// as successive subranges of at most `chunk_elems` elements, aligned
+    /// so each subrange falls inside one pseudo-streaming tile boundary
+    /// multiple (see [`crate::Dist::owned_chunks`]). `chunk_elems == 0`
+    /// yields the whole range as one chunk, so a disabled chunking knob
+    /// passes straight through. Zero modeled cost, like `local_range`.
+    pub fn local_chunks<T: Elem>(
+        &self,
+        g: &GlobalShared<T>,
+        chunk_elems: usize,
+    ) -> Vec<std::ops::Range<usize>> {
+        let inner = self.inner.borrow();
+        inner.garrays[g.id as usize]
+            .dist()
+            .owned_chunks(self.cell.node, chunk_elems)
+            .collect()
+    }
+
     /// Charge `n` floating-point operations of VP-private computation.
     pub fn charge_flops(&self, n: u64) {
         self.cell.charge_flops(n);
@@ -205,7 +223,7 @@ impl Phase {
             cell: self.cell.clone(),
             array: g.id,
             idx,
-            slot: None,
+            state: GetFutState::Start,
             _t: std::marker::PhantomData,
         }
     }
@@ -273,13 +291,24 @@ impl Phase {
     }
 }
 
+enum GetFutState {
+    /// Not yet issued (first poll pending).
+    Start,
+    /// Local element in a spilled tile: the access was fully charged on
+    /// the first poll; re-read charge-free once the executor refills the
+    /// tile (DESIGN.md §18).
+    Deferred,
+    /// Remote element parked on a wave slot.
+    Slot(u64),
+}
+
 /// Future returned by [`Phase::get`].
 pub struct GetFut<T: Elem> {
     inner: SharedInner,
     cell: Arc<VpCell>,
     array: u32,
     idx: usize,
-    slot: Option<u64>,
+    state: GetFutState,
     _t: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -288,20 +317,33 @@ impl<T: Elem> Future for GetFut<T> {
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
         let this = &mut *self;
-        match this.slot {
-            None => {
+        match this.state {
+            GetFutState::Start => {
                 let outcome = this
                     .cell
                     .get_global::<T>(&this.inner.borrow(), this.array, this.idx);
                 match outcome {
                     GetOutcome::Local(v) => Poll::Ready(v),
+                    GetOutcome::LocalPending => {
+                        this.state = GetFutState::Deferred;
+                        Poll::Pending
+                    }
                     GetOutcome::Remote(slot) => {
-                        this.slot = Some(slot);
+                        this.state = GetFutState::Slot(slot);
                         Poll::Pending
                     }
                 }
             }
-            Some(slot) => match this.cell.scratch().slots.try_take(slot) {
+            GetFutState::Deferred => {
+                match this
+                    .cell
+                    .read_local_resident::<T>(&this.inner.borrow(), this.array, this.idx)
+                {
+                    Some(v) => Poll::Ready(v),
+                    None => Poll::Pending,
+                }
+            }
+            GetFutState::Slot(slot) => match this.cell.scratch().slots.try_take(slot) {
                 Some(boxed) => {
                     let v = boxed.downcast::<T>().expect("slot value type mismatch");
                     Poll::Ready(*v)
@@ -315,6 +357,9 @@ impl<T: Elem> Future for GetFut<T> {
 enum ManySlot<T> {
     Ready(T),
     Waiting(u64),
+    /// Local element (at this global index) in a spilled tile, awaiting a
+    /// charge-free re-read after the executor refills it.
+    Deferred(usize),
 }
 
 /// Future returned by [`Phase::get_many`].
@@ -338,13 +383,19 @@ impl<T: Elem> Future for GetManyFut<T> {
         let this = &mut *self;
         if let Some(idxs) = this.idxs.take() {
             // First poll: issue every access under one `Inner` read lock;
-            // remote ones queue for the next wave together.
+            // remote ones queue for the next wave together. Cold-tile
+            // locals defer but are charged here, so wave content and
+            // counters match the in-core schedule exactly.
             let inner = this.inner.borrow();
             this.state = idxs
                 .into_iter()
                 .map(
                     |idx| match this.cell.get_global::<T>(&inner, this.array, idx) {
                         GetOutcome::Local(v) => ManySlot::Ready(v),
+                        GetOutcome::LocalPending => {
+                            this.remaining += 1;
+                            ManySlot::Deferred(idx)
+                        }
                         GetOutcome::Remote(slot) => {
                             this.remaining += 1;
                             ManySlot::Waiting(slot)
@@ -353,13 +404,34 @@ impl<T: Elem> Future for GetManyFut<T> {
                 )
                 .collect();
         } else {
-            let mut s = this.cell.scratch();
-            for st in this.state.iter_mut() {
-                if let ManySlot::Waiting(slot) = *st {
-                    if let Some(boxed) = s.slots.try_take(slot) {
-                        let v = boxed.downcast::<T>().expect("slot value type mismatch");
-                        *st = ManySlot::Ready(*v);
-                        this.remaining -= 1;
+            // Wave-filled slots first (scratch lock), then deferred local
+            // re-reads (inner read lock; re-records faults through the
+            // scratch lock) — the two locks are never held together.
+            {
+                let mut s = this.cell.scratch();
+                for st in this.state.iter_mut() {
+                    if let ManySlot::Waiting(slot) = *st {
+                        if let Some(boxed) = s.slots.try_take(slot) {
+                            let v = boxed.downcast::<T>().expect("slot value type mismatch");
+                            *st = ManySlot::Ready(*v);
+                            this.remaining -= 1;
+                        }
+                    }
+                }
+            }
+            if this
+                .state
+                .iter()
+                .any(|st| matches!(st, ManySlot::Deferred(_)))
+            {
+                let inner = this.inner.borrow();
+                for st in this.state.iter_mut() {
+                    if let ManySlot::Deferred(idx) = *st {
+                        if let Some(v) = this.cell.read_local_resident::<T>(&inner, this.array, idx)
+                        {
+                            *st = ManySlot::Ready(v);
+                            this.remaining -= 1;
+                        }
                     }
                 }
             }

@@ -69,6 +69,12 @@ pub struct Counters {
     /// Fail-stop tolerance: snapshot-replica bytes this node streamed to
     /// its buddy (delta frames piggybacked on end-of-phase write bundles).
     pub replica_bytes: u64,
+    /// Pseudo-streaming: resident partition tiles evicted to the modeled
+    /// backing store to stay under the tile budget.
+    pub tile_spills: u64,
+    /// Pseudo-streaming: cold partition tiles made resident on first
+    /// touch (every tile starts cold, so refills ≥ spills).
+    pub tile_refills: u64,
 }
 
 impl Counters {
@@ -110,7 +116,7 @@ impl Counters {
     /// single source of truth for exporters (e.g. per-phase deltas in the
     /// trace layer); a test pins its length to the struct size so a new
     /// field cannot be forgotten here.
-    pub fn named_fields(&self) -> [(&'static str, u64); 27] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 29] {
         [
             ("msgs_sent", self.msgs_sent),
             ("bytes_sent", self.bytes_sent),
@@ -139,6 +145,8 @@ impl Counters {
             ("peers_confirmed_dead", self.peers_confirmed_dead),
             ("failovers", self.failovers),
             ("replica_bytes", self.replica_bytes),
+            ("tile_spills", self.tile_spills),
+            ("tile_refills", self.tile_refills),
         ]
     }
 
@@ -157,7 +165,7 @@ impl Counters {
         out
     }
 
-    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 27] {
+    fn named_fields_mut(&mut self) -> [(&'static str, &mut u64); 29] {
         [
             ("msgs_sent", &mut self.msgs_sent),
             ("bytes_sent", &mut self.bytes_sent),
@@ -186,6 +194,8 @@ impl Counters {
             ("peers_confirmed_dead", &mut self.peers_confirmed_dead),
             ("failovers", &mut self.failovers),
             ("replica_bytes", &mut self.replica_bytes),
+            ("tile_spills", &mut self.tile_spills),
+            ("tile_refills", &mut self.tile_refills),
         ]
     }
 }

@@ -17,6 +17,7 @@ fn main() {
         rows_per_vp: 32,
         collect_x: true,
         tol: None,
+        spmv_chunk: 0,
     };
     let n = params.problem.n();
     println!(
